@@ -1,0 +1,597 @@
+(* One function per table/figure of the paper's evaluation (§7 and the
+   appendix).  Each prints the regenerated rows next to the paper's
+   published numbers where the text gives them. *)
+
+open Cortex
+module M = Models.Common
+module L = Lower
+
+let seed = 2021
+
+let dataset (spec : M.t) ~batch = spec.M.dataset (Rng.create (seed + batch)) ~batch
+
+let compile_for ?(base = L.default) (spec : M.t) =
+  Runtime.compile ~options:(Runtime.options_for ~base spec) spec.M.program
+
+let cortex_report ?(lock_free = false) ?base (spec : M.t) backend structure =
+  Runtime.simulate ~lock_free (compile_for ?base spec) ~backend structure
+
+let cortex_ms ?lock_free ?base spec backend structure =
+  Runtime.total_ms (cortex_report ?lock_free ?base spec backend structure)
+
+let framework_run kind (spec : M.t) backend structure =
+  Frameworks.run kind ~backend spec.M.program (Linearizer.run structure)
+
+let framework_ms kind spec backend structure =
+  (framework_run kind spec backend structure).Frameworks.total_us /. 1000.0
+
+let size_label = function Models.Catalog.Small -> "h_s" | Models.Catalog.Large -> "h_l"
+
+(* ---------- Fig. 6: speedup over PyTorch ---------- *)
+
+let fig6 () =
+  let header = "Model" :: List.concat_map (fun b -> [ b ^ " bs1"; b ^ " bs10" ]) [ "GPU"; "Intel" ] in
+  let rows =
+    List.map
+      (fun name ->
+        let spec = Models.Catalog.get name Models.Catalog.Small in
+        name
+        :: List.concat_map
+             (fun backend ->
+               List.map
+                 (fun batch ->
+                   let s = dataset spec ~batch in
+                   let pt = framework_ms Frameworks.Pytorch spec backend s in
+                   let cx = cortex_ms spec backend s in
+                   Table.fx (pt /. cx))
+                 [ 1; 10 ])
+             [ Backend.gpu; Backend.intel ])
+      Models.Catalog.evaluated
+  in
+  Table.print ~title:"Fig. 6 — Speedup over PyTorch (hidden h_s)" ~header rows;
+  print_endline
+    "Paper: speedups grow with batch size; larger on GPU than Intel; all > 1.\n"
+
+(* ---------- Table 4: Cavs vs Cortex (GPU) ---------- *)
+
+(* The open-source Cavs supports neither specialization nor the input
+   matrix-vector products, so Cortex runs with specialization disabled
+   on the recursive portions (§7.2). *)
+let cavs_base = { L.default with L.specialize = false }
+
+let table4 () =
+  let configs =
+    [ (Models.Catalog.Small, 1); (Models.Catalog.Small, 10); (Models.Catalog.Large, 1); (Models.Catalog.Large, 10) ]
+  in
+  let header =
+    [ "Hidden"; "Batch" ]
+    @ List.concat_map
+        (fun m -> [ m ^ " time"; "speedup"; "paper" ])
+        [ "TreeFC"; "TreeGRU"; "TreeLSTM" ]
+  in
+  let rows =
+    List.mapi
+      (fun ci (size, batch) ->
+        [ size_label size; string_of_int batch ]
+        @ List.concat_map
+            (fun name ->
+              let spec =
+                Models.Catalog.get ~variant:M.Recursive_only name size
+              in
+              let s = dataset spec ~batch in
+              let cavs = framework_ms Frameworks.Cavs spec Backend.gpu s in
+              let cx = cortex_ms ~base:cavs_base spec Backend.gpu s in
+              let paper_cavs, paper_cx = (List.assoc name Paper.table4).(ci) in
+              [
+                Printf.sprintf "%s/%s" (Table.fms cavs) (Table.fms cx);
+                Table.fx (cavs /. cx);
+                Printf.sprintf "%g/%g=%s" paper_cavs paper_cx
+                  (Table.fx (paper_cavs /. paper_cx));
+              ])
+            [ "TreeFC"; "TreeGRU"; "TreeLSTM" ])
+      configs
+  in
+  Table.print
+    ~title:
+      "Table 4 — Cavs vs CORTEX on GPU (ms, Cavs/CORTEX; specialization off, no input MVs)"
+    ~header rows;
+  print_newline ()
+
+(* ---------- Table 5: DyNet vs Cortex ---------- *)
+
+let table5 () =
+  let configs =
+    [ (Models.Catalog.Small, 1); (Models.Catalog.Small, 10); (Models.Catalog.Large, 1); (Models.Catalog.Large, 10) ]
+  in
+  let backends = [ ("GPU", Backend.gpu); ("Intel", Backend.intel); ("ARM", Backend.arm) ] in
+  List.iter
+    (fun (bname, backend) ->
+      let paper_rows = List.assoc bname Paper.table5 in
+      let header =
+        [ "Hidden"; "Batch" ]
+        @ List.concat_map (fun m -> [ m; "x"; "paper x" ]) Models.Catalog.evaluated
+      in
+      let rows =
+        List.mapi
+          (fun ci (size, batch) ->
+            [ size_label size; string_of_int batch ]
+            @ List.concat
+                (List.mapi
+                   (fun mi name ->
+                     let spec = Models.Catalog.get name size in
+                     let s = dataset spec ~batch in
+                     let dy = framework_ms Frameworks.Dynet spec backend s in
+                     let cx = cortex_ms spec backend s in
+                     let pd, pc = paper_rows.(ci).(mi) in
+                     [
+                       Printf.sprintf "%s/%s" (Table.fms dy) (Table.fms cx);
+                       Table.fx (dy /. cx);
+                       Table.fx (pd /. pc);
+                     ])
+                   Models.Catalog.evaluated))
+          configs
+      in
+      Table.print
+        ~title:(Printf.sprintf "Table 5 (%s) — DyNet vs CORTEX (ms, DyNet/CORTEX)" bname)
+        ~header rows;
+      print_newline ())
+    backends
+
+(* ---------- Fig. 7: latency vs hidden size (recursive TreeLSTM) ---------- *)
+
+let fig7 () =
+  let hiddens = [ 32; 64; 128; 256; 384; 512 ] in
+  let header = [ "Hidden"; "Cavs GPU"; "DyNet GPU"; "CORTEX GPU"; "DyNet Intel"; "CORTEX Intel" ] in
+  let rows =
+    List.map
+      (fun h ->
+        let spec = Models.Tree_lstm.spec ~variant:M.Recursive_only ~hidden:h () in
+        let s = dataset spec ~batch:10 in
+        [
+          string_of_int h;
+          Table.fms (framework_ms Frameworks.Cavs spec Backend.gpu s);
+          Table.fms (framework_ms Frameworks.Dynet spec Backend.gpu s);
+          Table.fms (cortex_ms ~base:cavs_base spec Backend.gpu s);
+          Table.fms (framework_ms Frameworks.Dynet spec Backend.intel s);
+          Table.fms (cortex_ms ~base:cavs_base spec Backend.intel s);
+        ])
+      hiddens
+  in
+  Table.print
+    ~title:"Fig. 7 — Inference latency (ms) vs hidden size, recursive TreeLSTM, batch 10"
+    ~header rows;
+  print_endline
+    "Paper: baseline latencies stay high and flat at small hidden sizes (overheads dominate).\n"
+
+(* ---------- Table 6: runtime component breakdown ---------- *)
+
+let table6 () =
+  let spec = Models.Catalog.get "TreeLSTM" Models.Catalog.Small in
+  let s = dataset spec ~batch:10 in
+  let header =
+    [ "Framework"; "Graph/batch"; "Memcpy CPU/GPU"; "GPU compute"; "#Kernels"; "API time"; "Exe time" ]
+  in
+  let fw_row ?(spec = spec) name kind =
+    let r = framework_run kind spec Backend.gpu s in
+    [
+      name;
+      Table.fms (r.Frameworks.graph_us /. 1000.0);
+      Printf.sprintf "%s/%s"
+        (Table.fms (r.Frameworks.memcpy_cpu_us /. 1000.0))
+        (Table.fms (r.Frameworks.memcpy_gpu_us /. 1000.0));
+      Table.fms (r.Frameworks.device_compute_us /. 1000.0);
+      string_of_int r.Frameworks.kernel_calls;
+      Table.fms (r.Frameworks.api_sync_us /. 1000.0);
+      Table.fms (r.Frameworks.profiled_total_us /. 1000.0);
+    ]
+  in
+  let cortex_row =
+    let r = cortex_report spec Backend.gpu s in
+    let launches = r.Runtime.latency.Backend.kernel_launches in
+    let api = float_of_int launches *. Backend.gpu.Backend.sync_call_overhead_us in
+    [
+      "CORTEX";
+      Table.fms (r.Runtime.linearize_us /. 1000.0);
+      "-/-";
+      Table.fms (r.Runtime.latency.Backend.compute_us /. 1000.0);
+      string_of_int launches;
+      Table.fms (api /. 1000.0);
+      Table.fms ((api +. r.Runtime.latency.Backend.compute_us) /. 1000.0);
+    ]
+  in
+  let cavs_spec = Models.Catalog.get ~variant:M.Recursive_only "TreeLSTM" Models.Catalog.Small in
+  let rows =
+    [ fw_row "DyNet" Frameworks.Dynet; fw_row ~spec:cavs_spec "Cavs" Frameworks.Cavs; cortex_row ]
+  in
+  Table.print
+    ~title:
+      "Table 6 — Runtime components (ms), TreeLSTM, GPU, batch 10, h=256 (synchronous profiling)"
+    ~header rows;
+  let paper_rows =
+    List.map
+      (fun (n, (g, mc, mg, c, k, a, e)) ->
+        [
+          n; Table.fms g;
+          Printf.sprintf "%s/%s" (Table.fms mc) (Table.fms mg);
+          Table.fms c; string_of_int k; Table.fms a; Table.fms e;
+        ])
+      Paper.table6
+  in
+  Table.print ~title:"  (paper's measurements)" ~header paper_rows;
+  print_newline ()
+
+(* ---------- Fig. 8: memory-access breakdown ---------- *)
+
+let fig8 () =
+  let spec = Models.Catalog.get "TreeLSTM" Models.Catalog.Small in
+  let s = dataset spec ~batch:10 in
+  let header = [ "System"; "Off-chip MB"; "On-chip MB"; "Persisted params MB" ] in
+  let mb v = Printf.sprintf "%.2f" (v /. 1.0e6) in
+  let fw name kind =
+    let r = framework_run kind spec Backend.gpu s in
+    [ name; mb r.Frameworks.traffic_bytes; "-"; "-" ]
+  in
+  let cx =
+    let r = cortex_report spec Backend.gpu s in
+    let l = r.Runtime.latency in
+    [
+      "CORTEX";
+      mb (l.Backend.global_traffic_bytes +. l.Backend.param_traffic_bytes);
+      mb l.Backend.onchip_traffic_bytes;
+      mb (Cortex.Backend.persisted_bytes Backend.gpu r.Runtime.cost);
+    ]
+  in
+  Table.print
+    ~title:"Fig. 8 — Memory traffic, TreeLSTM, GPU, batch 10, h=256"
+    ~header
+    [ fw "DyNet" Frameworks.Dynet; fw "Cavs" Frameworks.Cavs; cx ];
+  print_endline
+    "Paper: CORTEX keeps intermediates and persisted weights on-chip; DyNet/Cavs round-trip global memory.\n"
+
+(* ---------- Fig. 9: vs hand-optimized GRNN ---------- *)
+
+let fig9 () =
+  let header = [ "Model"; "GRNN"; "GRNN (lock-based)"; "CORTEX" ] in
+  let row name ~refactor =
+    let spec = Models.Catalog.get name Models.Catalog.Small in
+    let base =
+      if refactor then { L.default with L.refactor = true } else L.default
+    in
+    let s = dataset spec ~batch:1 in
+    [
+      name;
+      Table.fms (cortex_ms ~lock_free:true ~base spec Backend.gpu s);
+      Table.fms (cortex_ms ~lock_free:false ~base spec Backend.gpu s);
+      Table.fms (cortex_ms ~base spec Backend.gpu s);
+    ]
+  in
+  Table.print
+    ~title:"Fig. 9 — Sequential models vs GRNN (ms), length 100, h=256, GPU"
+    ~header
+    [ row "LSTM" ~refactor:false; row "GRU" ~refactor:true ];
+  print_endline
+    "Paper: CORTEX is competitive; the gap to GRNN is its lock-free global barrier.\n"
+
+(* ---------- Fig. 10a: progressive optimizations ---------- *)
+
+let fig10a () =
+  let configs =
+    [
+      ("unfused", { L.baseline with L.dynamic_batch = true });
+      ("+fusion", { L.default with L.specialize = false; persist = false });
+      ("+specialization", { L.default with L.persist = false });
+      ("+persistence", L.default);
+    ]
+  in
+  let header = "Model" :: List.map fst configs in
+  let rows =
+    List.map
+      (fun name ->
+        let spec = Models.Catalog.get name Models.Catalog.Small in
+        let s = dataset spec ~batch:10 in
+        name
+        :: List.map
+             (fun (_, base) -> Printf.sprintf "%.3f" (cortex_ms ~base spec Backend.gpu s))
+             configs)
+      Models.Catalog.evaluated
+  in
+  Table.print
+    ~title:"Fig. 10a — Benefits of optimizations (ms), GPU, batch 10, h_s"
+    ~header rows;
+  print_endline
+    "Paper: fusion helps everywhere; specialization helps tree models (not DAG-RNN); persistence adds a further win.\n"
+
+(* ---------- Fig. 10b: unrolling ---------- *)
+
+let fig10b () =
+  let header = [ "Model"; "no unroll"; "unrolled"; "effect" ] in
+  let row name =
+    let spec = Models.Catalog.get name Models.Catalog.Small in
+    let s = dataset spec ~batch:10 in
+    let base_ms = cortex_ms spec Backend.gpu s in
+    let unroll_base = { L.default with L.unroll = true; persist = false } in
+    let unrolled_ms = cortex_ms ~base:unroll_base spec Backend.gpu s in
+    [
+      name;
+      Table.fms base_ms;
+      Table.fms unrolled_ms;
+      (if unrolled_ms > base_ms *. 1.02 then "slower"
+       else if unrolled_ms < base_ms *. 0.98 then "faster"
+       else "~same");
+    ]
+  in
+  Table.print
+    ~title:"Fig. 10b — Unrolling (ms), GPU, batch 10, h=256 (persistence off under unrolling, App. D)"
+    ~header
+    [ row "TreeLSTM"; row "TreeRNN" ];
+  print_endline
+    "Paper: unrolling slows TreeLSTM (extra global barriers, Fig. 11) and speeds up TreeRNN (block-local groups).\n"
+
+(* ---------- Fig. 10c: recursive refactoring ---------- *)
+
+let fig10c () =
+  let header = [ "Model"; "no refactor"; "refactored"; "change %" ] in
+  let row name =
+    let spec = Models.Catalog.get name Models.Catalog.Small in
+    let s = dataset spec ~batch:10 in
+    let base_ms = cortex_ms spec Backend.gpu s in
+    let ref_ms = cortex_ms ~base:{ L.default with L.refactor = true } spec Backend.gpu s in
+    [
+      name;
+      Table.fms base_ms;
+      Table.fms ref_ms;
+      Printf.sprintf "%+.1f%%" (100.0 *. (base_ms -. ref_ms) /. base_ms);
+    ]
+  in
+  Table.print
+    ~title:"Fig. 10c — Recursive refactoring (ms), GPU, batch 10, h=256"
+    ~header
+    [ row "TreeGRU"; row "SimpleTreeGRU" ];
+  Printf.printf
+    "Paper: ~0%% for TreeGRU, ~%.0f%% for SimpleTreeGRU.\n\n"
+    (100.0 *. Paper.refactoring_simple_gain)
+
+(* ---------- §7.5: linearization overheads ---------- *)
+
+let table_linearize () =
+  let header = [ "Dataset"; "batch 1 (us)"; "batch 10 (us)"; "paper (1/10)" ] in
+  let time spec batch =
+    let s = dataset spec ~batch in
+    Stats.min_time_us ~repeats:10 (fun () -> Linearizer.run s)
+  in
+  let rows =
+    List.map
+      (fun (label, spec, paper_key) ->
+        let t1 = time spec 1 and t10 = time spec 10 in
+        let p1, p10 = List.assoc paper_key Paper.linearization in
+        [
+          label;
+          Printf.sprintf "%.2f" t1;
+          Printf.sprintf "%.2f" t10;
+          Printf.sprintf "%.4g/%.4g" p1 p10;
+        ])
+      [
+        ( "TreeLSTM/TreeGRU/MV-RNN (SST)",
+          Models.Catalog.get "TreeLSTM" Models.Catalog.Small,
+          "TreeLSTM/TreeGRU/MV-RNN" );
+        ("DAG-RNN (10x10)", Models.Catalog.get "DAG-RNN" Models.Catalog.Small, "DAG-RNN");
+        ("TreeFC (perfect h7)", Models.Catalog.get "TreeFC" Models.Catalog.Small, "TreeFC");
+      ]
+  in
+  Table.print ~title:"§7.5 — Data structure linearization time (measured on this host)" ~header rows;
+  print_endline
+    "Note: measured wall-clock of the real linearizer on this machine; the paper's numbers are for their Intel host.\n"
+
+(* ---------- Fig. 12: peak memory ---------- *)
+
+let fig12 () =
+  let header = [ "Model"; "PyTorch"; "CORTEX"; "DyNet(inf)"; "Cavs"; "DyNet" ] in
+  let kb v = Printf.sprintf "%.0f" (v /. 1024.0) in
+  let rows =
+    List.map
+      (fun name ->
+        let spec = Models.Catalog.get name Models.Catalog.Small in
+        let s = dataset spec ~batch:10 in
+        let lin = Linearizer.run s in
+        let fw kind = (Frameworks.run kind ~backend:Backend.gpu spec.M.program lin).Frameworks.memory_bytes in
+        let cx = (cortex_report spec Backend.gpu s).Runtime.device_memory_bytes in
+        [
+          name;
+          kb (fw Frameworks.Pytorch);
+          kb cx;
+          kb (Frameworks.dynet_inference_memory ~backend:Backend.gpu spec.M.program lin);
+          kb (fw Frameworks.Cavs);
+          kb (fw Frameworks.Dynet);
+        ])
+      Models.Catalog.evaluated
+  in
+  Table.print ~title:"Fig. 12 — Peak device memory (KB), batch 10, h_s" ~header rows;
+  print_endline "Paper ordering: PyTorch < CORTEX < DyNet(inference) < Cavs < DyNet.\n"
+
+(* ---------- Fig. 14 / App. C: roofline ---------- *)
+
+let fig14 () =
+  let n = 255 and h = 256 in
+  let header = [ "Batch"; "O_CORTEX"; "O_DyNet"; "O_PyTorch"; "asymptotic C/D/P" ] in
+  let rows =
+    List.map
+      (fun b ->
+        let c = Roofline.cortex ~n ~b ~h in
+        let d = Roofline.dynet ~n ~b ~h in
+        let p = Roofline.pytorch ~n ~b ~h in
+        [
+          string_of_int b;
+          Printf.sprintf "%.1f" c.Roofline.intensity;
+          Printf.sprintf "%.1f" d.Roofline.intensity;
+          Printf.sprintf "%.2f" p.Roofline.intensity;
+          Printf.sprintf "%.1f/%.1f/%.2f"
+            (Roofline.asymptotic_cortex ~b ~n0:h)
+            (Roofline.asymptotic_dynet ~b ~n0:h)
+            (Roofline.asymptotic_pytorch ());
+        ])
+      [ 1; 2; 4; 10 ]
+  in
+  Table.print
+    ~title:"Fig. 14 / App. C — TreeFC operational intensity (flop/byte), perfect trees h7, h=256"
+    ~header rows;
+  print_endline "Paper: O_CORTEX > O_DyNet > O_PyTorch.\n"
+
+(* ---------- App. D: register-pressure schedule validity ---------- *)
+
+let appd () =
+  let header = [ "Model"; "persist"; "persist+peel"; "persist+unroll" ] in
+  let rows =
+    List.map
+      (fun name ->
+        let spec = Models.Catalog.get name Models.Catalog.Small in
+        let s = dataset spec ~batch:10 in
+        let verdict base =
+          let r = cortex_report ~base spec Backend.gpu s in
+          let hidden = Models.Catalog.hidden_of name Models.Catalog.Small in
+          match
+            Runtime.Schedule_check.check ~backend:Backend.gpu ~hidden
+              ~states:(List.length spec.M.program.Ra.states)
+              (Runtime.options_for ~base spec)
+              ~cost:r.Runtime.cost
+          with
+          | Runtime.Schedule_check.Valid -> "ok"
+          | Runtime.Schedule_check.Invalid _ -> "REJECTED"
+        in
+        [
+          name;
+          verdict { L.default with L.dynamic_batch = true };
+          verdict L.default;
+          verdict { L.default with L.unroll = true };
+        ])
+      [ "TreeLSTM"; "TreeRNN" ]
+  in
+  Table.print
+    ~title:"App. D — Register-pressure schedule checks (GPU, h=256)"
+    ~header rows;
+  print_endline
+    "Paper: persistence cannot be combined with unrolling (TreeLSTM/TreeRNN) nor with loop peeling for TreeLSTM.\n"
+
+(* ---------- extra ablation: barrier placement (§A.4) ---------- *)
+
+let ablation_barrier () =
+  let header = [ "Model"; "carrier (CORTEX)"; "innermost (stock TVM)"; "barriers C/T" ] in
+  let rows =
+    List.map
+      (fun name ->
+        let spec = Models.Catalog.get name Models.Catalog.Small in
+        let s = dataset spec ~batch:10 in
+        let run mode =
+          cortex_report ~base:{ L.default with L.barrier_mode = mode } spec Backend.gpu s
+        in
+        let carrier = run Barrier.Carrier in
+        let conservative = run Barrier.Conservative in
+        [
+          name;
+          Table.fms (Runtime.total_ms carrier);
+          Table.fms (Runtime.total_ms conservative);
+          Printf.sprintf "%d/%d" carrier.Runtime.latency.Backend.barriers
+            conservative.Runtime.latency.Backend.barriers;
+        ])
+      [ "TreeLSTM"; "TreeGRU" ]
+  in
+  Table.print
+    ~title:"§A.4 ablation — Barrier placement: dependence-carrying loop vs innermost loop (ms, GPU, batch 10)"
+    ~header rows;
+  print_newline ()
+
+(* ---------- calibration helper (not part of the paper) ---------- *)
+
+let debug () =
+  let show name (spec : M.t) ~base ~batch backend =
+    let s = dataset spec ~batch in
+    let r = cortex_report ~base spec backend s in
+    let l = r.Runtime.latency in
+    Printf.printf
+      "%-22s N=%4d  total=%8.1fus compute=%8.1f barrier=%6.1f(%4d) launch=%6.1f(%2d) lin=%5.1f param=%6.0fKB glob=%6.0fKB onchip=%7.0fKB\n"
+      name r.Runtime.num_nodes
+      (l.Backend.total_us +. r.Runtime.linearize_us)
+      l.Backend.compute_us l.Backend.barrier_us l.Backend.barriers l.Backend.launch_us
+      l.Backend.kernel_launches r.Runtime.linearize_us
+      (l.Backend.param_traffic_bytes /. 1024.)
+      (l.Backend.global_traffic_bytes /. 1024.)
+      (l.Backend.onchip_traffic_bytes /. 1024.)
+  in
+  let show_fw name kind (spec : M.t) ~batch backend =
+    let s = dataset spec ~batch in
+    let r = framework_run kind spec backend s in
+    Printf.printf
+      "%-22s total=%8.1fus graph=%7.1f cpycpu=%7.1f cpygpu=%7.1f compute=%8.1f launch=%7.1f kernels=%4d\n"
+      name r.Frameworks.total_us r.Frameworks.graph_us r.Frameworks.memcpy_cpu_us
+      r.Frameworks.memcpy_gpu_us r.Frameworks.device_compute_us r.Frameworks.launch_us
+      r.Frameworks.kernel_calls
+  in
+  List.iter
+    (fun (name, size) ->
+      let full = Models.Catalog.get name size in
+      let rec_only = Models.Catalog.get ~variant:M.Recursive_only name size in
+      Printf.printf "--- %s (%s) GPU batch 10 ---\n" name (size_label size);
+      show (name ^ " cortex-full") full ~base:L.default ~batch:10 Backend.gpu;
+      show (name ^ " cortex-rec-nospec") rec_only ~base:cavs_base ~batch:10 Backend.gpu;
+      show_fw (name ^ " dynet") Frameworks.Dynet full ~batch:10 Backend.gpu;
+      show_fw (name ^ " cavs") Frameworks.Cavs rec_only ~batch:10 Backend.gpu;
+      show_fw (name ^ " pytorch") Frameworks.Pytorch full ~batch:10 Backend.gpu;
+      show (name ^ " cortex-b1") full ~base:L.default ~batch:1 Backend.gpu;
+      show_fw (name ^ " dynet-b1") Frameworks.Dynet full ~batch:1 Backend.gpu)
+    [
+      ("TreeFC", Models.Catalog.Small);
+      ("TreeLSTM", Models.Catalog.Small);
+      ("TreeLSTM", Models.Catalog.Large);
+      ("TreeGRU", Models.Catalog.Small);
+      ("DAG-RNN", Models.Catalog.Small);
+      ("MV-RNN", Models.Catalog.Small);
+    ]
+
+(* ---------- extra: §6 grid-search tuning ---------- *)
+
+let tuning () =
+  let header = [ "Model"; "best schedule"; "best ms"; "default ms"; "worst valid ms" ] in
+  let rows =
+    List.map
+      (fun name ->
+        let spec = Models.Catalog.get name Models.Catalog.Small in
+        let s = dataset spec ~batch:10 in
+        let ranked = Tuner.tune spec ~backend:Backend.gpu s in
+        let best = List.hd ranked in
+        let worst = List.nth ranked (List.length ranked - 1) in
+        let default_ms = cortex_ms spec Backend.gpu s in
+        [
+          name;
+          best.Tuner.label;
+          Table.fms (Runtime.total_ms best.Tuner.report);
+          Table.fms default_ms;
+          Table.fms (Runtime.total_ms worst.Tuner.report);
+        ])
+      Models.Catalog.evaluated
+  in
+  Table.print
+    ~title:"§6 — Grid search over recursion schedules (GPU, batch 10, h_s)"
+    ~header rows;
+  print_endline
+    "The tuner re-derives the paper's default configuration (fuse+spec+batch+persist) for every model.
+"
+
+let all =
+  [
+    ("fig6", fig6);
+    ("table4", table4);
+    ("table5", table5);
+    ("fig7", fig7);
+    ("table6", table6);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("fig10a", fig10a);
+    ("fig10b", fig10b);
+    ("fig10c", fig10c);
+    ("table_linearize", table_linearize);
+    ("fig12", fig12);
+    ("fig14", fig14);
+    ("appd", appd);
+    ("ablation_barrier", ablation_barrier);
+    ("tuning", tuning);
+    ("breakdown", debug);
+  ]

@@ -1,0 +1,57 @@
+(* The paper's published numbers (§7), embedded so every experiment can
+   print measured-vs-paper side by side.  Latencies in milliseconds. *)
+
+(* Table 4: Cavs vs Cortex on the GPU (Cavs / Cortex), rows are
+   (hidden, batch) in the order (hs,1) (hs,10) (hl,1) (hl,10). *)
+let table4 =
+  [
+    ("TreeFC", [| (0.97, 0.09); (3.74, 0.27); (1.22, 0.16); (5.8, 0.69) |]);
+    ("TreeGRU", [| (1.95, 0.15); (3.28, 0.27); (2.01, 0.2); (3.66, 0.61) |]);
+    ("TreeLSTM", [| (2.54, 0.22); (4.01, 0.44); (2.56, 0.28); (4.43, 0.91) |]);
+  ]
+
+(* Table 5: DyNet vs Cortex (DyNet / Cortex); per backend, rows as in
+   table4, columns in model order TreeFC DAG-RNN TreeGRU TreeLSTM MV-RNN. *)
+let table5 =
+  [
+    ( "GPU",
+      [|
+        [| (0.41, 0.08); (1.79, 0.22); (1.41, 0.18); (1.84, 0.24); (0.8, 0.34) |];
+        [| (1.54, 0.17); (3.83, 0.39); (4.72, 0.35); (5.28, 0.39); (3.46, 0.78) |];
+        [| (0.4, 0.12); (1.78, 0.26); (1.41, 0.25); (1.78, 0.29); (0.87, 0.39) |];
+        [| (1.48, 0.37); (3.77, 0.54); (4.63, 0.75); (5.1, 0.7); (3.47, 1.11) |];
+      |] );
+    ( "Intel",
+      [|
+        [| (0.42, 0.12); (1.12, 0.19); (0.98, 0.18); (1.15, 0.23); (0.43, 0.29) |];
+        [| (3.41, 0.64); (6.07, 0.89); (4.09, 0.89); (5.59, 1.02); (4.68, 1.22) |];
+        [| (0.93, 0.42); (2.21, 0.6); (2.45, 0.58); (2.95, 0.54); (1.68, 1.08) |];
+        [| (8.03, 2.3); (11.57, 2.27); (8.63, 2.97); (12.36, 3.02); (21.2, 7.3) |];
+      |] );
+    ( "ARM",
+      [|
+        [| (1.35, 0.21); (3.48, 0.38); (2.57, 0.3); (2.15, 0.39); (0.52, 0.4) |];
+        [| (5.27, 1.58); (11.08, 2.52); (9.59, 1.81); (10.59, 2.58); (5.36, 2.61) |];
+        [| (3.24, 0.79); (14.39, 1.55); (8.74, 0.99); (6.11, 1.35); (1.96, 1.95) |];
+        [| (10.58, 6.54); (26.84, 8.67); (21.42, 6.08); (20.11, 8.86); (15.35, 16.8) |];
+      |] );
+  ]
+
+(* Table 6: runtime components for TreeLSTM, GPU, batch 10, h = 256,
+   under synchronous profiling.  (graph_ms, memcpy_cpu_ms,
+   memcpy_gpu_ms, gpu_compute_ms, kernels, api_ms, exe_ms). *)
+let table6 =
+  [
+    ("DyNet", (1.21, 1.46, 1.03, 1.71, 389, 12.28, 17.38));
+    ("Cavs", (0.4, 0.85, 1.16, 0.71, 122, 9.56, 11.57));
+    ("CORTEX", (0.01, 0.0, 0.0, 0.32, 1, 0.35, 0.35));
+  ]
+
+(* §7.5: linearization times in microseconds, (batch 1, batch 10). *)
+let linearization =
+  [ ("TreeLSTM/TreeGRU/MV-RNN", (1.31, 9.64)); ("DAG-RNN", (8.2, 95.14)); ("TreeFC", (3.04, 30.36)) ]
+
+(* §7.4: recursive refactoring improves SimpleTreeGRU by ~25% and
+   TreeGRU by roughly nothing; unrolling slows TreeLSTM and speeds up
+   TreeRNN. *)
+let refactoring_simple_gain = 0.25

@@ -1,0 +1,192 @@
+(* The cortex command-line tool: inspect and drive the compiler on the
+   model zoo.
+
+     cortex list
+     cortex dump-ir TreeLSTM --hidden 4 --no-fuse
+     cortex simulate TreeLSTM --backend gpu --batch 10 --size small
+     cortex run TreeRNN --hidden 8 --batch 2
+     cortex linearize --batch 10                                     *)
+
+open Cortex
+open Cmdliner
+module M = Models.Common
+
+let model_names =
+  [ "TreeFC"; "DAG-RNN"; "TreeGRU"; "TreeLSTM"; "MV-RNN"; "TreeRNN"; "SimpleTreeGRU"; "LSTM"; "GRU" ]
+
+let model_arg =
+  let doc = "Model short name (see `cortex list')." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL" ~doc)
+
+let size_arg =
+  let parse = function
+    | "small" | "hs" -> Ok Models.Catalog.Small
+    | "large" | "hl" -> Ok Models.Catalog.Large
+    | s -> Error (`Msg ("unknown size " ^ s))
+  in
+  let print fmt s =
+    Format.pp_print_string fmt
+      (match s with Models.Catalog.Small -> "small" | Models.Catalog.Large -> "large")
+  in
+  Arg.(value & opt (conv (parse, print)) Models.Catalog.Small & info [ "size" ] ~doc:"small (h_s) or large (h_l)")
+
+let backend_arg =
+  let parse = function
+    | "gpu" -> Ok Backend.gpu
+    | "intel" -> Ok Backend.intel
+    | "arm" -> Ok Backend.arm
+    | s -> Error (`Msg ("unknown backend " ^ s))
+  in
+  let print fmt (b : Backend.t) = Format.pp_print_string fmt b.Backend.short in
+  Arg.(value & opt (conv (parse, print)) Backend.gpu & info [ "backend" ] ~doc:"gpu | intel | arm")
+
+let batch_arg = Arg.(value & opt int 10 & info [ "batch" ] ~doc:"Number of inputs batched together")
+let seed_arg = Arg.(value & opt int 2021 & info [ "seed" ] ~doc:"Dataset/parameter seed")
+
+let options_flags =
+  let flag name doc = Arg.(value & flag & info [ name ] ~doc) in
+  let combine no_fuse no_spec no_batch no_persist unroll refactor =
+    {
+      Lower.default with
+      Lower.fuse = not no_fuse;
+      specialize = not no_spec;
+      dynamic_batch = not no_batch;
+      persist = not no_persist;
+      unroll;
+      refactor;
+    }
+  in
+  Term.(
+    const combine
+    $ flag "no-fuse" "Disable kernel fusion"
+    $ flag "no-specialize" "Disable specialization"
+    $ flag "no-dynamic-batch" "Disable dynamic batching"
+    $ flag "no-persist" "Disable model persistence"
+    $ flag "unroll" "Unroll the recursion once"
+    $ flag "refactor" "Apply recursive refactoring")
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun name ->
+        let hs = Models.Catalog.hidden_of name Models.Catalog.Small in
+        let hl = Models.Catalog.hidden_of name Models.Catalog.Large in
+        Printf.printf "%-14s h_s=%-4d h_l=%d\n" name hs hl)
+      model_names
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the model zoo") Term.(const run $ const ())
+
+let get_spec ?hidden name size =
+  match hidden with
+  | None -> Models.Catalog.get name size
+  | Some h ->
+    (match name with
+     | "TreeFC" -> Models.Tree_fc.spec ~vocab:200 ~hidden:h ()
+     | "TreeRNN" -> Models.Tree_rnn.spec ~vocab:200 ~hidden:h ()
+     | "TreeLSTM" -> Models.Tree_lstm.spec ~vocab:200 ~hidden:h ()
+     | "TreeGRU" -> Models.Tree_gru.spec ~vocab:200 ~hidden:h ()
+     | "SimpleTreeGRU" -> Models.Tree_gru.spec ~vocab:200 ~simple:true ~hidden:h ()
+     | "MV-RNN" -> Models.Mv_rnn.spec ~vocab:50 ~hidden:h ()
+     | "DAG-RNN" -> Models.Dag_rnn.spec ~hidden:h ()
+     | "LSTM" -> Models.Tree_lstm.spec ~vocab:200 ~sequence:true ~hidden:h ()
+     | "GRU" -> Models.Tree_gru.spec ~vocab:200 ~sequence:true ~hidden:h ()
+     | other -> invalid_arg ("unknown model " ^ other))
+
+let hidden_arg =
+  Arg.(value & opt (some int) None & info [ "hidden" ] ~doc:"Override the hidden size")
+
+let dump_ir_cmd =
+  let run name size hidden options =
+    let spec = get_spec ?hidden name size in
+    let compiled = Runtime.compile ~options:(Runtime.options_for ~base:options spec) spec.M.program in
+    print_string (Ir.program_to_string compiled.Lower.prog)
+  in
+  Cmd.v
+    (Cmd.info "dump-ir" ~doc:"Print the lowered ILIR of a model")
+    Term.(const run $ model_arg $ size_arg $ hidden_arg $ options_flags)
+
+let dump_c_cmd =
+  let run name size hidden options =
+    let spec = get_spec ?hidden name size in
+    let compiled = Runtime.compile ~options:(Runtime.options_for ~base:options spec) spec.M.program in
+    print_string (Emit_c.program compiled.Lower.prog)
+  in
+  Cmd.v
+    (Cmd.info "dump-c" ~doc:"Print CUDA-flavoured code generated from the lowered ILIR")
+    Term.(const run $ model_arg $ size_arg $ hidden_arg $ options_flags)
+
+let simulate_cmd =
+  let run name size batch seed backend options =
+    let spec = get_spec name size in
+    let structure = spec.M.dataset (Rng.create seed) ~batch in
+    let compiled = Runtime.compile ~options:(Runtime.options_for ~base:options spec) spec.M.program in
+    let r = Runtime.simulate compiled ~backend structure in
+    let l = r.Runtime.latency in
+    Printf.printf "%s on %s, batch %d (%d nodes): %.3f ms\n" name backend.Backend.short batch
+      r.Runtime.num_nodes (Runtime.total_ms r);
+    Printf.printf "  compute %.1f us, barriers %d (%.1f us), launches %d (%.1f us), linearize %.1f us\n"
+      l.Backend.compute_us l.Backend.barriers l.Backend.barrier_us l.Backend.kernel_launches
+      l.Backend.launch_us r.Runtime.linearize_us;
+    Printf.printf "  traffic: params %.0f KB, global %.0f KB, on-chip %.0f KB; device memory %.0f KB\n"
+      (l.Backend.param_traffic_bytes /. 1024.)
+      (l.Backend.global_traffic_bytes /. 1024.)
+      (l.Backend.onchip_traffic_bytes /. 1024.)
+      (r.Runtime.device_memory_bytes /. 1024.)
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Compile a model and cost it on a simulated backend")
+    Term.(const run $ model_arg $ size_arg $ batch_arg $ seed_arg $ backend_arg $ options_flags)
+
+let run_cmd =
+  let run name size batch seed hidden options =
+    let hidden = Option.value hidden ~default:8 in
+    let spec = get_spec ~hidden name size in
+    let structure = spec.M.dataset (Rng.create seed) ~batch in
+    let params = spec.M.init_params (Rng.create (seed + 1)) in
+    let compiled = Runtime.compile ~options:(Runtime.options_for ~base:options spec) spec.M.program in
+    let execution = Runtime.execute compiled ~params structure in
+    let reference = Ra_eval.run spec.M.program ~params structure in
+    List.iteri
+      (fun i root ->
+        let out = List.hd spec.M.program.Ra.outputs in
+        let got = Runtime.state execution out root in
+        let want = Ra_eval.state reference out root in
+        Printf.printf "root %d: %s = %s (max |diff| vs recursion %g)\n" i out
+          (Tensor.to_string ~max_elems:6 got)
+          (Tensor.max_abs_diff got want))
+      structure.Structure.roots
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a model numerically (small hidden sizes) and check it against recursion")
+    Term.(const run $ model_arg $ size_arg $ batch_arg $ seed_arg $ hidden_arg $ options_flags)
+
+let linearize_cmd =
+  let run batch seed =
+    let rng = Rng.create seed in
+    let datasets =
+      [
+        ("SST trees", Gen.sst_batch rng ~batch ());
+        ("perfect trees h7", Gen.perfect_batch rng ~batch ~height:7 ());
+        ("10x10 grid DAGs", Gen.grid_batch ~batch ~rows:10 ~cols:10);
+        ("sequences len 100", Structure.merge (List.init batch (fun _ -> Gen.sequence rng ~len:100 ())));
+      ]
+    in
+    List.iter
+      (fun (label, s) ->
+        let lin = Linearizer.run s in
+        Linearizer.check lin;
+        let us = Stats.min_time_us ~repeats:10 (fun () -> Linearizer.run s) in
+        Printf.printf "%-18s %5d nodes, %3d batches, widest %4d: %7.2f us, %d bytes\n" label
+          lin.Linearizer.num_nodes
+          (Array.length lin.Linearizer.batches)
+          (Array.fold_left (fun m (_, l) -> max m l) 0 lin.Linearizer.batches)
+          us (Linearizer.memory_bytes lin))
+      datasets
+  in
+  Cmd.v
+    (Cmd.info "linearize" ~doc:"Linearize the standard datasets and report stats + wall time")
+    Term.(const run $ batch_arg $ seed_arg)
+
+let () =
+  let info = Cmd.info "cortex" ~doc:"Cortex: a compiler for recursive deep learning models" in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; dump_ir_cmd; dump_c_cmd; simulate_cmd; run_cmd; linearize_cmd ]))

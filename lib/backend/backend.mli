@@ -1,0 +1,99 @@
+(** Backend hardware models and the latency simulator.
+
+    The container this reproduction runs in has no V100, CascadeLake or
+    Graviton2 (see DESIGN.md); instead, every backend is described by a
+    small set of machine parameters and compiled programs are costed by
+    feeding the exact FLOP/byte/barrier/launch counts of
+    {!Cortex_ilir.Cost} through a roofline-style model:
+
+    - each barrier-separated segment takes
+      [max(flops / (peak * occupancy), global_bytes / mem_bw,
+           onchip_bytes / onchip_bw) + segment_latency],
+      where occupancy is the segment's concurrent lane count against the
+      machine width — this is what makes narrow dynamic batches near the
+      tree roots expensive on the GPU;
+    - parameter traffic follows model persistence (§3.1): persistable
+      tensors (weight matrices, not embedding tables) are fetched once
+      when persistence is on and they fit the on-chip budget, and once
+      per segment otherwise; gather-style parameters are charged their
+      raw demand, never more than their footprint;
+    - every kernel launch pays [launch_overhead]; every global barrier
+      pays the lock-based or lock-free cost (§7.2's GRNN comparison);
+    - Table 6's profiling view uses [sync_call_overhead] per call
+      instead of the asynchronous launch cost.
+
+    The absolute constants are calibrated against the paper's anchor
+    numbers; every *relative* effect flows from the counts produced by
+    the real compiler pipeline. *)
+
+type t = {
+  name : string;
+  short : string;
+  peak_flops : float;  (** FLOPs per microsecond *)
+  roofline_efficiency : float;
+      (** fraction of the roofline fused irregular cell kernels reach
+          (V100: ~0.6-1.2 TFLOP/s, derived from the paper's tables) *)
+  gemm_efficiency : float;
+      (** fraction dense batched GEMMs (the upfront input products)
+          reach *)
+  mem_bw : float;  (** off-chip bytes per microsecond *)
+  onchip_bw : float;  (** scratchpad/cache bytes per microsecond *)
+  width : float;  (** concurrent hardware lanes *)
+  launch_overhead_us : float;  (** asynchronous kernel launch (CPU side) *)
+  kernel_device_latency_us : float;
+      (** minimum device-side time of one kernel execution — what makes
+          many tiny kernels slow even when launches are asynchronous *)
+  sync_call_overhead_us : float;  (** synchronous call under profiling *)
+  dispatch_overhead_us : float;  (** framework-side per-operator cost *)
+  barrier_lock_us : float;
+  barrier_lock_free_us : float;
+  segment_latency_us : float;
+  occupancy_exponent : float;
+      (** occupancy is raised to this power: > 1 models the
+          super-linear cost of very narrow batches on wide machines *)
+  vendor_occ_exponent : float;
+      (** occupancy exponent for the frameworks' vendor calls (threaded
+          BLAS collapses on narrow batches faster than fused loops) *)
+  min_lanes : float;
+      (** lane floor for compiled kernels: fused cells parallelize gate
+          rows and reductions, never dropping below this concurrency *)
+  vendor_efficiency : float;
+      (** roofline fraction the vendor library (cuBLAS/MKL/OpenBLAS)
+          reaches on the frameworks' batched kernels *)
+  framework_overhead_scale : float;
+      (** multiplier on framework-side CPU costs (graph construction,
+          staging copies, dispatch) — > 1 on weaker host cores *)
+  persist_budget_bytes : float;  (** on-chip storage for persisted weights *)
+  persist_tensor_cap_bytes : float;  (** per-tensor persistence cap *)
+}
+
+val gpu : t
+(** Nvidia V100 (Table 3). *)
+
+val intel : t
+(** 8-core/16-thread Intel CascadeLake. *)
+
+val arm : t
+(** 8-core ARM Graviton2. *)
+
+val all : t list
+
+type latency = {
+  total_us : float;
+  compute_us : float;  (** sum of segment roofline times *)
+  barrier_us : float;
+  launch_us : float;
+  param_traffic_bytes : float;
+  global_traffic_bytes : float;  (** excluding parameters *)
+  onchip_traffic_bytes : float;
+  kernel_launches : int;
+  barriers : int;
+}
+
+val simulate :
+  t -> persist:bool -> lock_free:bool -> Cortex_ilir.Cost.t -> latency
+(** Cost a compiled program's counts on this backend. *)
+
+val persisted_bytes : t -> Cortex_ilir.Cost.t -> float
+(** How many parameter bytes fit the persistence budget (0 when nothing
+    is persistable). *)

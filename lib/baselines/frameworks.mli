@@ -1,0 +1,56 @@
+(** Execution-model simulators for the baseline frameworks of §7.
+
+    Each baseline executes the same RA model, but the way the paper
+    describes that framework actually executing it:
+
+    - {b PyTorch}: eager, one vendor call per operator per node — no
+      dynamic batching, no fusion; the input matrix-vector products are
+      done upfront by one matmul call (§7.1);
+    - {b DyNet}: builds a dataflow graph of operator nodes at runtime,
+      runs its agenda-based automatic batching, copies operands into
+      contiguous buffers before every batched vendor call, then issues
+      the batched kernels level by level;
+    - {b Cavs}: builds a per-vertex graph (cheaper construction),
+      batches by level, and partially fuses: elementwise operators of a
+      level collapse into one kernel, dense reductions stay vendor
+      calls.
+
+    Numerically all three compute exactly what the reference
+    implementations compute (the test suite pins the semantics); what
+    differs — and what these simulators price — is kernel granularity,
+    framework overheads, and memory behaviour. *)
+
+type t = Pytorch | Dynet | Cavs
+
+val name : t -> string
+
+type result = {
+  total_us : float;  (** asynchronous end-to-end latency (Table 5 view) *)
+  graph_us : float;  (** graph construction + dynamic batching *)
+  memcpy_cpu_us : float;
+  memcpy_gpu_us : float;
+  device_compute_us : float;
+  launch_us : float;
+  kernel_calls : int;
+  api_sync_us : float;
+      (** CPU-side API time under synchronous profiling (Table 6 view) *)
+  profiled_total_us : float;  (** Table 6's "Exe. time" *)
+  memory_bytes : float;  (** peak device memory (Fig. 12) *)
+  traffic_bytes : float;  (** bytes moved over the memory bus (Fig. 8) *)
+}
+
+val run :
+  t ->
+  backend:Cortex_backend.Backend.t ->
+  Cortex_ra.Ra.t ->
+  Cortex_linearizer.Linearizer.t ->
+  result
+
+val dynet_inference_memory :
+  backend:Cortex_backend.Backend.t ->
+  Cortex_ra.Ra.t ->
+  Cortex_linearizer.Linearizer.t ->
+  float
+(** Peak memory of the modified DyNet that frees forward-pass
+    intermediates as soon as they are dead (Fig. 12's
+    "DyNet (inference)"). *)

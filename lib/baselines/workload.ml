@@ -1,0 +1,127 @@
+open Cortex_ra
+open Ra
+
+let ( * ) = Stdlib.( * )
+let ( + ) = Stdlib.( + )
+module Nonlinear = Cortex_tensor.Nonlinear
+
+type opw = {
+  w_name : string;
+  w_matvec : bool;
+  w_precompute : bool;
+  w_flops : float;
+  w_out_bytes : float;
+  w_state_bytes : float;
+  w_param_bytes : float;
+  w_vendor_kernels : int;
+}
+
+let bytes = 4.0
+
+(* Per-element analysis of an expression body; [nc] is the number of
+   children a ChildSum ranges over.  Operand traffic is the *footprint*
+   of each distinct state/temp reference (a vendor kernel streams each
+   operand once), not the raw per-element demand. *)
+type acc = {
+  mutable flops : float;
+  mutable param_elems : float;  (* raw parameter loads *)
+  mutable has_reduction : bool;
+  param_tensors : (string, unit) Hashtbl.t;
+  operands : (string, float) Hashtbl.t;  (* distinct operand -> elems *)
+}
+
+let rec walk acc ~nc ~mult (e : rexpr) =
+  match e with
+  | Const _ -> ()
+  | Param (p, _) ->
+    acc.param_elems <- acc.param_elems +. mult;
+    Hashtbl.replace acc.param_tensors p ()
+  | ChildState (st, sel, _) ->
+    let key =
+      match sel with
+      | Child k -> Printf.sprintf "%s@%d" st k
+      | Current -> st ^ "@k"
+    in
+    let copies = match sel with Current -> nc | Child _ -> 1.0 in
+    Hashtbl.replace acc.operands key copies
+  | Temp (name, _) -> Hashtbl.replace acc.operands name 1.0
+  | Binop (_, a, b) ->
+    acc.flops <- acc.flops +. mult;
+    walk acc ~nc ~mult a;
+    walk acc ~nc ~mult b
+  | Math (k, a) ->
+    acc.flops <- acc.flops +. (mult *. float_of_int (Nonlinear.flops k));
+    walk acc ~nc ~mult a
+  | Sum (_, extent, body) ->
+    acc.has_reduction <- true;
+    acc.flops <- acc.flops +. (mult *. float_of_int extent) (* accumulate adds *);
+    walk acc ~nc ~mult:(mult *. float_of_int extent) body
+  | ChildSum body ->
+    acc.flops <- acc.flops +. (mult *. nc);
+    walk acc ~nc ~mult:(mult *. nc) body
+
+let op_workload ~params ~nc (o : op) =
+  let acc =
+    {
+      flops = 0.0;
+      param_elems = 0.0;
+      has_reduction = false;
+      param_tensors = Hashtbl.create 4;
+      operands = Hashtbl.create 4;
+    }
+  in
+  let out_elems = float_of_int (List.fold_left (fun a (_, e) -> a * e) 1 o.op_axes) in
+  walk acc ~nc ~mult:out_elems o.op_body;
+  (* Operand footprints: each distinct reference streams roughly one
+     output-sized vector per copy (child states and temporaries share
+     the operator's feature width). *)
+  let state_elems =
+    Hashtbl.fold (fun _ copies sum -> sum +. (copies *. out_elems)) acc.operands 0.0
+  in
+  let param_bytes =
+    Hashtbl.fold
+      (fun p () sum ->
+        match List.assoc_opt p params with
+        | Some dims -> sum +. (bytes *. float_of_int (List.fold_left ( * ) 1 dims))
+        | None -> sum)
+      acc.param_tensors 0.0
+  in
+  (* An affine operator costs a framework a matmul call, a bias add and
+     usually an activation; a child-sum adds a gather; a plain
+     elementwise operator is one kernel. *)
+  let vendor_kernels =
+    let has_childsum =
+      let rec go = function
+        | ChildSum _ -> true
+        | Const _ | Param _ | ChildState _ | Temp _ -> false
+        | Binop (_, a, b) -> go a || go b
+        | Math (_, a) | Sum (_, _, a) -> go a
+      in
+      go o.op_body
+    in
+    (if acc.has_reduction then 3 else 1) + if has_childsum then 1 else 0
+  in
+  {
+    w_name = o.op_name;
+    w_matvec = acc.has_reduction;
+    w_precompute = o.op_precompute;
+    w_flops = acc.flops;
+    w_out_bytes = bytes *. out_elems;
+    w_state_bytes = bytes *. state_elems;
+    (* Embedding-style gathers touch one row per node, not the table. *)
+    w_param_bytes = Float.min param_bytes (bytes *. acc.param_elems);
+    w_vendor_kernels = vendor_kernels;
+  }
+
+let internal_ops (ra : Ra.t) ~avg_children =
+  List.map (op_workload ~params:ra.params ~nc:avg_children) ra.rec_ops
+
+let leaf_ops (ra : Ra.t) =
+  match ra.leaf_ops with
+  | Some ops -> List.map (op_workload ~params:ra.params ~nc:0.0) ops
+  | None ->
+    List.map
+      (op_workload ~params:ra.params ~nc:0.0)
+      (List.filter (fun (o : op) -> not o.op_precompute) ra.rec_ops)
+
+let out_bytes_per_node ops = List.fold_left (fun acc o -> acc +. o.w_out_bytes) 0.0 ops

@@ -1,0 +1,38 @@
+(** Per-operator workload characterization of an RA program.
+
+    The baseline frameworks (PyTorch, DyNet, Cavs) do not go through the
+    Cortex compiler; they execute the model as a graph of vendor-library
+    operator calls.  This module derives, from the same RA program the
+    compiler consumes, what one such operator costs per node: FLOPs,
+    bytes of state/temporary traffic, the touched weight footprint, and
+    how many vendor kernels a framework typically issues for it (an
+    affine operator is a matmul + bias-add + activation, a child-sum is
+    a gather + reduce, ...). *)
+
+open Cortex_ra
+
+type opw = {
+  w_name : string;
+  w_matvec : bool;  (** contains a dense reduction *)
+  w_precompute : bool;
+  w_flops : float;  (** per node *)
+  w_out_bytes : float;  (** output tensor written per node *)
+  w_state_bytes : float;  (** child states + temporaries read per node *)
+  w_param_bytes : float;  (** distinct weight bytes the op touches *)
+  w_vendor_kernels : int;
+      (** vendor-library calls a non-fusing framework issues per batched
+          instance of this operator *)
+}
+
+val internal_ops : Ra.t -> avg_children:float -> opw list
+(** Workload of the recursive case for an internal node with
+    [avg_children] children (precompute ops included, flagged). *)
+
+val leaf_ops : Ra.t -> opw list
+(** Workload at a leaf: the explicit leaf case if there is one,
+    otherwise the recursive case with zero children (frameworks do not
+    constant-fold the user's cell). *)
+
+val out_bytes_per_node : opw list -> float
+(** Sum of the operator outputs — the intermediates a
+    training-oriented framework keeps alive (Fig. 12). *)

@@ -1,0 +1,48 @@
+(* The public facade: one module that re-exports the whole Cortex
+   stack under stable names.  Downstream users (the examples and the
+   benchmark harness included) depend on [cortex.core] and write
+   [Cortex.Runtime.simulate ...]. *)
+
+module Rng = Cortex_util.Rng
+module Table = Cortex_util.Table
+module Stats = Cortex_util.Stats
+module Shape = Cortex_tensor.Shape
+module Tensor = Cortex_tensor.Tensor
+module Nonlinear = Cortex_tensor.Nonlinear
+module Node = Cortex_ds.Node
+module Structure = Cortex_ds.Structure
+module Gen = Cortex_ds.Gen
+module Treebank = Cortex_ds.Treebank
+module Linearizer = Cortex_linearizer.Linearizer
+module Unrolling = Cortex_linearizer.Unrolling
+module Ir = Cortex_ilir.Ir
+module Simplify = Cortex_ilir.Simplify
+module Schedule = Cortex_ilir.Schedule
+module Barrier = Cortex_ilir.Barrier
+module Bounds = Cortex_ilir.Bounds
+module Races = Cortex_ilir.Races
+module Emit_c = Cortex_ilir.Emit_c
+module Interp = Cortex_ilir.Interp
+module Cost = Cortex_ilir.Cost
+module Ra = Cortex_ra.Ra
+module Ra_eval = Cortex_ra.Ra_eval
+module Ra_simplify = Cortex_ra.Ra_simplify
+module Lower = Cortex_lower.Lower
+module Backend = Cortex_backend.Backend
+module Runtime = Cortex_runtime.Runtime
+module Tuner = Cortex_runtime.Tuner
+module Checkpoint = Cortex_runtime.Checkpoint
+module Workload = Cortex_baselines.Workload
+module Frameworks = Cortex_baselines.Frameworks
+module Models = struct
+  module Common = Cortex_models.Models_common
+  module Tree_fc = Cortex_models.Tree_fc
+  module Tree_rnn = Cortex_models.Tree_rnn
+  module Tree_lstm = Cortex_models.Tree_lstm
+  module Tree_gru = Cortex_models.Tree_gru
+  module Mv_rnn = Cortex_models.Mv_rnn
+  module Dag_rnn = Cortex_models.Dag_rnn
+  module Reference = Cortex_models.Reference
+  module Catalog = Cortex_models.Catalog
+end
+module Roofline = Cortex_roofline.Roofline

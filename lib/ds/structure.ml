@@ -1,0 +1,151 @@
+type kind = Sequence | Tree | Dag
+
+type t = {
+  kind : kind;
+  max_children : int;
+  roots : Node.t list;
+  nodes : Node.t array;
+}
+
+exception Invalid of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+let collect_reachable roots =
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  let rec go (n : Node.t) =
+    if not (Hashtbl.mem seen n.id) then begin
+      Hashtbl.add seen n.id ();
+      acc := n :: !acc;
+      Array.iter go n.children
+    end
+  in
+  List.iter go roots;
+  !acc
+
+let check_acyclic roots =
+  (* Colors: 0 unvisited, 1 on stack, 2 done. *)
+  let color = Hashtbl.create 64 in
+  let rec go (n : Node.t) =
+    match Hashtbl.find_opt color n.id with
+    | Some 1 -> fail "cycle through node %d" n.id
+    | Some _ -> ()
+    | None ->
+      Hashtbl.replace color n.id 1;
+      Array.iter go n.children;
+      Hashtbl.replace color n.id 2
+  in
+  List.iter go roots
+
+let create ~kind ~max_children roots =
+  if roots = [] then fail "structure with no roots";
+  if max_children < 1 then fail "max_children must be >= 1";
+  check_acyclic roots;
+  let reachable = collect_reachable roots in
+  let n = List.length reachable in
+  let nodes = Array.make n (List.hd reachable) in
+  List.iter
+    (fun (node : Node.t) ->
+      if node.id < 0 || node.id >= n then
+        fail "node ids are not dense: id %d with %d reachable nodes" node.id n;
+      nodes.(node.id) <- node)
+    reachable;
+  Array.iteri
+    (fun i (node : Node.t) ->
+      if node.id <> i then fail "duplicate node id %d" node.id)
+    nodes;
+  let parents = Array.make n 0 in
+  Array.iter
+    (fun (node : Node.t) ->
+      if Array.length node.children > max_children then
+        fail "node %d has %d children (max %d)" node.id (Array.length node.children)
+          max_children;
+      Array.iter (fun (c : Node.t) -> parents.(c.id) <- parents.(c.id) + 1) node.children)
+    nodes;
+  (match kind with
+   | Dag -> ()
+   | Tree ->
+     Array.iteri
+       (fun id p -> if p > 1 then fail "node %d has %d parents in a tree" id p)
+       parents
+   | Sequence ->
+     if max_children <> 1 then fail "a sequence must declare max_children = 1";
+     Array.iteri
+       (fun id p -> if p > 1 then fail "node %d has %d parents in a sequence" id p)
+       parents);
+  { kind; max_children; roots; nodes }
+
+let num_nodes t = Array.length t.nodes
+
+let num_leaves t =
+  Array.fold_left (fun acc n -> if Node.is_leaf n then acc + 1 else acc) 0 t.nodes
+
+let num_internal t = num_nodes t - num_leaves t
+
+let level t =
+  let n = num_nodes t in
+  let lvl = Array.make n (-1) in
+  let rec go (node : Node.t) =
+    if lvl.(node.id) < 0 then begin
+      let deepest = ref (-1) in
+      Array.iter
+        (fun (c : Node.t) ->
+          go c;
+          if lvl.(c.id) > !deepest then deepest := lvl.(c.id))
+        node.children;
+      lvl.(node.id) <- !deepest + 1
+    end
+  in
+  List.iter go t.roots;
+  lvl
+
+let height t = Array.fold_left max 0 (level t)
+
+let level_widths t =
+  let lvl = level t in
+  let h = Array.fold_left max 0 lvl in
+  let widths = Array.make (h + 1) 0 in
+  Array.iter (fun l -> widths.(l) <- widths.(l) + 1) lvl;
+  widths
+
+let parents_count t =
+  let parents = Array.make (num_nodes t) 0 in
+  Array.iter
+    (fun (node : Node.t) ->
+      Array.iter (fun (c : Node.t) -> parents.(c.id) <- parents.(c.id) + 1) node.children)
+    t.nodes;
+  parents
+
+let merge structures =
+  match structures with
+  | [] -> fail "merge of no structures"
+  | first :: rest ->
+    List.iter
+      (fun s ->
+        if s.kind <> first.kind then fail "merge of mixed structure kinds";
+        if s.max_children <> first.max_children then fail "merge of mixed max_children")
+      rest;
+    let b = Node.builder () in
+    let copy_structure s =
+      let memo = Hashtbl.create (num_nodes s) in
+      let rec copy (n : Node.t) =
+        match Hashtbl.find_opt memo n.id with
+        | Some n' -> n'
+        | None ->
+          let children = Array.to_list (Array.map copy n.children) in
+          let n' = Node.make b ~payload:n.payload children in
+          Hashtbl.add memo n.id n';
+          n'
+      in
+      List.map copy s.roots
+    in
+    let roots = List.concat_map copy_structure structures in
+    create ~kind:first.kind ~max_children:first.max_children roots
+
+let describe t =
+  let kind =
+    match t.kind with Sequence -> "sequence" | Tree -> "tree" | Dag -> "dag"
+  in
+  Printf.sprintf "%s: %d nodes (%d leaves), %d roots, height %d" kind (num_nodes t)
+    (num_leaves t) (List.length t.roots) (height t)

@@ -1,0 +1,49 @@
+(** A complete input data structure: one or more roots plus metadata.
+
+    The user of the Recursive API must declare the *kind* of structure
+    (sequence, tree or DAG) and the maximum number of children per node
+    (§3 of the paper); both are verified here at construction time.  A
+    [t] may hold several independent roots — that is how a batch of
+    trees is presented to the linearizer. *)
+
+type kind = Sequence | Tree | Dag
+
+type t = private {
+  kind : kind;
+  max_children : int;
+  roots : Node.t list;
+  nodes : Node.t array;  (** every reachable node, indexed by [Node.id] *)
+}
+
+exception Invalid of string
+
+val create : kind:kind -> max_children:int -> Node.t list -> t
+(** Walks the roots, collects all reachable nodes and verifies:
+    node ids are dense in [0, n); fanout is within [max_children];
+    sequences are chains; trees have a unique parent per node; the
+    structure is acyclic.  Raises [Invalid] otherwise. *)
+
+val num_nodes : t -> int
+val num_leaves : t -> int
+val num_internal : t -> int
+
+val height : t -> int
+(** Length in edges of the longest root-to-leaf path (0 for a single
+    node). *)
+
+val level : t -> int array
+(** [level t].(id) is the node's height above the leaves: 0 for leaves,
+    [1 + max over children] otherwise.  This is the dynamic-batching
+    level: all nodes of one level are mutually independent. *)
+
+val level_widths : t -> int array
+(** Number of nodes per level, index 0 = leaves. *)
+
+val parents_count : t -> int array
+(** Number of parents per node (can exceed 1 only in a DAG). *)
+
+val merge : t list -> t
+(** Concatenates several structures of the same kind into one (node ids
+    are renumbered); this is how a batch is formed. *)
+
+val describe : t -> string

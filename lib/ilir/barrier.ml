@@ -1,0 +1,92 @@
+open Ir
+module IntSet = Set.Make (Int)
+
+type mode = Carrier | Conservative
+
+(* Tensors written, and tensors read through a UF-containing index, in
+   a statement subtree. *)
+let accesses s =
+  let expr_has_uf e =
+    fold_expr (fun acc e -> acc || match e with UfCall _ -> true | _ -> false) false e
+  in
+  let writes = ref IntSet.empty in
+  let uf_reads = ref IntSet.empty in
+  let note_expr () e =
+    match e with
+    | Load (t, idx) when t.space <> Param && List.exists expr_has_uf idx ->
+      uf_reads := IntSet.add t.tid !uf_reads
+    | _ -> ()
+  in
+  let note_stmt () s =
+    match s with
+    | Store (t, _, _) when t.space <> Param -> writes := IntSet.add t.tid !writes
+    | _ -> ()
+  in
+  fold_stmt ~expr:note_expr ~stmt:note_stmt () s;
+  (!writes, !uf_reads)
+
+let carries_dependence s =
+  let writes, uf_reads = accesses s in
+  not (IntSet.is_empty (IntSet.inter writes uf_reads))
+
+let prepend_barrier body = Seq [ Barrier; body ]
+
+let rec insert_carrier s =
+  match s with
+  | For r when carries_dependence r.body ->
+    (* Outermost carrying loop: synchronize at the top of every
+       iteration and stop descending. *)
+    For { r with body = prepend_barrier r.body }
+  | For r -> For { r with body = insert_carrier r.body }
+  | Seq ss -> Seq (List.map insert_carrier ss)
+  | Let (v, e, body) -> Let (v, e, insert_carrier body)
+  | If (c, a, b) -> If (c, insert_carrier a, Option.map insert_carrier b)
+  | Store _ | Barrier | Nop -> s
+
+(* Stock-TVM conservatism (§A.4): given the whole kernel's write set,
+   synchronize in the innermost loop whose body performs an indirect
+   read of a written tensor — one barrier per node instead of one per
+   batch. *)
+let has_uf_read_of writes s =
+  let _, uf_reads = accesses s in
+  not (IntSet.is_empty (IntSet.inter writes uf_reads))
+
+(* Synchronization sits at loop-body granularity, never inside the
+   vectorized (thread-lane) feature loops. *)
+let rec insert_conservative writes s =
+  match s with
+  | For r when r.kind <> Vectorized ->
+    if has_uf_read_of writes r.body && not (nested_loop_reads writes r.body) then
+      For { r with body = prepend_barrier r.body }
+    else For { r with body = insert_conservative writes r.body }
+  | For r -> For { r with body = insert_conservative writes r.body }
+  | Seq ss -> Seq (List.map (insert_conservative writes) ss)
+  | Let (v, e, body) -> Let (v, e, insert_conservative writes body)
+  | If (c, a, b) ->
+    If (c, insert_conservative writes a, Option.map (insert_conservative writes) b)
+  | Store _ | Barrier | Nop -> s
+
+and nested_loop_reads writes s =
+  match s with
+  | For r when r.kind <> Vectorized ->
+    has_uf_read_of writes r.body || nested_loop_reads writes r.body
+  | For r -> nested_loop_reads writes r.body
+  | Seq ss -> List.exists (nested_loop_reads writes) ss
+  | Let (_, _, body) -> nested_loop_reads writes body
+  | If (_, a, b) ->
+    nested_loop_reads writes a
+    || (match b with Some b -> nested_loop_reads writes b | None -> false)
+  | Store _ | Barrier | Nop -> false
+
+let insert mode s =
+  match mode with
+  | Carrier -> insert_carrier s
+  | Conservative ->
+    let writes, _ = accesses s in
+    insert_conservative writes s
+
+let count s =
+  fold_stmt
+    ~expr:(fun acc _ -> acc)
+    ~stmt:(fun acc s -> match s with Barrier -> acc + 1 | _ -> acc)
+    0 s

@@ -1,0 +1,28 @@
+(** Barrier insertion (§A.4 of the paper).
+
+    The lowered loop nests iterate sequentially over dynamic batches,
+    and the dependence between a node and its children manifests as a
+    loop-carried dependence of the batch loop: a tensor (e.g. [rnn]) is
+    written at [node] and read at [child_k(node)].  Threads must
+    synchronize between batches.
+
+    TVM's stock pass places the barrier conservatively in the innermost
+    loop containing the dependent accesses (one barrier per node);
+    Cortex's modified pass places it in the body of the loop that
+    actually carries the dependence (one barrier per batch).  Both modes
+    are implemented so the ablation bench can show the difference. *)
+
+type mode =
+  | Carrier  (** Cortex: barrier in the outermost dependence-carrying loop *)
+  | Conservative  (** stock TVM: barrier in the innermost loop with both accesses *)
+
+val insert : mode -> Ir.stmt -> Ir.stmt
+(** Inserts [Barrier] at the start of the chosen loops' bodies.
+    [Carrier] targets loops whose body both writes some non-Param tensor
+    and reads the same tensor through an uninterpreted-function index
+    (i.e. reads another node's entry); [Conservative] synchronizes at
+    the innermost loop performing such a read of any tensor the kernel
+    writes, the way the stock pass over-synchronizes per node. *)
+
+val count : Ir.stmt -> int
+(** Number of syntactic [Barrier] statements. *)

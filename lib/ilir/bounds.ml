@@ -1,0 +1,260 @@
+open Ir
+
+type violation = { tensor : string; index : string; detail : string }
+
+(* ---------- named-dimension arity check ---------- *)
+
+let check_named_dims (p : program) =
+  let out = ref [] in
+  let note t (idx : expr list) =
+    let want = List.length t.dims in
+    let got = List.length idx in
+    if want <> got then
+      out :=
+        {
+          tensor = t.tname;
+          index = String.concat ", " (List.map expr_to_string idx);
+          detail = Printf.sprintf "%d indices for %d named dimensions" got want;
+        }
+        :: !out
+  in
+  let on_expr () e = match e with Load (t, idx) -> note t idx | _ -> () in
+  let on_stmt () s = match s with Store (t, idx, _) -> note t idx | _ -> () in
+  List.iter (fun k -> fold_stmt ~expr:on_expr ~stmt:on_stmt () k.body) p.kernels;
+  List.rev !out
+
+(* ---------- hybrid interval walker ---------- *)
+
+type iv = int * int
+
+let exact (lo, hi) = lo = hi
+
+module Walk = struct
+  type state = {
+    uf : Uf.t -> int array -> int;
+    mutable violations : violation list;
+  }
+
+  let rec eval st env e : iv option =
+    match e with
+    | Int n -> Some (n, n)
+    | Var v -> List.assoc_opt v.Var.vid env
+    | Binop (op, a, b) ->
+      (match (eval st env a, eval st env b) with
+       | Some (al, ah), Some (bl, bh) ->
+         (match op with
+          | Add -> Some (al + bl, ah + bh)
+          | Sub -> Some (al - bh, ah - bl)
+          | Mul ->
+            let ps = [ al * bl; al * bh; ah * bl; ah * bh ] in
+            Some (List.fold_left min max_int ps, List.fold_left max min_int ps)
+          | Div when bl = bh && bl > 0 -> Some (al / bl, ah / bl)
+          | Div -> None
+          | Mod when bl = bh && bl > 0 ->
+            if al >= 0 then Some (0, min ah (bl - 1)) else None
+          | Mod -> None
+          | Min -> Some (min al bl, min ah bh)
+          | Max -> Some (max al bl, max ah bh))
+       | _ -> None)
+    | Select (c, a, b) ->
+      (match eval st env c with
+       | Some (l, _) when exact (l, l) && l <> 0 -> eval st env a
+       | Some (0, 0) -> eval st env b
+       | _ ->
+         (match (eval st env a, eval st env b) with
+          | Some (al, ah), Some (bl, bh) -> Some (min al bl, max ah bh)
+          | _ -> None))
+    | Cmp (op, a, b) ->
+      (match (eval st env a, eval st env b) with
+       | Some (al, ah), Some (bl, bh) ->
+         let t v = Some ((if v then 1 else 0), if v then 1 else 0) in
+         (match op with
+          | Lt -> if ah < bl then t true else if al >= bh then t false else Some (0, 1)
+          | Le -> if ah <= bl then t true else if al > bh then t false else Some (0, 1)
+          | Gt -> if al > bh then t true else if ah <= bl then t false else Some (0, 1)
+          | Ge -> if al >= bh then t true else if ah < bl then t false else Some (0, 1)
+          | Eq ->
+            if al = ah && bl = bh && al = bl then t true
+            else if ah < bl || al > bh then t false
+            else Some (0, 1)
+          | Ne ->
+            if ah < bl || al > bh then t true
+            else if al = ah && bl = bh && al = bl then t false
+            else Some (0, 1))
+       | _ -> None)
+    | And (a, b) ->
+      (match (eval st env a, eval st env b) with
+       | Some (0, 0), _ | _, Some (0, 0) -> Some (0, 0)
+       | Some (la, _), Some (lb, _) when la >= 1 && lb >= 1 -> Some (1, 1)
+       | _ -> Some (0, 1))
+    | Or (a, b) ->
+      (match (eval st env a, eval st env b) with
+       | Some (la, _), _ when la >= 1 -> Some (1, 1)
+       | _, Some (lb, _) when lb >= 1 -> Some (1, 1)
+       | Some (0, 0), Some (0, 0) -> Some (0, 0)
+       | _ -> Some (0, 1))
+    | Not a ->
+      (match eval st env a with
+       | Some (0, 0) -> Some (1, 1)
+       | Some (l, _) when l >= 1 -> Some (0, 0)
+       | _ -> Some (0, 1))
+    | UfCall (u, args) ->
+      let args' = List.map (eval st env) args in
+      if List.for_all (function Some iv -> exact iv | None -> false) args' then begin
+        let concrete =
+          Array.of_list (List.map (function Some (l, _) -> l | None -> 0) args')
+        in
+        let v = st.uf u concrete in
+        Some (v, v)
+      end
+      else u.Uf.range
+    | Flt _ | Load _ | Math _ -> None
+
+  let note st t idx detail =
+    st.violations <-
+      {
+        tensor = t.tname;
+        index = String.concat ", " (List.map expr_to_string idx);
+        detail;
+      }
+      :: st.violations
+
+  let check_access st env t idx =
+    let extents = List.map (eval st env) t.extents in
+    List.iteri
+      (fun k i ->
+        match (eval st env i, List.nth extents k) with
+        | Some (lo, hi), Some (elo, _) ->
+          if lo < 0 then
+            note st t idx (Printf.sprintf "dim %d may be negative (lo=%d)" k lo)
+          else if hi >= elo then
+            note st t idx
+              (Printf.sprintf "dim %d may reach %d with extent %d" k hi elo)
+        | None, _ -> note st t idx (Printf.sprintf "dim %d not boundable" k)
+        | _, None -> note st t idx (Printf.sprintf "extent of dim %d not evaluable" k))
+      idx
+
+  let rec check_expr st env e =
+    match e with
+    | Load (t, idx) ->
+      check_access st env t idx;
+      List.iter (check_expr st env) idx
+    | Int _ | Flt _ | Var _ -> ()
+    | Binop (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) ->
+      check_expr st env a;
+      check_expr st env b
+    | Not a | Math (_, a) -> check_expr st env a
+    | Select (c, a, b) ->
+      check_expr st env c;
+      check_expr st env a;
+      check_expr st env b
+    | UfCall (_, args) -> List.iter (check_expr st env) args
+
+  (* Narrow a variable's interval under a branch condition of the form
+     [v < e] / [v <= e] / [v >= e] / [v > e] with [e] exactly known. *)
+  let narrow st env cond ~holds =
+    match cond with
+    | Cmp (op, Var v, e) ->
+      (match (List.assoc_opt v.Var.vid env, eval st env e) with
+       | Some (lo, hi), Some (elo, ehi) when elo = ehi ->
+         let lo', hi' =
+           match (op, holds) with
+           | Lt, true -> (lo, min hi (elo - 1))
+           | Lt, false -> (max lo elo, hi)
+           | Le, true -> (lo, min hi elo)
+           | Le, false -> (max lo (elo + 1), hi)
+           | Ge, true -> (max lo elo, hi)
+           | Ge, false -> (lo, min hi (elo - 1))
+           | Gt, true -> (max lo (elo + 1), hi)
+           | Gt, false -> (lo, min hi elo)
+           | (Eq | Ne), _ -> (lo, hi)
+         in
+         (v.Var.vid, (lo', hi')) :: env
+       | _ -> env)
+    | _ -> env
+
+  (* A loop can be walked as one interval iteration when nothing in its
+     body demands an exact loop value: no UF call whose argument depends
+     (transitively through Lets) on the loop variable, and no nested
+     variable-extent loop.  [vset] is the tainted-variable set. *)
+  let rec needs_concrete vset s =
+    let uses_tainted e =
+      fold_expr
+        (fun acc e ->
+          acc || match e with Var v' -> List.exists (Var.equal v') vset | _ -> false)
+        false e
+    in
+    let expr_needs e =
+      fold_expr
+        (fun acc e ->
+          acc || match e with UfCall (_, args) -> List.exists uses_tainted args | _ -> false)
+        false e
+    in
+    match s with
+    | Store (_, idx, value) -> List.exists expr_needs idx || expr_needs value
+    | Let (w, e, body) ->
+      let vset' = if uses_tainted e then w :: vset else vset in
+      expr_needs e || needs_concrete vset' body
+    | Seq ss -> List.exists (needs_concrete vset) ss
+    | If (c, a, b) ->
+      expr_needs c || needs_concrete vset a
+      || (match b with Some b -> needs_concrete vset b | None -> false)
+    | For r -> expr_needs r.extent || needs_concrete vset r.body
+    | Barrier | Nop -> false
+
+  let rec check_stmt st env s =
+    match s with
+    | Nop | Barrier -> ()
+    | Seq ss -> List.iter (check_stmt st env) ss
+    | Let (v, e, body) ->
+      check_expr st env e;
+      let iv = eval st env e in
+      let env' = match iv with Some iv -> (v.Var.vid, iv) :: env | None -> env in
+      check_stmt st env' body
+    | Store (t, idx, value) ->
+      check_access st env t idx;
+      List.iter (check_expr st env) idx;
+      check_expr st env value
+    | If (c, a, b) ->
+      check_expr st env c;
+      (match eval st env c with
+       | Some (l, _) when l >= 1 -> check_stmt st env a
+       | Some (0, 0) -> (match b with Some b -> check_stmt st env b | None -> ())
+       | _ ->
+         check_stmt st (narrow st env c ~holds:true) a;
+         (match b with
+          | Some b -> check_stmt st (narrow st env c ~holds:false) b
+          | None -> ()))
+    | For { v; extent; body; _ } ->
+      check_expr st env extent;
+      (match eval st env extent with
+       | Some (n, n') when n = n' ->
+         if n <= 0 then ()
+         else if needs_concrete [ v ] body then
+           for i = 0 to n - 1 do
+             check_stmt st ((v.Var.vid, (i, i)) :: env) body
+           done
+         else check_stmt st ((v.Var.vid, (0, n - 1)) :: env) body
+       | Some (lo, hi) ->
+         if hi > 0 then
+           check_stmt st ((v.Var.vid, (0, hi - 1)) :: env) body
+         else ();
+         ignore lo
+       | None ->
+         st.violations <-
+           { tensor = "<loop>"; index = Var.name v; detail = "extent not boundable" }
+           :: st.violations)
+end
+
+let check ~uf ~num_internal_batches (p : program) =
+  let st = { Walk.uf; violations = [] } in
+  List.iter
+    (fun k ->
+      match k.launch with
+      | Once -> Walk.check_stmt st [] k.body
+      | PerInternalBatch bvar ->
+        for b = 0 to num_internal_batches - 1 do
+          Walk.check_stmt st [ (bvar.Var.vid, (b, b)) ] k.body
+        done)
+    p.kernels;
+  List.rev st.Walk.violations

@@ -1,0 +1,27 @@
+(** Bounds checking for ILIR programs (§5.1 / §A.2).
+
+    In a traditional tensor compiler, loops and tensor dimensions
+    correspond one-to-one and bounds inference is immediate.  The ILIR
+    breaks that correspondence (three loops feed the two dimensions of
+    [rnn] in the paper's Listing 2), which is why tensors and loops
+    carry named dimensions.  This module provides two facilities:
+
+    - [check_named_dims]: a structural check that every access supplies
+      exactly one index per named tensor dimension;
+    - [check]: a hybrid static checker that walks node/batch loops
+      concretely (driven by the bound uninterpreted functions, like the
+      cost walker) while treating constant feature loops as intervals,
+      and proves every [Load]/[Store] index within its tensor's extent.
+      This is the role Z3-backed simplification plays in the paper's
+      prototype, made concrete against a given linearized input. *)
+
+type violation = { tensor : string; index : string; detail : string }
+
+val check_named_dims : Ir.program -> violation list
+
+val check :
+  uf:(Ir.Uf.t -> int array -> int) ->
+  num_internal_batches:int ->
+  Ir.program ->
+  violation list
+(** Empty when every access is provably in bounds for this input. *)

@@ -1,0 +1,53 @@
+(** Static cost analysis of scheduled ILIR programs.
+
+    Walks a program against a *concrete* linearized input (the
+    uninterpreted functions are bound to the linearizer's arrays) and
+    produces exact FLOP and byte counts per memory space, split into
+    *segments* — the regions between global barriers.  Loops with
+    constant extents and branch-free bodies are counted
+    multiplicatively, so the walk costs O(nodes), not O(nodes * H^2).
+
+    The backend model (lib/backend) converts these counts into simulated
+    latency.  Segments carry the maximum concurrent lane count so the
+    backend can model occupancy, and the set of parameter tensors they
+    touch so it can model model persistence (persistent weights are
+    fetched once; otherwise once per segment, i.e. per dynamic batch). *)
+
+type segment = {
+  flops : float;
+  reads : float array;  (** bytes read per [Interp.space_index] *)
+  writes : float array;  (** bytes written per space *)
+  lanes : float;  (** max concurrent lanes while this segment ran *)
+  param_footprint : float;  (** bytes of distinct Param tensors touched *)
+  param_raw : (int * float) list;
+      (** raw bytes read per Param tensor (by id): the demand stream
+          before any caching; gather-style accesses (embedding rows)
+          touch far less than the tensor's footprint *)
+}
+
+type kernel_cost = { kname : string; launches : int; segments : segment list }
+(** [segments] concatenates the segments of all launches in order. *)
+
+type t = {
+  kernels : kernel_cost list;
+  param_total_bytes : float;  (** distinct Param bytes across the program *)
+  param_sizes : (int * float) list;  (** bytes per Param tensor id *)
+  barrier_count : int;  (** total global barriers executed *)
+}
+
+val bytes_per_elem : int
+(** 4: the models run in fp32 on the paper's hardware. *)
+
+val analyze :
+  uf:(Ir.Uf.t -> int array -> int) ->
+  num_internal_batches:int ->
+  Ir.program ->
+  t
+
+val total_flops : t -> float
+val global_traffic : t -> float
+(** Bytes moved to/from off-chip memory, excluding parameters (which the
+    backend accounts for separately depending on persistence). *)
+
+val onchip_traffic : t -> float
+val total_launches : t -> int

@@ -1,0 +1,59 @@
+(** Reference interpreter for ILIR programs.
+
+    Executes compiled kernels numerically over real tensors — this is
+    the "target" our code generation retargets to, playing the role the
+    CUDA/C backends play in the paper's prototype.  Parallel and
+    vectorized loops run serially (the ILIR's parallel loops are
+    data-race-free between barriers, so the serial order is a valid
+    schedule).  The interpreter also counts loads, stores and FLOPs per
+    memory space, which the tests cross-check against the static cost
+    walker. *)
+
+type value = Vi of int | Vf of float
+
+type counters = {
+  mutable loads : int;
+  mutable stores : int;
+  mutable flops : int;
+  mutable loads_by_space : int array;  (** indexed by [space_index] *)
+  mutable stores_by_space : int array;
+}
+
+val space_index : Ir.space -> int
+val fresh_counters : unit -> counters
+
+type context
+
+val create : ?count:bool -> num_internal_batches:int -> unit -> context
+(** [count] enables the load/store/flop counters (default off). *)
+
+val counters : context -> counters
+
+val num_internal_batches : context -> int
+(** The per-batch launch count this context was created with. *)
+
+val bind_uf : context -> Ir.Uf.t -> (int array -> int) -> unit
+val bind_uf0 : context -> Ir.Uf.t -> int -> unit
+(** Bind a nullary UF to a constant (e.g. [num_leaves()]). *)
+
+val bind_tensor : context -> Ir.tensor -> Cortex_tensor.Tensor.t -> unit
+(** Provide storage for a tensor (parameters, inputs, or outputs the
+    caller wants to inspect).  Unbound temporaries/outputs are allocated
+    zero-filled on first use, with extents evaluated in the context. *)
+
+val get_tensor : context -> Ir.tensor -> Cortex_tensor.Tensor.t
+(** Storage of a tensor; allocates if not yet bound. *)
+
+val eval_expr : context -> (int * value) list -> Ir.expr -> value
+(** Evaluate an expression under variable bindings (vid -> value). *)
+
+val run_stmt : context -> (int * value) list -> Ir.stmt -> unit
+
+val run_program : context -> Ir.program -> unit
+(** Runs the kernels in order.  A maximal run of consecutive
+    [PerInternalBatch] kernels executes batch-major: for each batch in
+    order, every kernel of the run is launched with the batch variable
+    bound — the launch interleaving an unfused framework actually
+    performs along the dependence-carrying batch sequence. *)
+
+exception Runtime_error of string

@@ -1,0 +1,42 @@
+(** Data-race detection for compiled ILIR kernels.
+
+    The fused kernels execute dynamic batches under a persistent-threads
+    model: every iteration of a [Parallel] loop is a different thread
+    (group), vectorized feature lanes of one node belong to that node's
+    thread group (block-local synchronization is free), and cross-thread
+    data only becomes visible at a global [Barrier].
+
+    This pass replays a program's kernels sequentially (like the
+    interpreter) while tracking, for every tensor cell, which thread
+    group wrote it in which barrier epoch.  A read of a cell written in
+    the *current* epoch by a *different* thread group is a data race:
+    on real hardware the reader could observe stale memory.  Removing
+    the barrier the §A.4 pass inserts on the dependence-carrying batch
+    loop makes exactly such reads appear — the test suite checks both
+    directions.
+
+    Granularity: thread groups are identified by the values of the
+    enclosing [Parallel] loop variables, so the detector finds
+    cross-node races (what global barriers guard), not intra-node
+    cross-lane ordering (block-local synchronization, which the cost
+    model treats as free). *)
+
+type race = {
+  tensor : string;
+  offset : int;  (** flat cell offset *)
+  writer : string;  (** thread-group id that wrote the cell *)
+  reader : string;  (** thread-group id that read it in the same epoch *)
+  epoch : int;
+}
+
+val to_string : race -> string
+
+val check_program :
+  ctx:Interp.context ->
+  Ir.program ->
+  race list
+(** Replays the program inside [ctx] (which must have its uninterpreted
+    functions and parameters bound, exactly as for [Interp.run_program])
+    and returns the races found (bounded to the first 32).  The replay
+    performs all stores, so [ctx] ends in the same state as a normal
+    run. *)

@@ -1,0 +1,115 @@
+open Ir
+
+exception Schedule_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Schedule_error s)) fmt
+
+(* Apply [f] to the unique loop named [name]; error when absent. *)
+let on_loop ~name f s =
+  let found = ref false in
+  let rec go s =
+    match s with
+    | For { v; extent; kind; dim; body } when Var.name v = name ->
+      if !found then fail "schedule: loop %s is ambiguous" name;
+      found := true;
+      f ~v ~extent ~kind ~dim ~body
+    | For r -> For { r with body = go r.body }
+    | Seq ss -> Seq (List.map go ss)
+    | Let (v, e, body) -> Let (v, e, go body)
+    | If (c, a, b) -> If (c, go a, Option.map go b)
+    | Store _ | Barrier | Nop -> s
+  in
+  let s' = go s in
+  if not !found then fail "schedule: no loop named %s" name;
+  s'
+
+let split ~name ~factor s =
+  if factor < 1 then fail "split: factor %d" factor;
+  on_loop ~name
+    (fun ~v ~extent ~kind ~dim ~body ->
+      let vo = Var.fresh (name ^ "_o") in
+      let vi = Var.fresh (name ^ "_i") in
+      let outer_extent =
+        (* ceil(extent / factor) *)
+        Binop (Div, Binop (Add, extent, Int (factor - 1)), Int factor)
+      in
+      let idx = Binop (Add, Binop (Mul, Var vo, Int factor), Var vi) in
+      let guarded = Let (v, idx, If (Cmp (Lt, Var v, extent), body, None)) in
+      For
+        {
+          v = vo;
+          extent = outer_extent;
+          kind;
+          dim;
+          body = For { v = vi; extent = Int factor; kind = Serial; dim; body = guarded };
+        })
+    s
+
+let split_peeled ~name ~factor s =
+  if factor < 1 then fail "split_peeled: factor %d" factor;
+  on_loop ~name
+    (fun ~v ~extent ~kind ~dim ~body ->
+      let vo = Var.fresh (name ^ "_o") in
+      let vi = Var.fresh (name ^ "_i") in
+      let vt = Var.fresh (name ^ "_t") in
+      let full_chunks = Binop (Div, extent, Int factor) in
+      let main =
+        For
+          {
+            v = vo;
+            extent = full_chunks;
+            kind;
+            dim;
+            body =
+              For
+                {
+                  v = vi;
+                  extent = Int factor;
+                  kind = Serial;
+                  dim;
+                  body = Let (v, Binop (Add, Binop (Mul, Var vo, Int factor), Var vi), body);
+                };
+          }
+      in
+      let tail_base = Binop (Mul, full_chunks, Int factor) in
+      let tail =
+        For
+          {
+            v = vt;
+            extent = Binop (Sub, extent, tail_base);
+            kind = Serial;
+            dim;
+            body = Let (v, Binop (Add, tail_base, Var vt), body);
+          }
+      in
+      Seq [ main; tail ])
+    s
+
+let unroll ~name s =
+  on_loop ~name
+    (fun ~v ~extent ~kind:_ ~dim:_ ~body ->
+      match Simplify.expr extent with
+      | Int n when n >= 0 && n <= 1024 ->
+        Seq (List.init n (fun i -> subst_var_stmt v (Int i) body))
+      | Int n -> fail "unroll: extent %d too large" n
+      | _ -> fail "unroll: loop %s has a non-constant extent" name)
+    s
+
+let set_kind ~name kind s =
+  on_loop ~name (fun ~v ~extent ~kind:_ ~dim ~body -> For { v; extent; kind; dim; body }) s
+
+let reorder ~outer ~inner s =
+  on_loop ~name:outer
+    (fun ~v ~extent ~kind ~dim ~body ->
+      match body with
+      | For ri when Var.name ri.v = inner ->
+        For { ri with body = For { v; extent; kind; dim; body = ri.body } }
+      | _ -> fail "reorder: %s is not perfectly nested inside %s" inner outer)
+    s
+
+let loop_names s =
+  List.rev
+    (fold_stmt
+       ~expr:(fun acc _ -> acc)
+       ~stmt:(fun acc s -> match s with For r -> Var.name r.v :: acc | _ -> acc)
+       [] s)

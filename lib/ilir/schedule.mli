@@ -1,0 +1,33 @@
+(** Loop scheduling primitives over ILIR statements.
+
+    These are the tensor-compiler-style transformations of §5: loop
+    splitting/tiling, unrolling, vectorization/parallelization marks,
+    loop peeling for variable bounds (§A.5) and loop reordering.  Loops
+    are addressed by their loop-variable name, which the lowerer keeps
+    stable and unique within a kernel. *)
+
+exception Schedule_error of string
+
+val split : name:string -> factor:int -> Ir.stmt -> Ir.stmt
+(** Split loop [name] into [name_o] / [name_i] with a bounds guard in
+    the body.  Safe for variable (UF) extents. *)
+
+val split_peeled : name:string -> factor:int -> Ir.stmt -> Ir.stmt
+(** Split with loop peeling: a guard-free main loop over full chunks
+    plus a remainder loop (§A.5: the bounds check runs only for the
+    last few iterations). *)
+
+val unroll : name:string -> Ir.stmt -> Ir.stmt
+(** Fully unroll a constant-extent loop into a [Seq] of instances. *)
+
+val set_kind : name:string -> Ir.loop_kind -> Ir.stmt -> Ir.stmt
+(** Mark a loop parallel / vectorized / serial / unrolled. *)
+
+val reorder : outer:string -> inner:string -> Ir.stmt -> Ir.stmt
+(** Interchange two perfectly nested loops ([inner] directly inside
+    [outer], no intervening statements).  Raises [Schedule_error] when
+    they are not perfectly nested. *)
+
+val loop_names : Ir.stmt -> string list
+(** Loop variable names in syntactic order (for schedule discovery and
+    the grid-search tuner). *)

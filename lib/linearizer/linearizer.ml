@@ -1,0 +1,168 @@
+module Structure = Cortex_ds.Structure
+module Node = Cortex_ds.Node
+
+type t = {
+  structure : Structure.t;
+  num_nodes : int;
+  num_leaves : int;
+  max_children : int;
+  new_of_old : int array;
+  old_of_new : int array;
+  leaf_begin : int;
+  child : int array array;
+  num_children : int array;
+  payload : int array;
+  level_of : int array;
+  batches : (int * int) array;
+  postorder : int array;
+}
+
+let run structure =
+  let n = Structure.num_nodes structure in
+  let max_children = structure.Structure.max_children in
+  let old_level = Structure.level structure in
+  let height = Array.fold_left max 0 old_level in
+  (* Count nodes per level, then hand out id ranges: the highest level
+     (roots) gets the lowest ids and leaves (level 0) the highest, so
+     children always outnumber their parents and each level is
+     contiguous. *)
+  let width = Array.make (height + 1) 0 in
+  Array.iter (fun l -> width.(l) <- width.(l) + 1) old_level;
+  let first_id = Array.make (height + 1) 0 in
+  let running = ref 0 in
+  for l = height downto 0 do
+    first_id.(l) <- !running;
+    running := !running + width.(l)
+  done;
+  let cursor = Array.copy first_id in
+  let new_of_old = Array.make n (-1) in
+  Array.iteri
+    (fun old_id l ->
+      new_of_old.(old_id) <- cursor.(l);
+      cursor.(l) <- cursor.(l) + 1)
+    old_level;
+  let old_of_new = Array.make n (-1) in
+  Array.iteri (fun old_id new_id -> old_of_new.(new_id) <- old_id) new_of_old;
+  let child = Array.init max_children (fun _ -> Array.make n (-1)) in
+  let num_children = Array.make n 0 in
+  let payload = Array.make n (-1) in
+  let level_of = Array.make n (-1) in
+  Array.iter
+    (fun (node : Node.t) ->
+      let id = new_of_old.(node.id) in
+      num_children.(id) <- Array.length node.children;
+      payload.(id) <- node.payload;
+      level_of.(id) <- old_level.(node.id);
+      Array.iteri (fun k (c : Node.t) -> child.(k).(id) <- new_of_old.(c.id)) node.children)
+    structure.Structure.nodes;
+  (* Execution order is leaves first: batch index = level, so index 0 is
+     the leaf batch and the last batch holds the roots. *)
+  let batches = Array.init (height + 1) (fun l -> (first_id.(l), width.(l))) in
+  let leaf_begin = first_id.(0) in
+  (* Children-first DFS over the original traversal; in a DAG each node
+     is visited once (first visit), matching the inspector pseudocode. *)
+  let postorder = Array.make n (-1) in
+  let filled = ref 0 in
+  let seen = Array.make n false in
+  let rec visit (node : Node.t) =
+    if not seen.(node.id) then begin
+      seen.(node.id) <- true;
+      Array.iter visit node.children;
+      postorder.(!filled) <- new_of_old.(node.id);
+      incr filled
+    end
+  in
+  List.iter visit structure.Structure.roots;
+  assert (!filled = n);
+  {
+    structure;
+    num_nodes = n;
+    num_leaves = width.(0);
+    max_children;
+    new_of_old;
+    old_of_new;
+    leaf_begin;
+    child;
+    num_children;
+    payload;
+    level_of;
+    batches;
+    postorder;
+  }
+
+let leaf_batch t = t.batches.(0)
+
+let internal_batches t = Array.sub t.batches 1 (Array.length t.batches - 1)
+
+let is_leaf t n = n >= t.leaf_begin
+
+let check t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let n = t.num_nodes in
+  if n <> Structure.num_nodes t.structure then fail "node count mismatch";
+  (* Numbering is a permutation. *)
+  let seen = Array.make n false in
+  Array.iter
+    (fun id ->
+      if id < 0 || id >= n then fail "numbering out of range";
+      if seen.(id) then fail "numbering not injective";
+      seen.(id) <- true)
+    t.new_of_old;
+  Array.iteri
+    (fun new_id old_id ->
+      if t.new_of_old.(old_id) <> new_id then fail "old_of_new is not the inverse")
+    t.old_of_new;
+  (* Children numbered higher than parents; payload and arity correct. *)
+  Array.iter
+    (fun (node : Node.t) ->
+      let id = t.new_of_old.(node.id) in
+      if t.num_children.(id) <> Array.length node.children then fail "arity mismatch";
+      if t.payload.(id) <> node.payload then fail "payload mismatch";
+      Array.iteri
+        (fun k (c : Node.t) ->
+          let cid = t.new_of_old.(c.id) in
+          if t.child.(k).(id) <> cid then fail "child array mismatch";
+          if cid <= id then fail "child %d not numbered higher than parent %d" cid id)
+        node.children;
+      for k = Array.length node.children to t.max_children - 1 do
+        if t.child.(k).(id) <> -1 then fail "child array has ghost entry"
+      done;
+      (* Leaf check agrees with the structure. *)
+      if is_leaf t id <> Node.is_leaf node then fail "leaf check disagrees for node %d" id)
+    t.structure.Structure.nodes;
+  (* Batches are contiguous, cover all nodes, and respect dependences:
+     no node in a batch has a child in the same or a later batch. *)
+  let covered = Array.make n false in
+  Array.iteri
+    (fun b (first, len) ->
+      for id = first to first + len - 1 do
+        if covered.(id) then fail "batches overlap at %d" id;
+        covered.(id) <- true;
+        if t.level_of.(id) <> b then fail "node %d in wrong batch" id;
+        for k = 0 to t.max_children - 1 do
+          let c = t.child.(k).(id) in
+          if c >= 0 && t.level_of.(c) >= b then
+            fail "dependence violated: child %d of %d in batch %d >= %d" c id t.level_of.(c) b
+        done
+      done)
+    t.batches;
+  Array.iteri (fun id c -> if not c then fail "node %d in no batch" id) covered;
+  (* Postorder is a valid children-first order. *)
+  let pos = Array.make n (-1) in
+  Array.iteri (fun i id -> pos.(id) <- i) t.postorder;
+  Array.iteri
+    (fun id _ ->
+      for k = 0 to t.max_children - 1 do
+        let c = t.child.(k).(id) in
+        if c >= 0 && pos.(c) >= pos.(id) then fail "postorder violates dependences"
+      done)
+    pos
+
+let memory_bytes t =
+  (* ints are 8 bytes on this platform; the device-side arrays the
+     executor consumes are the child tables, payloads and batch table. *)
+  let ints =
+    (t.max_children * t.num_nodes) + t.num_nodes + t.num_nodes + t.num_nodes
+    + (2 * Array.length t.batches)
+  in
+  8 * ints

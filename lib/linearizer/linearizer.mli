@@ -1,0 +1,63 @@
+(** Data structure linearization (§4.2 and Appendix B of the paper).
+
+    At inference time the linearizer — the inspector of the
+    inspector-executor pair — traverses the pointer-linked input
+    structure on the host CPU and lays it out as arrays for the compiled
+    loop nests to iterate over.  No tensor computation happens here
+    (property P.1 lets all control flow be resolved from the structure
+    alone).
+
+    Numbering scheme (Appendix B): nodes are renumbered such that
+    (i) every child is numbered strictly higher than each of its
+    parents, (ii) nodes in a dynamic batch occupy a contiguous id range,
+    and (iii) all leaves are numbered higher than all internal nodes.
+    Consequence: a dynamic batch is representable as a
+    [(batch_begin, batch_length)] pair and a leaf check is the single
+    comparison [n >= leaf_begin] instead of a memory load. *)
+
+type t = {
+  structure : Cortex_ds.Structure.t;
+  num_nodes : int;
+  num_leaves : int;
+  max_children : int;
+  new_of_old : int array;  (** creation id -> linearized id *)
+  old_of_new : int array;  (** linearized id -> creation id *)
+  leaf_begin : int;  (** leaves are exactly [leaf_begin, num_nodes) *)
+  child : int array array;
+      (** [child.(k).(n)] is the linearized id of the [k]-th child of
+          node [n], or [-1] past its fanout; [k < max_children]. *)
+  num_children : int array;
+  payload : int array;  (** model input payloads, by linearized id *)
+  level_of : int array;
+      (** dynamic-batching level by linearized id: 0 for leaves,
+          [1 + max over children] otherwise. *)
+  batches : (int * int) array;
+      (** all dynamic batches in execution order — the leaf batch first,
+          then internal levels bottom-up; each is
+          [(batch_begin, batch_length)]. *)
+  postorder : int array;
+      (** linearized ids in the order the recursive program would visit
+          them (children-first DFS) — the execution order when dynamic
+          batching is off. *)
+}
+
+val run : Cortex_ds.Structure.t -> t
+(** Linearize.  Cost is O(nodes * max_children); §7.5 measures its wall
+    clock. *)
+
+val leaf_batch : t -> int * int
+(** The leaf partition produced for specialized leaf checks. *)
+
+val internal_batches : t -> (int * int) array
+(** Batches of internal nodes only, in execution order. *)
+
+val is_leaf : t -> int -> bool
+(** The single-comparison leaf check of Appendix B. *)
+
+val check : t -> unit
+(** Validates every invariant documented above against the original
+    structure; raises [Failure] on violation.  Used by the test suite
+    and cheap enough to run in examples. *)
+
+val memory_bytes : t -> int
+(** Footprint of the produced arrays (for the memory accounting). *)

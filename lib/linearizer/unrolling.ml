@@ -1,0 +1,104 @@
+type role = Child_phase | Parent_phase
+
+type t = { batches : int array array; roles : role array }
+
+let compute (lin : Linearizer.t) =
+  (match lin.structure.Cortex_ds.Structure.kind with
+   | Cortex_ds.Structure.Dag -> failwith "Unrolling.compute: unrolling is restricted to trees and sequences"
+   | Cortex_ds.Structure.Tree | Cortex_ds.Structure.Sequence -> ());
+  let n = lin.num_nodes in
+  let parent = Array.make n (-1) in
+  for id = 0 to n - 1 do
+    for k = 0 to lin.max_children - 1 do
+      let c = lin.child.(k).(id) in
+      if c >= 0 then parent.(c) <- id
+    done
+  done;
+  (* Depth from the root; parents are numbered lower than children, so a
+     single ascending pass suffices. *)
+  let depth = Array.make n 0 in
+  for id = 0 to n - 1 do
+    if parent.(id) >= 0 then depth.(id) <- depth.(parent.(id)) + 1
+  done;
+  let is_internal id = not (Linearizer.is_leaf lin id) in
+  (* Group head of an internal node: itself at even depth, its parent at
+     odd depth (the parent of an internal node is always internal). *)
+  let head id = if depth.(id) mod 2 = 0 then id else parent.(id) in
+  (* Group level: 1 + max level of the groups this group's members'
+     internal children head.  Heads are numbered lower than all their
+     descendants, so a descending pass over heads sees dependencies
+     first. *)
+  let level = Array.make n 0 in
+  (* members listed per head *)
+  let members = Array.make n [] in
+  for id = n - 1 downto 0 do
+    if is_internal id then members.(head id) <- id :: members.(head id)
+  done;
+  for id = n - 1 downto 0 do
+    if is_internal id && depth.(id) mod 2 = 0 then begin
+      let lvl = ref 1 in
+      List.iter
+        (fun m ->
+          for k = 0 to lin.max_children - 1 do
+            let c = lin.child.(k).(m) in
+            if c >= 0 && is_internal c && head c <> id then
+              lvl := max !lvl (level.(head c) + 1)
+          done)
+        members.(id);
+      level.(id) <- !lvl
+    end
+  done;
+  let max_level =
+    Array.fold_left max 0
+      (Array.mapi (fun id l -> if is_internal id && depth.(id) mod 2 = 0 then l else 0) level)
+  in
+  let batches = ref [] and roles = ref [] in
+  for lvl = 1 to max_level do
+    let child_phase = ref [] and parent_phase = ref [] in
+    for id = 0 to n - 1 do
+      if is_internal id && depth.(id) mod 2 = 0 && level.(id) = lvl then
+        List.iter
+          (fun m ->
+            if m = id then parent_phase := m :: !parent_phase
+            else child_phase := m :: !child_phase)
+          members.(id)
+    done;
+    if !child_phase <> [] then begin
+      batches := Array.of_list (List.rev !child_phase) :: !batches;
+      roles := Child_phase :: !roles
+    end;
+    if !parent_phase <> [] then begin
+      batches := Array.of_list (List.rev !parent_phase) :: !batches;
+      roles := Parent_phase :: !roles
+    end
+  done;
+  { batches = Array.of_list (List.rev !batches); roles = Array.of_list (List.rev !roles) }
+
+let check (lin : Linearizer.t) t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let n = lin.num_nodes in
+  if Array.length t.batches <> Array.length t.roles then fail "roles/batches length mismatch";
+  let batch_of = Array.make n (-2) in
+  for id = lin.leaf_begin to n - 1 do
+    batch_of.(id) <- -1 (* leaf batch *)
+  done;
+  Array.iteri
+    (fun b nodes ->
+      Array.iter
+        (fun id ->
+          if Linearizer.is_leaf lin id then fail "leaf %d in an internal batch" id;
+          if batch_of.(id) <> -2 then fail "node %d in two batches" id;
+          batch_of.(id) <- b)
+        nodes)
+    t.batches;
+  for id = 0 to n - 1 do
+    if batch_of.(id) = -2 then fail "internal node %d missing from batches" id
+  done;
+  (* Dependences: children strictly earlier. *)
+  for id = 0 to n - 1 do
+    for k = 0 to lin.max_children - 1 do
+      let c = lin.child.(k).(id) in
+      if c >= 0 && batch_of.(c) >= batch_of.(id) then
+        fail "node %d (batch %d) depends on %d (batch %d)" id batch_of.(id) c batch_of.(c)
+    done
+  done

@@ -1,0 +1,35 @@
+(** Recursion unrolling groups (§3.1, Fig. 3 and §7.4 of the paper).
+
+    Unrolling the recursion once makes one call process a node together
+    with its children, moving a node's computation next to its
+    children's.  On the linearized structure this becomes a regrouping
+    of the dynamic batches: every internal node at even depth from its
+    root heads a group that also contains its internal children (odd
+    depth).  Execution then proceeds by group levels, each level in two
+    phases — first the child-role members, then the heads, because the
+    heads read the members computed in the same level.
+
+    The second phase's synchronization can be block-local (free in the
+    cost model) when the whole group is scheduled onto one thread block
+    (the TreeRNN schedule of §7.4); with the GRNN-style TreeLSTM
+    schedule it is a global barrier, which is why unrolling slows
+    TreeLSTM down (Fig. 10b, Fig. 11).  The paper supports unrolling for
+    trees and sequences only; so do we. *)
+
+type role = Child_phase | Parent_phase
+
+type t = {
+  batches : int array array;
+      (** internal-node batches in execution order (the linearizer's
+          leaf batch still runs first); node ids are linearized ids. *)
+  roles : role array;  (** one per batch *)
+}
+
+val compute : Linearizer.t -> t
+(** Raises [Failure] for DAGs. *)
+
+val check : Linearizer.t -> t -> unit
+(** Validates: batches partition the internal nodes; every node appears
+    after all its children (taking the leaf batch as index -1); heads'
+    internal children sit in the immediately preceding child-phase
+    batch or earlier. *)

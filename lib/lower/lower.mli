@@ -1,0 +1,125 @@
+(** RA -> ILIR lowering (§4 of the paper).
+
+    Lowering turns the recursive model into loop nests over the
+    linearizer's arrays: recursion becomes iteration over dynamic
+    batches (or a serialized topological order when dynamic batching is
+    off), data-structure accesses become uninterpreted-function calls,
+    and every temporary is made explicit (§4.1).  The produced
+    {!compiled} artifact carries the ILIR program plus the
+    uninterpreted-function handles the runtime must bind against a
+    concrete {!Cortex_linearizer.Linearizer.t}.
+
+    Optimizations implemented here:
+    - {b specialization} (§3.1): separate leaf and internal loop nests;
+      child references in the leaf version are replaced by the states'
+      initial values and constant-folded, which deletes the child-sum
+      matrix-vector products from the leaf nests;
+    - {b computation hoisting + constant propagation} (§4.3): leaf
+      operators that become node-independent are computed once in the
+      setup kernel instead of per leaf;
+    - {b child-state caching} (§A.3): child states read inside
+      reductions are staged into an on-chip cache tensor with an extra
+      child dimension, turning H^2 indirect global reads into H;
+    - {b dense intermediate layouts} (§5.1, Fig. 5): under fusion,
+      per-node temporaries live in scratchpad tensors indexed by the
+      batch position rather than the node id;
+    - {b kernel fusion}: one kernel for the whole model with barriers
+      between dynamic batches, versus one kernel per operator per batch;
+    - {b unrolling} and {b recursive refactoring} (§3.1, §7.4): see
+      {!Cortex_linearizer.Unrolling} and the [refactor] option. *)
+
+open Cortex_ilir
+open Cortex_ra
+
+type options = {
+  dynamic_batch : bool;
+  specialize : bool;
+  fuse : bool;
+  persist : bool;  (** model persistence; consumed by the backend model *)
+  unroll : bool;
+  block_local_unroll : bool;
+      (** schedule one unroll group per thread block, making the
+          parent-phase synchronization free (TreeRNN schedule, §7.4) *)
+  refactor : bool;
+  refactor_publish : string list;
+      (** recursive-case temporaries that must additionally be published
+          to global memory when refactoring moves the final phase across
+          the recursion backedge *)
+  refactor_removes_barrier : bool;
+      (** whether the backedge change actually eliminates the
+          inter-phase synchronization — §7.4 found it does for the
+          simplified GRU cell but not for the full child-sum TreeGRU,
+          whose deferred combine still feeds a synchronized
+          matrix-vector stage *)
+  barrier_mode : Cortex_ilir.Barrier.mode;
+}
+
+val default : options
+(** Everything on (the "Cortex" configuration): dynamic batching,
+    specialization, fusion, persistence; no unrolling or refactoring;
+    carrier barrier placement. *)
+
+val baseline : options
+(** Everything off except dynamic batching — the leftmost bar of
+    Fig. 10a. *)
+
+type ufs = {
+  u_num_nodes : Ir.Uf.t;
+  u_num_leaves : Ir.Uf.t;
+  u_leaf_begin : Ir.Uf.t;
+  u_num_internal : Ir.Uf.t;
+  u_num_batches : Ir.Uf.t;  (** batch-loop trip count *)
+  u_batch_begin : Ir.Uf.t;
+  u_batch_len : Ir.Uf.t;
+  u_max_batch_len : Ir.Uf.t;
+  u_child : Ir.Uf.t;  (** child(k, n) *)
+  u_num_children : Ir.Uf.t;
+  u_payload : Ir.Uf.t;
+  u_order : Ir.Uf.t;  (** execution order without dynamic batching *)
+  u_sched_node : Ir.Uf.t;  (** node table for unrolled batches *)
+  u_role : Ir.Uf.t;  (** 1 when an unrolled batch is a parent phase *)
+  u_needs_sync : Ir.Uf.t;  (** 1 when a batch needs a global barrier *)
+}
+
+type compiled = {
+  ra : Ra.t;
+  options : options;
+  prog : Ir.program;
+  ufs : ufs;
+  state_tensors : (string * Ir.tensor) list;
+  param_tensors : (string * Ir.tensor) list;
+  aliases : (Ir.tensor * Ir.tensor) list;
+      (** pairs that must share storage (global state and its on-chip
+          mirror under unrolling) *)
+  phases : int;  (** phases of the recursive case *)
+}
+
+exception Lowering_error of string
+
+val lower : ?options:options -> Ra.t -> compiled
+(** Validates the program and options (unrolling and refactoring only
+    for trees and sequences; refactoring needs >= 2 phases; unrolling
+    requires specialization) and produces the compiled artifact. *)
+
+type bound = {
+  ctx : Cortex_ilir.Interp.context;
+  lin : Cortex_linearizer.Linearizer.t;
+  uf_resolver : Ir.Uf.t -> int array -> int;
+  num_batch_launches : int;
+}
+
+val bind :
+  ?count:bool ->
+  compiled ->
+  Cortex_linearizer.Linearizer.t ->
+  bound
+(** Builds an interpreter context with every uninterpreted function
+    bound against the linearized structure (and the unrolled schedule
+    when the compilation unrolled), state tensors allocated, and aliases
+    wired to shared storage.  Parameters still need [Interp.bind_tensor]
+    before running. *)
+
+val state_value :
+  bound -> compiled -> string -> Cortex_ds.Node.t -> Cortex_tensor.Tensor.t
+(** Read a state of one node (by original node) out of the executed
+    context. *)

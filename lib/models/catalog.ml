@@ -1,0 +1,27 @@
+type size = Small | Large
+
+let hidden_of name size =
+  match (name, size) with
+  | "MV-RNN", Small -> 64
+  | "MV-RNN", Large -> 128
+  | ("TreeFC" | "DAG-RNN" | "TreeGRU" | "TreeLSTM" | "NaryTreeLSTM" | "TreeRNN" | "SimpleTreeGRU" | "LSTM" | "GRU" | "SimpleGRU"), Small -> 256
+  | ("TreeFC" | "DAG-RNN" | "TreeGRU" | "TreeLSTM" | "NaryTreeLSTM" | "TreeRNN" | "SimpleTreeGRU" | "LSTM" | "GRU" | "SimpleGRU"), Large -> 512
+  | _ -> invalid_arg ("Catalog.hidden_of: unknown model " ^ name)
+
+let evaluated = [ "TreeFC"; "DAG-RNN"; "TreeGRU"; "TreeLSTM"; "MV-RNN" ]
+
+let get ?(variant = Models_common.Full) name size =
+  let hidden = hidden_of name size in
+  match name with
+  | "TreeFC" -> Tree_fc.spec ~hidden ()
+  | "TreeRNN" -> Tree_rnn.spec ~hidden ()
+  | "TreeLSTM" -> Tree_lstm.spec ~variant ~hidden ()
+  | "NaryTreeLSTM" -> Tree_lstm.nary_spec ~variant ~hidden ()
+  | "TreeGRU" -> Tree_gru.spec ~variant ~hidden ()
+  | "SimpleTreeGRU" -> Tree_gru.spec ~variant ~simple:true ~hidden ()
+  | "MV-RNN" -> Mv_rnn.spec ~hidden ()
+  | "DAG-RNN" -> Dag_rnn.spec ~variant ~hidden ()
+  | "LSTM" -> Tree_lstm.spec ~variant ~sequence:true ~hidden ()
+  | "GRU" -> Tree_gru.spec ~variant ~sequence:true ~hidden ()
+  | "SimpleGRU" -> Tree_gru.spec ~variant ~simple:true ~sequence:true ~hidden ()
+  | _ -> invalid_arg ("Catalog.get: unknown model " ^ name)

@@ -1,0 +1,19 @@
+(** The model zoo as evaluated in §7 (Table 2), by short name.
+
+    Hidden sizes follow the paper: the smaller/larger pairs are 256/512
+    for TreeFC, DAG-RNN, TreeGRU and TreeLSTM and 64/128 for MV-RNN. *)
+
+type size = Small | Large
+
+val hidden_of : string -> size -> int
+(** [hidden_of short_name size]: h_s / h_l per Table 2's conventions.
+    Raises [Invalid_argument] for unknown names. *)
+
+val evaluated : string list
+(** The five models of the main evaluation, in the paper's order:
+    TreeFC, DAG-RNN, TreeGRU, TreeLSTM, MV-RNN. *)
+
+val get :
+  ?variant:Models_common.variant -> string -> size -> Models_common.t
+(** Model by short name ("TreeFC", "DAG-RNN", "TreeGRU", "TreeLSTM",
+    "MV-RNN", "TreeRNN", "SimpleTreeGRU", "LSTM", "GRU", "SimpleGRU"). *)

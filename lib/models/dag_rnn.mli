@@ -1,0 +1,11 @@
+(** DAG-RNN (Shuai et al., 2015), recursive portion: scene labeling
+    over an image grid lowered to a DAG.
+
+    One south-east sweep: [h(i,j) = tanh(x(i,j) + U.(h(i-1,j) +
+    h(i,j-1)) + b)] where [x] is the cell's input feature (optionally
+    through an input matrix-vector product, hoisted upfront).  The
+    paper's synthetic DAGs are 10x10 grids; the single leaf means
+    specialization brings no speedup for this model, as §7.3 notes. *)
+
+val spec :
+  ?rows:int -> ?cols:int -> ?variant:Models_common.variant -> hidden:int -> unit -> Models_common.t

@@ -1,0 +1,13 @@
+(** MV-RNN (Socher et al., 2012b): every constituent carries a vector
+    and a matrix.
+
+    For the node with children (l, r):
+    [p = tanh(W0.(A_r p_l) + W1.(A_l p_r) + b)] and
+    [A = WM0.A_l + WM1.A_r] (per output column).  Leaves read both from
+    embedding tables.  Per-word full matrices make the embedding table
+    O(V.H^2); like practical MV-RNN implementations we cap the matrix
+    vocabulary (default 256) — the tree shapes, which drive everything
+    the paper measures, are unchanged.  Uses the paper's smaller hidden
+    sizes (64 / 128). *)
+
+val spec : ?vocab:int -> hidden:int -> unit -> Models_common.t

@@ -1,0 +1,161 @@
+module Tensor = Cortex_tensor.Tensor
+module Nonlinear = Cortex_tensor.Nonlinear
+module Node = Cortex_ds.Node
+module Structure = Cortex_ds.Structure
+
+type resolver = string -> Tensor.t
+
+let tanh_v = Tensor.map Nonlinear.tanh_rational
+let relu_v = Tensor.map Nonlinear.relu
+
+(* Memoized children-first recursion over a structure. *)
+let memo_rec (structure : Structure.t) f =
+  let table : ('a option array) = Array.make (Structure.num_nodes structure) None in
+  let rec eval (node : Node.t) =
+    match table.(node.id) with
+    | Some v -> v
+    | None ->
+      let v = f eval node in
+      table.(node.id) <- Some v;
+      v
+  in
+  eval
+
+let child_sum ~hidden children value =
+  let acc = Tensor.zeros [| hidden |] in
+  Array.iter (fun c -> Tensor.add_ acc (value c)) children;
+  acc
+
+let tree_fc ~params ~hidden structure =
+  let wl = params "Wl" and wr = params "Wr" and b = params "b" in
+  let emb = params "Emb" in
+  memo_rec structure (fun eval (node : Node.t) ->
+      if Node.is_leaf node then Tensor.row emb node.payload
+      else begin
+        let child k =
+          if k < Array.length node.children then eval node.children.(k)
+          else Tensor.zeros [| hidden |]
+        in
+        relu_v
+          (Tensor.add (Tensor.add (Tensor.matvec wl (child 0)) (Tensor.matvec wr (child 1))) b)
+      end)
+
+let tree_rnn ~params ~hidden structure =
+  let emb = params "Emb" and u = params "U" and b = params "b" in
+  memo_rec structure (fun eval (node : Node.t) ->
+      let cs = child_sum ~hidden node.children eval in
+      tanh_v (Tensor.add (Tensor.add (Tensor.row emb node.payload) (Tensor.matvec u cs)) b))
+
+let tree_lstm ~params ~hidden ~with_x structure =
+  let u g = params ("U" ^ g) and b g = params ("b" ^ g) in
+  let x (node : Node.t) g =
+    if with_x then Tensor.matvec (params ("Wx" ^ g)) (Tensor.row (params "Emb") node.payload)
+    else Tensor.zeros [| hidden |]
+  in
+  memo_rec structure (fun eval (node : Node.t) ->
+      let hc = Array.map eval node.children in
+      let hsum = child_sum ~hidden node.children (fun c -> fst (eval c)) in
+      let gate g nl over = Tensor.map nl (Tensor.add (Tensor.add (x node g) (Tensor.matvec (u g) over)) (b g)) in
+      let i = gate "i" Nonlinear.sigmoid_rational hsum in
+      let o = gate "o" Nonlinear.sigmoid_rational hsum in
+      let uu = gate "u" Nonlinear.tanh_rational hsum in
+      let fc = Tensor.zeros [| hidden |] in
+      Array.iter
+        (fun (hk, ck) ->
+          let f = gate "f" Nonlinear.sigmoid_rational hk in
+          Tensor.add_ fc (Tensor.mul f ck))
+        hc;
+      let c = Tensor.add (Tensor.mul i uu) fc in
+      let h = Tensor.mul o (tanh_v c) in
+      (h, c))
+
+let nary_tree_lstm ~params ~hidden ~with_x structure =
+  let u g k = params (Printf.sprintf "U%s%d" g k) and b g = params ("b" ^ g) in
+  let x (node : Node.t) g =
+    if with_x then Tensor.matvec (params ("Wx" ^ g)) (Tensor.row (params "Emb") node.payload)
+    else Tensor.zeros [| hidden |]
+  in
+  memo_rec structure (fun eval (node : Node.t) ->
+      let child k =
+        if k < Array.length node.children then eval node.children.(k)
+        else (Tensor.zeros [| hidden |], Tensor.zeros [| hidden |])
+      in
+      let h0, c0 = child 0 and h1, c1 = child 1 in
+      let gate g nl =
+        Tensor.map nl
+          (Tensor.add
+             (Tensor.add (x node g)
+                (Tensor.add (Tensor.matvec (u g 0) h0) (Tensor.matvec (u g 1) h1)))
+             (b g))
+      in
+      let i = gate "i" Nonlinear.sigmoid_rational in
+      let o = gate "o" Nonlinear.sigmoid_rational in
+      let uu = gate "u" Nonlinear.tanh_rational in
+      let forget k hk ck =
+        let f =
+          Tensor.map Nonlinear.sigmoid_rational
+            (Tensor.add (Tensor.add (x node "f") (Tensor.matvec (u "f" k) hk)) (b "f"))
+        in
+        Tensor.mul f ck
+      in
+      let c = Tensor.add (Tensor.mul i uu) (Tensor.add (forget 0 h0 c0) (forget 1 h1 c1)) in
+      let h = Tensor.mul o (tanh_v c) in
+      (h, c))
+
+let tree_gru ~params ~hidden ~with_x ~simple structure =
+  let u g = params ("U" ^ g) and b g = params ("b" ^ g) in
+  let x (node : Node.t) g =
+    if with_x then Tensor.matvec (params ("Wx" ^ g)) (Tensor.row (params "Emb") node.payload)
+    else Tensor.zeros [| hidden |]
+  in
+  memo_rec structure (fun eval (node : Node.t) ->
+      let hs = Array.map eval node.children in
+      let hsum = Tensor.zeros [| hidden |] in
+      Array.iter (Tensor.add_ hsum) hs;
+      let gate g nl over = Tensor.map nl (Tensor.add (Tensor.add (x node g) (Tensor.matvec (u g) over)) (b g)) in
+      let z = gate "z" Nonlinear.sigmoid_rational hsum in
+      let rh = Tensor.zeros [| hidden |] in
+      Array.iter
+        (fun hk ->
+          let r = gate "r" Nonlinear.sigmoid_rational hk in
+          Tensor.add_ rh (Tensor.mul r hk))
+        hs;
+      let hcand = gate "h" Nonlinear.tanh_rational rh in
+      let one_minus_z = Tensor.map (fun v -> 1.0 -. v) z in
+      if simple then Tensor.mul one_minus_z hcand
+      else Tensor.add (Tensor.mul z hsum) (Tensor.mul one_minus_z hcand))
+
+let mv_rnn ~params ~hidden structure =
+  let w0 = params "W0" and w1 = params "W1" and bp = params "bp" in
+  let wm0 = params "WM0" and wm1 = params "WM1" in
+  let embv = params "EmbV" and embm = params "EmbM" in
+  memo_rec structure (fun eval (node : Node.t) ->
+      if Node.is_leaf node then begin
+        let p = Tensor.row embv node.payload in
+        let a =
+          Tensor.init [| hidden; hidden |] (fun idx ->
+              Tensor.get embm [| node.payload; idx.(0); idx.(1) |])
+        in
+        (p, a)
+      end
+      else begin
+        let pl, al = eval node.children.(0) in
+        let pr, ar = eval node.children.(1) in
+        let u0 = Tensor.matvec ar pl in
+        let u1 = Tensor.matvec al pr in
+        let p =
+          tanh_v (Tensor.add (Tensor.add (Tensor.matvec w0 u0) (Tensor.matvec w1 u1)) bp)
+        in
+        let a = Tensor.add (Tensor.matmul wm0 al) (Tensor.matmul wm1 ar) in
+        (p, a)
+      end)
+
+let dag_rnn ~params ~hidden ~with_x structure =
+  let xfeat = params "X" and u = params "U" and b = params "b" in
+  memo_rec structure (fun eval (node : Node.t) ->
+      let cs = child_sum ~hidden node.children eval in
+      let x =
+        let raw = Tensor.row xfeat node.payload in
+        if with_x then Tensor.matvec (params "Wx") raw else raw
+      in
+      tanh_v (Tensor.add (Tensor.add x (Tensor.matvec u cs)) b))

@@ -1,0 +1,50 @@
+(** Hand-written reference implementations.
+
+    Each model is implemented a second time, directly with tensor
+    operations and plain recursion over the linked structure — no RA, no
+    compiler.  The test suite checks RA evaluation *and* the compiled
+    pipeline against these, so a mistake in the RA encoding of a model
+    cannot hide behind a matching mistake in the evaluator. *)
+
+module Tensor = Cortex_tensor.Tensor
+
+type resolver = string -> Tensor.t
+
+val tree_fc : params:resolver -> hidden:int -> Cortex_ds.Structure.t -> Cortex_ds.Node.t -> Tensor.t
+(** Hidden state of a node under TreeFC. *)
+
+val tree_rnn : params:resolver -> hidden:int -> Cortex_ds.Structure.t -> Cortex_ds.Node.t -> Tensor.t
+
+val tree_lstm :
+  params:resolver ->
+  hidden:int ->
+  with_x:bool ->
+  Cortex_ds.Structure.t ->
+  Cortex_ds.Node.t ->
+  Tensor.t * Tensor.t
+(** (h, c) of a node under child-sum TreeLSTM. *)
+
+val nary_tree_lstm :
+  params:resolver ->
+  hidden:int ->
+  with_x:bool ->
+  Cortex_ds.Structure.t ->
+  Cortex_ds.Node.t ->
+  Tensor.t * Tensor.t
+(** (h, c) under the N-ary (binary) TreeLSTM. *)
+
+val tree_gru :
+  params:resolver ->
+  hidden:int ->
+  with_x:bool ->
+  simple:bool ->
+  Cortex_ds.Structure.t ->
+  Cortex_ds.Node.t ->
+  Tensor.t
+
+val mv_rnn :
+  params:resolver -> hidden:int -> Cortex_ds.Structure.t -> Cortex_ds.Node.t -> Tensor.t * Tensor.t
+(** (p, A) of a node under MV-RNN. *)
+
+val dag_rnn :
+  params:resolver -> hidden:int -> with_x:bool -> Cortex_ds.Structure.t -> Cortex_ds.Node.t -> Tensor.t

@@ -1,0 +1,10 @@
+(** TreeFC — the benchmarking model of Looks et al. (2017), Table 2.
+
+    A single fully-connected layer applied at every node over the
+    children's hidden states, [h = relu(Wl.h_left + Wr.h_right + b)];
+    leaves are embedding lookups.  Evaluated on perfect binary trees of
+    height 7.  Without specialization the lowered code keeps the §5.2
+    conditional operator (a per-node leaf check inside the batched
+    loop). *)
+
+val spec : ?height:int -> ?vocab:int -> hidden:int -> unit -> Models_common.t

@@ -1,0 +1,25 @@
+(** Child-sum TreeGRU and its §7.4 simplification.
+
+    The GRU cell has two barrier-separated phases per dynamic batch: the
+    candidate state's matrix-vector product consumes the reset-gated
+    child-sum [rh], which is itself produced by a matrix-vector stage —
+    a cross-lane dependence that needs a global synchronization in
+    GRNN-style schedules.  Recursive refactoring (Fig. 10c) trades that
+    barrier for publishing the phase-0 temporaries across the backedge:
+
+    - full TreeGRU: [h = z.hsum + (1-z).hc] — the deferred combine needs
+      the child's [z] and child-sum [hsum] too, so the saving washes out;
+    - SimpleTreeGRU: [h = (1-z).hc] — only [z] must be published, and
+      refactoring wins ~25%.
+
+    With [sequence = true] this is the sequential GRU of Fig. 9. *)
+
+val spec :
+  ?vocab:int ->
+  ?variant:Models_common.variant ->
+  ?simple:bool ->
+  ?sequence:bool ->
+  ?seq_len:int ->
+  hidden:int ->
+  unit ->
+  Models_common.t

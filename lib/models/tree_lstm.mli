@@ -1,0 +1,24 @@
+(** Child-sum TreeLSTM (Tai et al., 2015) — the paper's flagship model.
+
+    Gates [i], [o], [u] are computed over the sum of children's hidden
+    states; each child gets its own forget gate whose product with the
+    child's cell state is child-summed.  [Full] includes the input
+    matrix-vector products (hoisted to an upfront kernel as in GRNN);
+    [Recursive_only] is the recursive portion used against Cavs and in
+    Fig. 7.  With [kind = Sequence] and [max_children = 1] this is
+    exactly the sequential LSTM used for the GRNN comparison (Fig. 9). *)
+
+val spec :
+  ?vocab:int ->
+  ?variant:Models_common.variant ->
+  ?sequence:bool ->
+  ?seq_len:int ->
+  hidden:int ->
+  unit ->
+  Models_common.t
+
+val nary_spec :
+  ?vocab:int -> ?variant:Models_common.variant -> hidden:int -> unit -> Models_common.t
+(** The N-ary (binary) TreeLSTM of Tai et al. §3.2: per-child-position
+    U matrices and per-position forget gates, expressed with fixed
+    [Child 0]/[Child 1] references instead of [ChildSum]. *)

@@ -1,0 +1,8 @@
+(** TreeRNN — the tree extension of a vanilla RNN used in §7.4:
+    [h = tanh(Emb[word] + U . sum_k h_k + b)].
+
+    Cheap enough that the whole cell for one node fits one thread
+    block, which is why its unrolling schedule uses block-local
+    synchronization and unrolling *helps* it (Fig. 10b). *)
+
+val spec : ?vocab:int -> hidden:int -> unit -> Models_common.t

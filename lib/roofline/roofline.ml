@@ -1,0 +1,47 @@
+type quantities = { flops : float; bytes : float; intensity : float }
+
+let fi = float_of_int
+
+(* F = B * N * (4*H*H + H): a matrix-vector product over the
+   concatenated children (2H -> H counts 4*H^2 with multiply-add) plus
+   the bias. *)
+let flops ~n ~b ~h =
+  fi b *. fi n *. ((4.0 *. fi h *. fi h) +. fi h)
+
+let make ~n ~b ~h bytes =
+  let f = flops ~n ~b ~h in
+  { flops = f; bytes; intensity = f /. bytes }
+
+(* Fig. 14's byte counts, 4 bytes per element. *)
+
+let cortex ~n ~b ~h =
+  let h' = fi h and n' = fi n and b' = fi b in
+  (* Model parameters (matrix W: 2H*H as two H*H reads, bias H) read
+     once and cached; per node: read both children's states, write the
+     result. *)
+  let bytes = 4.0 *. (((2.0 *. h' *. h') +. h') +. (b' *. n' *. 3.0 *. h')) in
+  make ~n ~b ~h bytes
+
+let dynet ~n ~b ~h =
+  let h' = fi h and n' = fi n and b' = fi b in
+  let levels = Float.max 1.0 (Float.round (log (n' +. 1.0) /. log 2.0)) in
+  (* Parameters re-read for every dynamic batch (one per level); per
+     node: children states gathered into contiguous scratch (read +
+     write) then read by the kernel, and the result written back. *)
+  let param = levels *. ((2.0 *. h' *. h') +. h') in
+  let states = b' *. n' *. 5.0 *. h' in
+  make ~n ~b ~h (4.0 *. (param +. states))
+
+let pytorch ~n ~b ~h =
+  let h' = fi h and n' = fi n and b' = fi b in
+  (* One kernel per node: weights + bias + operand states + result all
+     cross the memory bus every call. *)
+  let per_node = (2.0 *. h' *. h') +. h' +. (3.0 *. h') in
+  make ~n ~b ~h (4.0 *. (b' *. n' *. per_node))
+
+let asymptotic_cortex ~b ~n0 = fi b *. fi n0 /. ((3.0 *. fi b) +. 2.0)
+
+let asymptotic_dynet ~b ~n0 =
+  fi b *. fi n0 /. ((5.0 *. fi b) +. (8.0 *. (log (fi n0) /. log 2.0)))
+
+let asymptotic_pytorch () = 0.5

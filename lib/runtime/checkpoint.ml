@@ -1,0 +1,77 @@
+module Tensor = Cortex_tensor.Tensor
+module M = Cortex_models.Models_common
+
+type t = (string * Tensor.t) list
+
+exception Corrupt of string
+
+let magic = "CORTEXP1"
+
+let write_i64 oc v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int v);
+  output_bytes oc b
+
+let write_f64 oc v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.bits_of_float v);
+  output_bytes oc b
+
+let read_exactly ic n =
+  let b = Bytes.create n in
+  (try really_input ic b 0 n with End_of_file -> raise (Corrupt "truncated checkpoint"));
+  b
+
+let read_i64 ic = Int64.to_int (Bytes.get_int64_le (read_exactly ic 8) 0)
+let read_f64 ic = Int64.float_of_bits (Bytes.get_int64_le (read_exactly ic 8) 0)
+
+let write oc (table : t) =
+  output_string oc magic;
+  write_i64 oc (List.length table);
+  List.iter
+    (fun (name, tensor) ->
+      write_i64 oc (String.length name);
+      output_string oc name;
+      let shape = (tensor : Tensor.t).Tensor.shape in
+      write_i64 oc (Array.length shape);
+      Array.iter (write_i64 oc) shape;
+      for i = 0 to Tensor.numel tensor - 1 do
+        write_f64 oc (Tensor.get_flat tensor i)
+      done)
+    table
+
+let read ic =
+  let m = Bytes.to_string (read_exactly ic (String.length magic)) in
+  if m <> magic then raise (Corrupt ("bad magic " ^ m));
+  let count = read_i64 ic in
+  if count < 0 || count > 1_000_000 then raise (Corrupt "implausible tensor count");
+  List.init count (fun _ ->
+      let name_len = read_i64 ic in
+      if name_len < 0 || name_len > 4096 then raise (Corrupt "implausible name length");
+      let name = Bytes.to_string (read_exactly ic name_len) in
+      let rank = read_i64 ic in
+      if rank < 0 || rank > 8 then raise (Corrupt "implausible rank");
+      let shape = Array.init rank (fun _ -> read_i64 ic) in
+      Array.iter (fun d -> if d <= 0 || d > 100_000_000 then raise (Corrupt "bad extent")) shape;
+      let tensor = Tensor.zeros shape in
+      for i = 0 to Tensor.numel tensor - 1 do
+        Tensor.set_flat tensor i (read_f64 ic)
+      done;
+      (name, tensor))
+
+let save path table =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc table)
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read ic)
+
+let resolver table name =
+  match List.assoc_opt name table with
+  | Some t -> t
+  | None -> invalid_arg ("Checkpoint.resolver: unknown parameter " ^ name)
+
+let of_spec (spec : M.t) ~seed =
+  let f = spec.M.init_params (Cortex_util.Rng.create seed) in
+  List.map (fun (name, _) -> (name, f name)) spec.M.program.Cortex_ra.Ra.params

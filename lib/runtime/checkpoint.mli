@@ -1,0 +1,32 @@
+(** Parameter checkpoints: a small, stable binary format for model
+    parameter tables.
+
+    Models are trained elsewhere (Cortex, like the paper's prototype, is
+    an inference compiler); this module persists and restores the
+    [(name, tensor)] parameter tables the runtime binds, so weights can
+    be shipped with an application.  Format: a magic string, a tensor
+    count, then per tensor its name, shape and row-major float64
+    payload, all little-endian.  The format is independent of the host's
+    OCaml version (no [Marshal]). *)
+
+type t = (string * Cortex_tensor.Tensor.t) list
+
+exception Corrupt of string
+
+val write : out_channel -> t -> unit
+val read : in_channel -> t
+(** Raises {!Corrupt} on bad magic or truncated data. *)
+
+val save : string -> t -> unit
+(** Write to a file path. *)
+
+val load : string -> t
+(** Read from a file path. *)
+
+val resolver : t -> string -> Cortex_tensor.Tensor.t
+(** Lookup function in the shape model specs expect; raises
+    [Invalid_argument] for unknown names. *)
+
+val of_spec :
+  Cortex_models.Models_common.t -> seed:int -> t
+(** Materialize a model's initializer into a checkpointable table. *)

@@ -1,0 +1,126 @@
+open Cortex_ilir
+module Lower = Cortex_lower.Lower
+module Linearizer = Cortex_linearizer.Linearizer
+module Backend = Cortex_backend.Backend
+module Tensor = Cortex_tensor.Tensor
+module Stats = Cortex_util.Stats
+module M = Cortex_models.Models_common
+
+type compiled = Lower.compiled
+
+let compile = Lower.lower
+
+let options_for ?(base = Lower.default) (spec : M.t) =
+  {
+    base with
+    Lower.refactor_publish =
+      (if base.Lower.refactor then spec.M.refactor_publish else []);
+    refactor_removes_barrier = spec.M.refactor_removes_barrier;
+    block_local_unroll = base.Lower.unroll && spec.M.block_local_unroll;
+  }
+
+type execution = { exec_compiled : compiled; exec_bound : Lower.bound }
+
+let execute compiled ~params structure =
+  let lin = Linearizer.run structure in
+  let bound = Lower.bind compiled lin in
+  List.iter
+    (fun (name, t) -> Interp.bind_tensor bound.Lower.ctx t (params name))
+    compiled.Lower.param_tensors;
+  Interp.run_program bound.Lower.ctx compiled.Lower.prog;
+  { exec_compiled = compiled; exec_bound = bound }
+
+let state e st node = Lower.state_value e.exec_bound e.exec_compiled st node
+
+type report = {
+  latency : Backend.latency;
+  cost : Cost.t;
+  linearize_us : float;
+  device_memory_bytes : float;
+  num_nodes : int;
+}
+
+(* Bytes of the device-resident tensors: parameters, plus every
+   Global-space tensor of the program (states and, without fusion,
+   materialized temporaries), plus the linearizer's arrays. *)
+let device_memory compiled (bound : Lower.bound) =
+  let eval_extent e =
+    match e with
+    | Ir.Int n -> n
+    | Ir.UfCall (u, []) -> bound.Lower.uf_resolver u [||]
+    | _ -> failwith "Runtime.device_memory: unexpected extent"
+  in
+  let tensor_bytes (t : Ir.tensor) =
+    let elems = List.fold_left (fun acc e -> acc * eval_extent e) 1 t.Ir.extents in
+    float_of_int (elems * Cost.bytes_per_elem)
+  in
+  let prog = compiled.Lower.prog in
+  let globals =
+    List.filter (fun (t : Ir.tensor) -> t.Ir.space = Ir.Global) prog.Ir.temporaries
+  in
+  List.fold_left (fun acc t -> acc +. tensor_bytes t) 0.0 prog.Ir.params
+  +. List.fold_left (fun acc t -> acc +. tensor_bytes t) 0.0 prog.Ir.outputs
+  +. List.fold_left (fun acc t -> acc +. tensor_bytes t) 0.0 globals
+  +. float_of_int (Linearizer.memory_bytes bound.Lower.lin)
+
+let simulate ?(lock_free = false) compiled ~backend structure =
+  let linearize_us =
+    Stats.min_time_us ~repeats:5 (fun () -> Linearizer.run structure)
+  in
+  let lin = Linearizer.run structure in
+  let bound = Lower.bind compiled lin in
+  let cost =
+    Cost.analyze ~uf:bound.Lower.uf_resolver
+      ~num_internal_batches:bound.Lower.num_batch_launches compiled.Lower.prog
+  in
+  let latency =
+    Backend.simulate backend ~persist:compiled.Lower.options.Lower.persist ~lock_free cost
+  in
+  {
+    latency;
+    cost;
+    linearize_us;
+    device_memory_bytes = device_memory compiled bound;
+    num_nodes = lin.Linearizer.num_nodes;
+  }
+
+let total_ms r = (r.latency.Backend.total_us +. r.linearize_us) /. 1000.0
+
+module Schedule_check = struct
+  type verdict = Valid | Invalid of string
+
+  let peeling (options : Lower.options) = options.Lower.dynamic_batch
+
+  let check ~backend ~hidden ~states (options : Lower.options) ~(cost : Cost.t) =
+    if not options.Lower.persist then Valid
+    else begin
+      let persisted = Backend.persisted_bytes backend cost in
+      if persisted = 0.0 then Valid
+      else begin
+        (* Registers also hold the live states of the unrolled group
+           (child + parent per lane) and the peeled loop bodies roughly
+           double the live range of the persisted weights. *)
+        let state_bytes =
+          float_of_int (states * hidden * Cost.bytes_per_elem) *. backend.Backend.width
+        in
+        let demand = persisted +. (if options.Lower.unroll then 2.0 *. state_bytes else 0.0) in
+        let demand = if peeling options then demand *. 1.25 else demand in
+        if options.Lower.unroll && demand > backend.Backend.persist_budget_bytes then
+          Invalid "persistence + unrolling exceeds the register budget (App. D)"
+        else if
+          peeling options && demand > backend.Backend.persist_budget_bytes
+        then Invalid "persistence + loop peeling exceeds the register budget (App. D)"
+        else Valid
+      end
+    end
+end
+
+let grid_search ~candidates ~eval =
+  match candidates with
+  | [] -> invalid_arg "Runtime.grid_search: no candidates"
+  | first :: rest ->
+    List.fold_left
+      (fun (best, best_t) cand ->
+        let t = eval cand in
+        if t < best_t then (cand, t) else (best, best_t))
+      (first, eval first) rest

@@ -1,0 +1,93 @@
+(** The end-to-end Cortex runtime: compile a recursive model, linearize
+    inputs, execute numerically or cost it on a simulated backend.
+
+    This is the layer the examples and the benchmark harness talk to.
+    [execute] runs the compiled kernels through the ILIR interpreter
+    (real numbers, used at small hidden sizes and in every test);
+    [simulate] walks the same compiled kernels with the static cost
+    analyzer and prices the counts on a backend model (used at the
+    paper's hidden sizes). *)
+
+open Cortex_ilir
+module Linearizer = Cortex_linearizer.Linearizer
+module M = Cortex_models.Models_common
+
+type compiled = Cortex_lower.Lower.compiled
+
+val compile : ?options:Cortex_lower.Lower.options -> Cortex_ra.Ra.t -> compiled
+
+val options_for :
+  ?base:Cortex_lower.Lower.options -> M.t -> Cortex_lower.Lower.options
+(** The model's schedule metadata (refactoring publication list,
+    block-local unrolling) merged into [base] (default
+    [Lower.default]). *)
+
+type execution = {
+  exec_compiled : compiled;
+  exec_bound : Cortex_lower.Lower.bound;
+}
+
+val execute :
+  compiled ->
+  params:(string -> Cortex_tensor.Tensor.t) ->
+  Cortex_ds.Structure.t ->
+  execution
+(** Linearize, bind, run the kernels numerically. *)
+
+val state :
+  execution -> string -> Cortex_ds.Node.t -> Cortex_tensor.Tensor.t
+
+type report = {
+  latency : Cortex_backend.Backend.latency;
+  cost : Cost.t;
+  linearize_us : float;  (** measured wall clock of the real linearizer *)
+  device_memory_bytes : float;
+      (** peak device footprint: parameters + global tensors + the
+          linearizer's arrays *)
+  num_nodes : int;
+}
+
+val simulate :
+  ?lock_free:bool ->
+  compiled ->
+  backend:Cortex_backend.Backend.t ->
+  Cortex_ds.Structure.t ->
+  report
+(** Linearize (timed), statically cost the compiled kernels against the
+    concrete structure and price them on [backend].  [lock_free]
+    selects the faster global-barrier implementation (default false:
+    the paper's Cortex uses the lock-based one, §7.2). *)
+
+val total_ms : report -> float
+(** Simulated end-to-end inference latency in milliseconds, including
+    the measured linearization time (§7.5: linearization runs on the
+    host before any tensor computation). *)
+
+(** Register-pressure schedule validity (Appendix D). *)
+module Schedule_check : sig
+  type verdict = Valid | Invalid of string
+
+  val check :
+    backend:Cortex_backend.Backend.t ->
+    hidden:int ->
+    states:int ->
+    Cortex_lower.Lower.options ->
+    cost:Cost.t ->
+    verdict
+  (** Rejects schedules whose register demand exceeds the backend's
+      persistence budget: persistence + unrolling is out (live child
+      states double), and persistence + loop peeling is out for models
+      whose persisted weights already nearly fill the budget (the
+      TreeLSTM case the appendix describes). *)
+
+  val peeling : Cortex_lower.Lower.options -> bool
+  (** Whether the schedule's variable-bound loops are peeled (we peel by
+      default whenever dynamic batching is on). *)
+end
+
+val grid_search :
+  candidates:Cortex_lower.Lower.options list ->
+  eval:(Cortex_lower.Lower.options -> float) ->
+  Cortex_lower.Lower.options * float
+(** §6's auto-tuning: exhaustively evaluate schedule candidates and keep
+    the fastest. *)

@@ -1,0 +1,84 @@
+module Lower = Cortex_lower.Lower
+module Backend = Cortex_backend.Backend
+module M = Cortex_models.Models_common
+module Ra = Cortex_ra.Ra
+module Structure = Cortex_ds.Structure
+
+type candidate = { options : Lower.options; label : string; report : Runtime.report }
+
+let label_of (o : Lower.options) =
+  let tag cond name = if cond then [ name ] else [] in
+  let tags =
+    tag o.Lower.fuse "fuse" @ tag o.Lower.specialize "spec"
+    @ tag o.Lower.dynamic_batch "batch"
+    @ tag o.Lower.persist "persist" @ tag o.Lower.unroll "unroll"
+    @ tag o.Lower.refactor "refactor"
+  in
+  if tags = [] then "plain" else String.concat "+" tags
+
+let candidates (spec : M.t) =
+  let program = spec.M.program in
+  let tree_like = program.Ra.kind <> Structure.Dag in
+  let bools = [ false; true ] in
+  let combos =
+    List.concat_map
+      (fun fuse ->
+        List.concat_map
+          (fun specialize ->
+            List.concat_map
+              (fun persist ->
+                List.concat_map
+                  (fun unroll ->
+                    List.map
+                      (fun refactor ->
+                        {
+                          Lower.default with
+                          Lower.fuse;
+                          specialize;
+                          persist;
+                          unroll;
+                          refactor;
+                        })
+                      bools)
+                  bools)
+              bools)
+          bools)
+      bools
+  in
+  combos
+  |> List.filter (fun (o : Lower.options) ->
+         (* Structural validity: same restrictions the lowerer enforces. *)
+         ((not o.Lower.unroll)
+          || (tree_like && o.Lower.specialize && o.Lower.fuse && o.Lower.dynamic_batch))
+         && ((not o.Lower.refactor)
+             || (tree_like && Ra.num_phases program.Ra.rec_ops >= 2))
+         && not (o.Lower.unroll && o.Lower.refactor))
+  |> List.map (fun o -> (label_of o, Runtime.options_for ~base:o spec))
+
+let tune (spec : M.t) ~backend structure =
+  let hidden =
+    (* widest output axis of the state ops stands in for the hidden size *)
+    List.fold_left
+      (fun acc (st : Ra.state) ->
+        let o = Ra.find_op spec.M.program.Ra.rec_ops st.Ra.st_op in
+        List.fold_left max acc (Ra.op_dims o))
+      1 spec.M.program.Ra.states
+  in
+  let states = List.length spec.M.program.Ra.states in
+  candidates spec
+  |> List.filter_map (fun (label, options) ->
+         let compiled = Runtime.compile ~options spec.M.program in
+         let report = Runtime.simulate compiled ~backend structure in
+         match
+           Runtime.Schedule_check.check ~backend ~hidden ~states options
+             ~cost:report.Runtime.cost
+         with
+         | Runtime.Schedule_check.Invalid _ -> None
+         | Runtime.Schedule_check.Valid -> Some { options; label; report })
+  |> List.sort (fun a b ->
+         compare (Runtime.total_ms a.report) (Runtime.total_ms b.report))
+
+let best spec ~backend structure =
+  match tune spec ~backend structure with
+  | [] -> invalid_arg "Tuner.best: no valid schedule"
+  | c :: _ -> c

@@ -1,0 +1,33 @@
+(** §6-style schedule auto-tuning by grid search.
+
+    The paper's prototype uses manually defined schedules plus grid
+    search over schedule parameters; this module enumerates the
+    recursion-scheduling lattice for a model — fusion, specialization,
+    dynamic batching, persistence, unrolling (with the model's
+    block-local flag), recursive refactoring — filters out combinations
+    that are invalid for the model's structure kind or rejected by the
+    Appendix-D register-pressure check, costs each candidate on the
+    target backend, and returns them ranked. *)
+
+type candidate = {
+  options : Cortex_lower.Lower.options;
+  label : string;  (** e.g. "fuse+spec+persist" *)
+  report : Runtime.report;
+}
+
+val candidates : Cortex_models.Models_common.t -> (string * Cortex_lower.Lower.options) list
+(** The valid schedule lattice for this model (structurally valid; the
+    App. D check is applied during {!tune} because it needs the cost). *)
+
+val tune :
+  Cortex_models.Models_common.t ->
+  backend:Cortex_backend.Backend.t ->
+  Cortex_ds.Structure.t ->
+  candidate list
+(** All valid candidates costed on [backend], fastest first. *)
+
+val best :
+  Cortex_models.Models_common.t ->
+  backend:Cortex_backend.Backend.t ->
+  Cortex_ds.Structure.t ->
+  candidate

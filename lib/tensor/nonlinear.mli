@@ -1,0 +1,30 @@
+(** Nonlinear activation functions.
+
+    §A.5 of the paper: Cortex uses rational approximations of [tanh] and
+    [sigmoid] so the generated loops vectorize on CPUs.  We provide the
+    same approximations alongside the exact functions, and the test
+    suite bounds the approximation error.  The Cortex execution path
+    uses the rational forms; the reference implementations may use
+    either (the correctness oracle compares like with like). *)
+
+val tanh_exact : float -> float
+val sigmoid_exact : float -> float
+
+val tanh_rational : float -> float
+(** Padé-style rational approximation of tanh, clamped to [-1, 1];
+    absolute error below 3e-3 on all of R and below 1e-4 on [-3, 3]. *)
+
+val sigmoid_rational : float -> float
+(** [sigmoid_rational x = (1 + tanh_rational (x/2)) / 2]. *)
+
+val relu : float -> float
+
+type kind = Tanh | Sigmoid | Relu | Identity
+
+val apply : kind -> float -> float
+(** Dispatch using the rational forms for tanh/sigmoid. *)
+
+val apply_exact : kind -> float -> float
+val name : kind -> string
+val flops : kind -> int
+(** FLOP charge used by the cost model for one application. *)

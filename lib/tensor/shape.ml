@@ -1,0 +1,48 @@
+type t = int array
+
+let validate shape =
+  Array.iter
+    (fun d -> if d <= 0 then invalid_arg (Printf.sprintf "Shape.validate: extent %d" d))
+    shape
+
+let numel shape = Array.fold_left ( * ) 1 shape
+
+let strides shape =
+  let n = Array.length shape in
+  let s = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    s.(i) <- s.(i + 1) * shape.(i + 1)
+  done;
+  s
+
+let flatten_index shape idx =
+  let n = Array.length shape in
+  if Array.length idx <> n then
+    invalid_arg
+      (Printf.sprintf "Shape.flatten_index: rank %d vs %d" (Array.length idx) n);
+  let st = strides shape in
+  let off = ref 0 in
+  for i = 0 to n - 1 do
+    if idx.(i) < 0 || idx.(i) >= shape.(i) then
+      invalid_arg
+        (Printf.sprintf "Shape.flatten_index: index %d out of [0,%d) at dim %d" idx.(i)
+           shape.(i) i);
+    off := !off + (idx.(i) * st.(i))
+  done;
+  !off
+
+let unflatten_index shape off =
+  let n = Array.length shape in
+  let st = strides shape in
+  let idx = Array.make n 0 in
+  let rem = ref off in
+  for i = 0 to n - 1 do
+    idx.(i) <- !rem / st.(i);
+    rem := !rem mod st.(i)
+  done;
+  idx
+
+let equal a b = a = b
+
+let to_string shape =
+  "(" ^ String.concat "," (Array.to_list (Array.map string_of_int shape)) ^ ")"

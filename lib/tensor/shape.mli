@@ -1,0 +1,25 @@
+(** Tensor shapes: immutable dimension lists with row-major strides. *)
+
+type t = int array
+(** A shape is an array of positive extents; [[||]] is a scalar. *)
+
+val numel : t -> int
+(** Product of the extents (1 for a scalar). *)
+
+val strides : t -> int array
+(** Row-major strides: the last dimension is contiguous. *)
+
+val flatten_index : t -> int array -> int
+(** [flatten_index shape idx] is the linear offset of a multi-index.
+    Raises [Invalid_argument] when ranks differ or an index is out of
+    bounds. *)
+
+val unflatten_index : t -> int -> int array
+(** Inverse of [flatten_index]. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+(** e.g. ["(256,256)"]. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] if an extent is non-positive. *)

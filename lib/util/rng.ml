@@ -1,0 +1,46 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let seed = next_int64 t in
+  { state = seed }
+
+let int t bound =
+  assert (bound > 0);
+  (* Keep 62 bits so the value stays non-negative in OCaml's 63-bit
+     native int. *)
+  let raw = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  raw mod bound
+
+let uniform t =
+  (* 53 mantissa bits of the 64-bit output. *)
+  let bits = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int bits /. 9007199254740992.0
+
+let float t bound = uniform t *. bound
+
+let gaussian t ~mean ~std =
+  let u1 = max 1e-12 (uniform t) in
+  let u2 = uniform t in
+  let r = sqrt (-2.0 *. log u1) in
+  mean +. (std *. r *. cos (2.0 *. Float.pi *. u2))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

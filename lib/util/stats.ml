@@ -1,0 +1,34 @@
+let mean = function
+  | [] -> invalid_arg "Stats.mean: empty"
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let median = function
+  | [] -> invalid_arg "Stats.median: empty"
+  | xs ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let geomean = function
+  | [] -> invalid_arg "Stats.geomean: empty"
+  | xs ->
+    let s = List.fold_left (fun acc x -> acc +. log x) 0.0 xs in
+    exp (s /. float_of_int (List.length xs))
+
+let clamp ~lo ~hi v = Float.max lo (Float.min hi v)
+let clamp_int ~lo ~hi v = max lo (min hi v)
+
+let time_us f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let t1 = Unix.gettimeofday () in
+  (r, (t1 -. t0) *. 1e6)
+
+let min_time_us ~repeats f =
+  let best = ref infinity in
+  for _ = 1 to repeats do
+    let _, us = time_us f in
+    if us < !best then best := us
+  done;
+  !best

@@ -1,0 +1,18 @@
+(** Small numeric helpers shared by benches and tests. *)
+
+val mean : float list -> float
+val median : float list -> float
+val geomean : float list -> float
+(** Geometric mean; elements must be positive. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+val clamp_int : lo:int -> hi:int -> int -> int
+
+val time_us : (unit -> 'a) -> 'a * float
+(** [time_us f] runs [f ()] and returns its result with the elapsed wall
+    clock in microseconds. *)
+
+val min_time_us : repeats:int -> (unit -> 'a) -> float
+(** Best-of-[repeats] wall-clock time of a thunk, in microseconds.  Used
+    for the linearizer-overhead measurements (§7.5), which are real
+    measurements rather than simulated ones. *)

@@ -1,0 +1,58 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let default_aligns ncols = List.init ncols (fun i -> if i = 0 then Left else Right)
+
+let render ?title ?align ~header rows =
+  let ncols = List.length header in
+  let aligns = match align with Some a -> a | None -> default_aligns ncols in
+  let aligns = Array.of_list aligns in
+  let all = header :: rows in
+  let widths = Array.make ncols 0 in
+  let note_row row =
+    List.iteri (fun i cell -> if i < ncols then widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  List.iter note_row all;
+  let buf = Buffer.create 256 in
+  (match title with
+   | Some t ->
+     Buffer.add_string buf t;
+     Buffer.add_char buf '\n'
+   | None -> ());
+  let emit_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        let a = if i < Array.length aligns then aligns.(i) else Right in
+        Buffer.add_string buf (pad a widths.(i) cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row header;
+  Array.iteri
+    (fun i w ->
+      if i > 0 then Buffer.add_string buf "  ";
+      ignore w;
+      Buffer.add_string buf (String.make widths.(i) '-'))
+    widths;
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print ?title ?align ~header rows =
+  print_string (render ?title ?align ~header rows);
+  print_newline ()
+
+let fms v =
+  if v >= 100.0 then Printf.sprintf "%.0f" v
+  else if v >= 10.0 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.2f" v
+
+let fx v = Printf.sprintf "%.2f" v

@@ -1,0 +1,23 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    The evaluation reproduces the paper's tables and figure series as
+    aligned ASCII tables on stdout; this module does the layout. *)
+
+type align = Left | Right
+
+val render :
+  ?title:string -> ?align:align list -> header:string list -> string list list -> string
+(** [render ~title ~header rows] lays the table out with one space of
+    padding and a separator under the header.  Columns default to
+    right-aligned except the first, which is left-aligned; [align]
+    overrides per-column. *)
+
+val print :
+  ?title:string -> ?align:align list -> header:string list -> string list list -> unit
+(** [print] is [render] followed by [print_string] and a newline. *)
+
+val fms : float -> string
+(** Milliseconds with sensible precision ("0.39", "12.28"). *)
+
+val fx : float -> string
+(** Speedup factor ("13.59", "0.91"). *)

@@ -1,0 +1,341 @@
+(* Tests for the ILIR: the simplifier/prover (the Z3 substitute, §A.1),
+   scheduling transforms, barrier insertion (§A.4) and the bounds
+   checker (§A.2). *)
+
+open Cortex_ilir
+module Rng = Cortex_util.Rng
+module Tensor = Cortex_tensor.Tensor
+
+(* ---------- simplifier: random-expression equivalence ---------- *)
+
+(* Generate random integer expressions over two variables and check
+   that simplification preserves their value. *)
+let int_expr_gen =
+  let open QCheck.Gen in
+  let x = Ir.Var.fresh "x" and y = Ir.Var.fresh "y" in
+  let rec gen depth =
+    if depth = 0 then
+      oneof [ map (fun n -> Ir.Int n) (int_range (-20) 20); return (Ir.Var x); return (Ir.Var y) ]
+    else
+      let sub = gen (depth - 1) in
+      oneof
+        [
+          map (fun n -> Ir.Int n) (int_range (-20) 20);
+          return (Ir.Var x);
+          return (Ir.Var y);
+          map2 (fun a b -> Ir.Binop (Ir.Add, a, b)) sub sub;
+          map2 (fun a b -> Ir.Binop (Ir.Sub, a, b)) sub sub;
+          map2 (fun a b -> Ir.Binop (Ir.Mul, a, Ir.Int b)) sub (int_range (-5) 5);
+          map2 (fun a b -> Ir.Binop (Ir.Min, a, b)) sub sub;
+          map2 (fun a b -> Ir.Binop (Ir.Max, a, b)) sub sub;
+          map2 (fun a b -> Ir.Cmp (Ir.Lt, a, b)) sub sub;
+          map3 (fun c a b -> Ir.Select (c, a, b)) sub sub sub;
+        ]
+  in
+  QCheck.Gen.(pair (gen 4) (pair (int_range (-10) 10) (int_range (-10) 10)))
+  |> QCheck.Gen.map (fun (e, (vx, vy)) -> (e, x, y, vx, vy))
+
+let eval_int_expr e bindings =
+  let ctx = Interp.create ~num_internal_batches:0 () in
+  match Interp.eval_expr ctx bindings e with
+  | Interp.Vi n -> n
+  | Interp.Vf _ -> Alcotest.fail "expected int"
+
+let test_simplify_preserves_value =
+  QCheck.Test.make ~name:"Simplify.expr preserves value" ~count:1000
+    (QCheck.make ~print:(fun (e, _, _, vx, vy) ->
+         Printf.sprintf "%s with x=%d y=%d" (Ir.expr_to_string e) vx vy)
+       int_expr_gen)
+    (fun (e, x, y, vx, vy) ->
+      let bindings = [ (x.Ir.Var.vid, Interp.Vi vx); (y.Ir.Var.vid, Interp.Vi vy) ] in
+      eval_int_expr e bindings = eval_int_expr (Simplify.expr e) bindings)
+
+let test_simplify_identities () =
+  let x = Ir.Var (Ir.Var.fresh "x") in
+  let checks =
+    [
+      (Ir.Binop (Ir.Add, x, Ir.Int 0), x);
+      (Ir.Binop (Ir.Mul, x, Ir.Int 0), Ir.Int 0);
+      (Ir.Binop (Ir.Mul, Ir.Int 1, x), x);
+      (Ir.Binop (Ir.Add, Ir.Binop (Ir.Add, x, Ir.Int 2), Ir.Int 3), Ir.Binop (Ir.Add, x, Ir.Int 5));
+      (Ir.Binop (Ir.Sub, x, x), Ir.Int 0);
+      (Ir.Select (Ir.Int 1, x, Ir.Int 9), x);
+      (Ir.Binop (Ir.Mul, Ir.Flt 0.0, Ir.Math (Cortex_tensor.Nonlinear.Tanh, x)), Ir.Flt 0.0);
+      (Ir.Math (Cortex_tensor.Nonlinear.Relu, Ir.Flt (-3.0)), Ir.Flt 0.0);
+    ]
+  in
+  List.iter
+    (fun (e, want) ->
+      Alcotest.(check string) (Ir.expr_to_string e) (Ir.expr_to_string want)
+        (Ir.expr_to_string (Simplify.expr e)))
+    checks
+
+(* ---------- the prover: symbolic bound cancellation ---------- *)
+
+let test_prove_loop_guard () =
+  (* The loop-peeling fact: given 0 <= i <= batch_len(b) - 1, prove
+     i < batch_len(b) — requires cancelling the symbolic UF term. *)
+  let blen = Ir.Uf.fresh "batch_len" ~arity:1 in
+  let b = Ir.Var.fresh "b" in
+  let i = Ir.Var.fresh "i" in
+  let len = Ir.UfCall (blen, [ Ir.Var b ]) in
+  let env =
+    Simplify.bind_range Simplify.empty_env i ~lo:(Ir.Int 0)
+      ~hi:(Ir.Binop (Ir.Sub, len, Ir.Int 1))
+  in
+  Alcotest.(check (option bool)) "i < len" (Some true)
+    (Simplify.prove env (Ir.Cmp (Ir.Lt, Ir.Var i, len)));
+  Alcotest.(check (option bool)) "i >= 0" (Some true)
+    (Simplify.prove env (Ir.Cmp (Ir.Ge, Ir.Var i, Ir.Int 0)));
+  Alcotest.(check (option bool)) "i + 1 < len undecided" None
+    (Simplify.prove env (Ir.Cmp (Ir.Lt, Ir.Binop (Ir.Add, Ir.Var i, Ir.Int 1), len)));
+  Alcotest.(check (option bool)) "i < len + 1" (Some true)
+    (Simplify.prove env (Ir.Cmp (Ir.Lt, Ir.Var i, Ir.Binop (Ir.Add, len, Ir.Int 1))));
+  Alcotest.(check (option bool)) "i >= len false-able" (Some false)
+    (Simplify.prove env (Ir.Cmp (Ir.Ge, Ir.Var i, len)))
+
+let test_prove_uf_range () =
+  let role = Ir.Uf.fresh "role" ~arity:1 ~range:(0, 1) in
+  let b = Ir.Var.fresh "b" in
+  let call = Ir.UfCall (role, [ Ir.Var b ]) in
+  Alcotest.(check (option bool)) "role <= 1" (Some true)
+    (Simplify.prove Simplify.empty_env (Ir.Cmp (Ir.Le, call, Ir.Int 1)));
+  Alcotest.(check (option bool)) "role < 0 false" (Some false)
+    (Simplify.prove Simplify.empty_env (Ir.Cmp (Ir.Lt, call, Ir.Int 0)));
+  Alcotest.(check (option bool)) "role = 1 undecided" None
+    (Simplify.prove Simplify.empty_env (Ir.Cmp (Ir.Eq, call, Ir.Int 1)))
+
+let test_stmt_prunes_provable_branch () =
+  (* for i = 0:8: if i < 8 then A  -->  guard removed *)
+  let t = Ir.tensor "t" [ Ir.Dim.fresh "d" ] [ Ir.Int 8 ] in
+  let i = Ir.Var.fresh "i" in
+  let body = Ir.If (Ir.Cmp (Ir.Lt, Ir.Var i, Ir.Int 8), Ir.Store (t, [ Ir.Var i ], Ir.Flt 1.0), None) in
+  let loop = Ir.for_ i (Ir.Int 8) body in
+  match Simplify.stmt loop with
+  | Ir.For { body = Ir.Store _; _ } -> ()
+  | s -> Alcotest.failf "guard not removed:\n%s" (Ir.stmt_to_string s)
+
+(* ---------- scheduling transforms preserve semantics ---------- *)
+
+(* A small two-loop program: out[i,j] = i * 10 + j. *)
+let make_prog () =
+  let d = Ir.Dim.fresh "d" in
+  let t = Ir.tensor "out" [ d; d ] [ Ir.Int 6; Ir.Int 5 ] in
+  let i = Ir.Var.fresh "i" and j = Ir.Var.fresh "j" in
+  let body =
+    Ir.for_ i (Ir.Int 6)
+      (Ir.for_ j (Ir.Int 5)
+         (Ir.Store
+            ( t,
+              [ Ir.Var i; Ir.Var j ],
+              Ir.Binop (Ir.Add, Ir.Binop (Ir.Mul, Ir.Var i, Ir.Int 10), Ir.Var j) )))
+  in
+  (t, body, Ir.Var.name i, Ir.Var.name j)
+
+let run_body t body =
+  let ctx = Interp.create ~num_internal_batches:0 () in
+  Interp.run_stmt ctx [] body;
+  Interp.get_tensor ctx t
+
+let check_transform name transform =
+  let t, body, iname, jname = make_prog () in
+  let want = run_body t body in
+  let t2, body2, iname2, jname2 = make_prog () in
+  ignore (iname, jname);
+  let got = run_body t2 (transform ~i:iname2 ~j:jname2 body2) in
+  if not (Tensor.approx_equal want got) then Alcotest.failf "%s changed semantics" name
+
+let test_schedule_split () =
+  check_transform "split" (fun ~i ~j:_ s -> Schedule.split ~name:i ~factor:4 s)
+
+let test_schedule_split_peeled () =
+  check_transform "split_peeled" (fun ~i ~j:_ s -> Schedule.split_peeled ~name:i ~factor:4 s);
+  check_transform "split_peeled exact" (fun ~i:_ ~j s -> Schedule.split_peeled ~name:j ~factor:5 s)
+
+let test_schedule_unroll () =
+  check_transform "unroll" (fun ~i:_ ~j s -> Schedule.unroll ~name:j s)
+
+let test_schedule_reorder () =
+  check_transform "reorder" (fun ~i ~j s -> Schedule.reorder ~outer:i ~inner:j s)
+
+let test_schedule_peeled_guard_free () =
+  (* split_peeled must not contain any If in the main chunk loop. *)
+  let _, body, iname, _ = make_prog () in
+  let s = Schedule.split_peeled ~name:iname ~factor:4 body in
+  let rec has_if = function
+    | Ir.If _ -> true
+    | Ir.For { body; _ } -> has_if body
+    | Ir.Let (_, _, b) -> has_if b
+    | Ir.Seq ss -> List.exists has_if ss
+    | Ir.Store _ | Ir.Barrier | Ir.Nop -> false
+  in
+  Alcotest.(check bool) "no guards after peeling" false (has_if s)
+
+let test_schedule_errors () =
+  let _, body, _, _ = make_prog () in
+  (try
+     ignore (Schedule.split ~name:"nope" ~factor:2 body);
+     Alcotest.fail "missing loop accepted"
+   with Schedule.Schedule_error _ -> ());
+  Alcotest.(check int) "loop_names" 2 (List.length (Schedule.loop_names body))
+
+(* ---------- barrier insertion ---------- *)
+
+(* Build the shape of a lowered batch loop: a serial loop whose body
+   writes st[node] and reads st[child(node)]. *)
+let batch_loop_shape () =
+  let d = Ir.Dim.fresh "d" in
+  let st = Ir.tensor "st" [ d ] [ Ir.Int 100 ] in
+  let child = Ir.Uf.fresh "child" ~arity:1 in
+  let b = Ir.Var.fresh "b" and n = Ir.Var.fresh "n" in
+  let inner =
+    Ir.for_ ~kind:Ir.Parallel n (Ir.Int 4)
+      (Ir.Store (st, [ Ir.Var n ], Ir.Load (st, [ Ir.UfCall (child, [ Ir.Var n ]) ])))
+  in
+  Ir.for_ b (Ir.Int 3) inner
+
+let test_barrier_carrier_vs_conservative () =
+  let body = batch_loop_shape () in
+  let carrier = Barrier.insert Barrier.Carrier body in
+  let conservative = Barrier.insert Barrier.Conservative body in
+  Alcotest.(check int) "one barrier stmt either way" 1 (Barrier.count carrier);
+  Alcotest.(check int) "conservative has one too" 1 (Barrier.count conservative);
+  (* Placement differs: carrier puts it directly under the outer loop,
+     conservative under the inner one. *)
+  (match carrier with
+   | Ir.For { body = Ir.Seq (Ir.Barrier :: _); _ } -> ()
+   | s -> Alcotest.failf "carrier placement wrong:\n%s" (Ir.stmt_to_string s));
+  (match conservative with
+   | Ir.For { body = Ir.For { body = Ir.Seq (Ir.Barrier :: _); _ }; _ } -> ()
+   | s -> Alcotest.failf "conservative placement wrong:\n%s" (Ir.stmt_to_string s))
+
+let test_barrier_skips_independent_loops () =
+  (* No cross-node reads: no barrier should be inserted. *)
+  let d = Ir.Dim.fresh "d" in
+  let st = Ir.tensor "st" [ d ] [ Ir.Int 10 ] in
+  let i = Ir.Var.fresh "i" in
+  let body = Ir.for_ i (Ir.Int 10) (Ir.Store (st, [ Ir.Var i ], Ir.Flt 1.0)) in
+  Alcotest.(check int) "no barrier" 0 (Barrier.count (Barrier.insert Barrier.Carrier body))
+
+(* ---------- bounds checker ---------- *)
+
+let test_bounds_checker () =
+  let d = Ir.Dim.fresh "d" in
+  let t = Ir.tensor "t" [ d ] [ Ir.Int 10 ] in
+  let i = Ir.Var.fresh "i" in
+  let ok =
+    { Ir.pname = "ok"; params = []; inputs = []; temporaries = [ t ]; outputs = [];
+      kernels =
+        [ { Ir.kname = "k"; launch = Ir.Once;
+            body = Ir.for_ i (Ir.Int 10) (Ir.Store (t, [ Ir.Var i ], Ir.Flt 0.0)) } ] }
+  in
+  Alcotest.(check int) "in bounds" 0
+    (List.length (Bounds.check ~uf:(fun _ _ -> 0) ~num_internal_batches:0 ok));
+  let j = Ir.Var.fresh "j" in
+  let bad =
+    { ok with
+      Ir.kernels =
+        [ { Ir.kname = "k"; launch = Ir.Once;
+            body =
+              Ir.for_ j (Ir.Int 11)
+                (Ir.Store (t, [ Ir.Var j ], Ir.Flt 0.0)) } ] }
+  in
+  Alcotest.(check bool) "overflow detected" true
+    (List.length (Bounds.check ~uf:(fun _ _ -> 0) ~num_internal_batches:0 bad) > 0)
+
+let test_named_dims_arity () =
+  let d = Ir.Dim.fresh "d" in
+  let t = Ir.tensor "t" [ d; d ] [ Ir.Int 2; Ir.Int 2 ] in
+  let bad =
+    { Ir.pname = "p"; params = []; inputs = []; temporaries = [ t ]; outputs = [];
+      kernels =
+        [ { Ir.kname = "k"; launch = Ir.Once; body = Ir.Store (t, [ Ir.Int 0 ], Ir.Flt 1.0) } ] }
+  in
+  Alcotest.(check int) "arity mismatch flagged" 1 (List.length (Bounds.check_named_dims bad))
+
+(* ---------- C emission ---------- *)
+
+let test_emit_c_structure () =
+  let d = Ir.Dim.fresh "d" in
+  let n_uf = Ir.Uf.fresh "num_nodes" ~arity:0 in
+  let child = Ir.Uf.fresh "child" ~arity:2 in
+  let t = Ir.tensor ~space:Ir.Global "st" [ d; d ] [ Ir.UfCall (n_uf, []); Ir.Int 4 ] in
+  let i = Ir.Var.fresh "i" and j = Ir.Var.fresh "j" in
+  let body =
+    Ir.for_ ~kind:Ir.Parallel i (Ir.UfCall (n_uf, []))
+      (Ir.Seq
+         [
+           Ir.Barrier;
+           Ir.for_ ~kind:Ir.Vectorized j (Ir.Int 4)
+             (Ir.Store
+                ( t,
+                  [ Ir.Var i; Ir.Var j ],
+                  Ir.Math
+                    ( Cortex_tensor.Nonlinear.Sigmoid,
+                      Ir.Load (t, [ Ir.UfCall (child, [ Ir.Int 0; Ir.Var i ]); Ir.Var j ]) ) ));
+         ])
+  in
+  let prog =
+    {
+      Ir.pname = "emit_test";
+      params = [];
+      inputs = [];
+      temporaries = [ t ];
+      outputs = [];
+      kernels = [ { Ir.kname = "main"; launch = Ir.Once; body } ];
+    }
+  in
+  let out = Cortex_ilir.Emit_c.program prog in
+  let contains needle =
+    Alcotest.(check bool) ("emits " ^ needle) true
+      (let nl = String.length needle and ol = String.length out in
+       let rec scan i = i + nl <= ol && (String.sub out i nl = needle || scan (i + 1)) in
+       scan 0)
+  in
+  List.iter contains
+    [
+      "grid.sync();";
+      "ds_child(0, i)";
+      "st[(i) * 4 + j]";
+      "sigmoidf";
+      "extern const int num_nodes;";
+      "__global__ void main()";
+    ];
+  (* deterministic *)
+  Alcotest.(check string) "deterministic" out (Cortex_ilir.Emit_c.program prog)
+
+let () =
+  Alcotest.run "ilir"
+    [
+      ( "simplify",
+        [
+          QCheck_alcotest.to_alcotest test_simplify_preserves_value;
+          Alcotest.test_case "identities" `Quick test_simplify_identities;
+          Alcotest.test_case "branch-pruning" `Quick test_stmt_prunes_provable_branch;
+        ] );
+      ( "prover",
+        [
+          Alcotest.test_case "loop-guard" `Quick test_prove_loop_guard;
+          Alcotest.test_case "uf-range" `Quick test_prove_uf_range;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "split" `Quick test_schedule_split;
+          Alcotest.test_case "split-peeled" `Quick test_schedule_split_peeled;
+          Alcotest.test_case "peeled-guard-free" `Quick test_schedule_peeled_guard_free;
+          Alcotest.test_case "unroll" `Quick test_schedule_unroll;
+          Alcotest.test_case "reorder" `Quick test_schedule_reorder;
+          Alcotest.test_case "errors" `Quick test_schedule_errors;
+        ] );
+      ( "barrier",
+        [
+          Alcotest.test_case "carrier-vs-conservative" `Quick test_barrier_carrier_vs_conservative;
+          Alcotest.test_case "independent-loops" `Quick test_barrier_skips_independent_loops;
+        ] );
+      ( "bounds",
+        [
+          Alcotest.test_case "checker" `Quick test_bounds_checker;
+          Alcotest.test_case "named-dims" `Quick test_named_dims_arity;
+        ] );
+      ("emit-c", [ Alcotest.test_case "structure" `Quick test_emit_c_structure ]);
+    ]

@@ -1,0 +1,150 @@
+(* Tests for the data structure linearizer (§4.2, Appendix B) and the
+   unrolled grouping of §3.1/§7.4.  [Linearizer.check] verifies every
+   documented invariant (numbering permutation, children numbered higher
+   than parents, contiguous batches, dependence-respecting batch order,
+   single-comparison leaf check, valid postorder); the property tests
+   here drive it over random structures and add targeted cases. *)
+
+module Rng = Cortex_util.Rng
+module Structure = Cortex_ds.Structure
+module Gen = Cortex_ds.Gen
+module Linearizer = Cortex_linearizer.Linearizer
+module Unrolling = Cortex_linearizer.Unrolling
+
+let prop_check name gen =
+  QCheck.Test.make ~name ~count:300 QCheck.small_int (fun seed ->
+      let s = gen (Rng.create seed) in
+      let lin = Linearizer.run s in
+      Linearizer.check lin;
+      true)
+
+let random_tree rng = Gen.random_tree rng ~max_nodes:40 ~max_children:3
+let random_dag rng = Gen.random_dag rng ~max_nodes:40 ~max_children:3
+let random_seq rng = Gen.sequence rng ~len:(1 + Rng.int rng 40) ()
+let random_forest rng =
+  Structure.merge (List.init (1 + Rng.int rng 5) (fun _ -> random_tree rng))
+
+let test_batches_are_levels () =
+  let rng = Rng.create 9 in
+  let s = Gen.perfect_tree rng ~height:5 () in
+  let lin = Linearizer.run s in
+  Alcotest.(check int) "one batch per level" 5 (Array.length lin.Linearizer.batches);
+  let lens = Array.map snd lin.Linearizer.batches in
+  Alcotest.(check (array int)) "leaf batch first" [| 16; 8; 4; 2; 1 |] lens;
+  Alcotest.(check int) "leaf partition size" 16 (snd (Linearizer.leaf_batch lin));
+  Alcotest.(check int) "internal batches" 4 (Array.length (Linearizer.internal_batches lin))
+
+let test_leaf_check_is_single_comparison () =
+  let rng = Rng.create 10 in
+  let s = random_forest rng in
+  let lin = Linearizer.run s in
+  (* Appendix B: leaves are exactly the ids >= leaf_begin. *)
+  for id = 0 to lin.Linearizer.num_nodes - 1 do
+    Alcotest.(check bool) "leaf check" (lin.Linearizer.num_children.(id) = 0)
+      (Linearizer.is_leaf lin id)
+  done
+
+let test_grid_dag_batches () =
+  let lin = Linearizer.run (Gen.grid_dag ~rows:4 ~cols:6) in
+  Linearizer.check lin;
+  Alcotest.(check int) "anti-diagonals" 9 (Array.length lin.Linearizer.batches);
+  Alcotest.(check int) "single leaf" 1 lin.Linearizer.num_leaves
+
+let test_memory_accounting () =
+  let rng = Rng.create 11 in
+  let lin = Linearizer.run (random_tree rng) in
+  Alcotest.(check bool) "positive footprint" true (Linearizer.memory_bytes lin > 0)
+
+(* A corrupted linearization must be rejected by the checker. *)
+let test_check_catches_corruption () =
+  let rng = Rng.create 12 in
+  let lin = Linearizer.run (Gen.perfect_tree rng ~height:4 ()) in
+  let swap a i j =
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  in
+  (* Swapping two entries of the postorder breaks the children-first
+     property somewhere in a perfect tree. *)
+  swap lin.Linearizer.postorder 0 (lin.Linearizer.num_nodes - 1);
+  (try
+     Linearizer.check lin;
+     Alcotest.fail "corrupted postorder accepted"
+   with Failure _ -> ());
+  swap lin.Linearizer.postorder 0 (lin.Linearizer.num_nodes - 1);
+  Linearizer.check lin
+
+(* ---------- unrolled grouping ---------- *)
+
+let prop_unrolling name gen =
+  QCheck.Test.make ~name ~count:300 QCheck.small_int (fun seed ->
+      let s = gen (Rng.create seed) in
+      let lin = Linearizer.run s in
+      let u = Unrolling.compute lin in
+      Unrolling.check lin u;
+      true)
+
+let test_unrolling_sequence_pairs () =
+  let rng = Rng.create 13 in
+  let lin = Linearizer.run (Gen.sequence rng ~len:9 ()) in
+  let u = Unrolling.compute lin in
+  Unrolling.check lin u;
+  (* A chain of 8 internal nodes groups into pairs: 4 group levels, two
+     phases each (the head-only deepest group has no child phase). *)
+  let internal = Array.fold_left (fun a b -> a + Array.length b) 0 u.Unrolling.batches in
+  Alcotest.(check int) "all internal nodes covered" 8 internal;
+  Alcotest.(check bool) "more batches than trivial" true (Array.length u.Unrolling.batches >= 4)
+
+let test_unrolling_rejects_dags () =
+  let lin = Linearizer.run (Gen.grid_dag ~rows:3 ~cols:3) in
+  (try
+     ignore (Unrolling.compute lin);
+     Alcotest.fail "unrolling accepted a DAG"
+   with Failure _ -> ())
+
+let test_unrolling_phase_structure () =
+  let rng = Rng.create 14 in
+  let lin = Linearizer.run (Gen.perfect_tree rng ~height:5 ()) in
+  let u = Unrolling.compute lin in
+  Unrolling.check lin u;
+  (* phases alternate child-then-parent within each level *)
+  Array.iteri
+    (fun i role ->
+      match role with
+      | Unrolling.Parent_phase -> ()
+      | Unrolling.Child_phase ->
+        if i + 1 < Array.length u.Unrolling.roles then
+          Alcotest.(check bool) "child phase precedes a parent phase" true
+            (u.Unrolling.roles.(i + 1) = Unrolling.Parent_phase))
+    u.Unrolling.roles
+
+let () =
+  Alcotest.run "linearizer"
+    [
+      ( "invariants",
+        [
+          QCheck_alcotest.to_alcotest (prop_check "random trees" random_tree);
+          QCheck_alcotest.to_alcotest (prop_check "random DAGs" random_dag);
+          QCheck_alcotest.to_alcotest (prop_check "sequences" random_seq);
+          QCheck_alcotest.to_alcotest (prop_check "forests (batches)" random_forest);
+          QCheck_alcotest.to_alcotest
+            (prop_check "SST batches" (fun rng -> Gen.sst_batch rng ~batch:3 ()));
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "batches-are-levels" `Quick test_batches_are_levels;
+          Alcotest.test_case "leaf-check" `Quick test_leaf_check_is_single_comparison;
+          Alcotest.test_case "grid-batches" `Quick test_grid_dag_batches;
+          Alcotest.test_case "memory" `Quick test_memory_accounting;
+          Alcotest.test_case "checker-rejects-corruption" `Quick test_check_catches_corruption;
+        ] );
+      ( "unrolling",
+        [
+          QCheck_alcotest.to_alcotest (prop_unrolling "random trees" random_tree);
+          QCheck_alcotest.to_alcotest (prop_unrolling "forests" random_forest);
+          QCheck_alcotest.to_alcotest (prop_unrolling "sequences" random_seq);
+          Alcotest.test_case "sequence-pairs" `Quick test_unrolling_sequence_pairs;
+          Alcotest.test_case "rejects-dags" `Quick test_unrolling_rejects_dags;
+          Alcotest.test_case "phase-structure" `Quick test_unrolling_phase_structure;
+        ] );
+    ]

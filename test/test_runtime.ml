@@ -1,0 +1,319 @@
+(* End-to-end runtime tests + the paper's qualitative claims as
+   executable assertions (the shapes every table/figure must show,
+   regardless of the calibration constants). *)
+
+open Cortex
+module M = Models.Common
+
+let gpu = Backend.gpu
+
+let sim ?(base = Lower.default) (spec : M.t) ~batch =
+  let compiled = Runtime.compile ~options:(Runtime.options_for ~base spec) spec.M.program in
+  let structure = spec.M.dataset (Rng.create 21) ~batch in
+  Runtime.simulate compiled ~backend:gpu structure
+
+let ms r = Runtime.total_ms r
+
+(* ---------- runtime plumbing ---------- *)
+
+let test_execute_and_state () =
+  let spec = Models.Tree_rnn.spec ~vocab:20 ~hidden:4 () in
+  let compiled = Runtime.compile ~options:(Runtime.options_for spec) spec.M.program in
+  let structure = spec.M.dataset (Rng.create 1) ~batch:2 in
+  let params = spec.M.init_params (Rng.create 2) in
+  let e = Runtime.execute compiled ~params structure in
+  List.iter
+    (fun root ->
+      let h = Runtime.state e "h" root in
+      Alcotest.(check int) "state dims" 4 (Tensor.numel h);
+      (* tanh output in (-1, 1) *)
+      for i = 0 to 3 do
+        let v = Tensor.get h [| i |] in
+        Alcotest.(check bool) "bounded" true (v > -1.0 && v < 1.0)
+      done)
+    structure.Structure.roots
+
+let test_grid_search () =
+  let candidates =
+    [ Lower.baseline; Lower.default; { Lower.default with Lower.specialize = false } ]
+  in
+  let eval o = if o = Lower.default then 1.0 else 2.0 in
+  let best, t = Runtime.grid_search ~candidates ~eval in
+  Alcotest.(check bool) "picks min" true (best = Lower.default);
+  Alcotest.(check (float 0.0)) "min value" 1.0 t
+
+let test_schedule_check_appd () =
+  let spec = Models.Catalog.get "TreeLSTM" Models.Catalog.Small in
+  let r = sim spec ~batch:10 in
+  let verdict options =
+    Runtime.Schedule_check.check ~backend:gpu ~hidden:256 ~states:2
+      (Runtime.options_for ~base:options spec)
+      ~cost:r.Runtime.cost
+  in
+  (match verdict Lower.default with
+   | Runtime.Schedule_check.Valid -> ()
+   | Runtime.Schedule_check.Invalid m -> Alcotest.failf "default rejected: %s" m);
+  (match verdict { Lower.default with Lower.unroll = true } with
+   | Runtime.Schedule_check.Invalid _ -> ()
+   | Runtime.Schedule_check.Valid -> Alcotest.fail "persist+unroll accepted (App. D)")
+
+let test_tuner () =
+  let spec = Models.Catalog.get "TreeLSTM" Models.Catalog.Small in
+  let structure = spec.M.dataset (Rng.create 9) ~batch:4 in
+  let ranked = Tuner.tune spec ~backend:gpu structure in
+  Alcotest.(check bool) "several valid schedules" true (List.length ranked >= 8);
+  let best = List.hd ranked in
+  (* The winner must include the paper's core optimizations. *)
+  Alcotest.(check bool) "best fuses" true best.Tuner.options.Lower.fuse;
+  Alcotest.(check bool) "best batches" true best.Tuner.options.Lower.dynamic_batch;
+  Alcotest.(check bool) "best specializes" true best.Tuner.options.Lower.specialize;
+  (* Ranking is sorted. *)
+  let rec sorted = function
+    | a :: (b :: _ as tl) ->
+      Runtime.total_ms a.Tuner.report <= Runtime.total_ms b.Tuner.report && sorted tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted" true (sorted ranked);
+  (* App. D: no candidate combines persistence with unrolling for
+     TreeLSTM at h = 256. *)
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "no persist+unroll survivor" false
+        (c.Tuner.options.Lower.persist && c.Tuner.options.Lower.unroll))
+    ranked
+
+let test_checkpoint_roundtrip () =
+  let spec = Models.Tree_gru.spec ~vocab:20 ~hidden:6 () in
+  let table = Checkpoint.of_spec spec ~seed:99 in
+  let path = Filename.temp_file "cortex" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Checkpoint.save path table;
+      let restored = Checkpoint.load path in
+      Alcotest.(check int) "same count" (List.length table) (List.length restored);
+      List.iter
+        (fun (name, t) ->
+          let t' = Checkpoint.resolver restored name in
+          Alcotest.(check bool) (name ^ " identical") true (Tensor.max_abs_diff t t' = 0.0))
+        table;
+      (* the restored table drives inference identically *)
+      let structure = spec.M.dataset (Rng.create 3) ~batch:2 in
+      let compiled = Runtime.compile ~options:(Runtime.options_for spec) spec.M.program in
+      let run params =
+        let e = Runtime.execute compiled ~params structure in
+        List.map (fun r -> Runtime.state e "h" r) structure.Structure.roots
+      in
+      List.iter2
+        (fun a b -> Alcotest.(check bool) "same inference" true (Tensor.max_abs_diff a b = 0.0))
+        (run (Checkpoint.resolver table))
+        (run (Checkpoint.resolver restored)));
+  (* corruption detection *)
+  let path2 = Filename.temp_file "cortex" ".bad" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path2)
+    (fun () ->
+      let oc = open_out_bin path2 in
+      output_string oc "NOTACKPT";
+      close_out oc;
+      try
+        ignore (Checkpoint.load path2);
+        Alcotest.fail "corrupt checkpoint accepted"
+      with Checkpoint.Corrupt _ -> ())
+
+let test_bounds_clean () =
+  (* The §A.2 bounds checker proves every access of the compiled
+     programs in bounds for the concrete inputs. *)
+  List.iter
+    (fun name ->
+      let spec = Models.Catalog.get name Models.Catalog.Small in
+      List.iter
+        (fun options ->
+          let options = Runtime.options_for ~base:options spec in
+          let compiled = Runtime.compile ~options spec.M.program in
+          let structure = spec.M.dataset (Rng.create 14) ~batch:2 in
+          let lin = Linearizer.run structure in
+          let bound = Lower.bind compiled lin in
+          let violations =
+            Bounds.check ~uf:bound.Lower.uf_resolver
+              ~num_internal_batches:bound.Lower.num_batch_launches compiled.Lower.prog
+          in
+          (match violations with
+           | [] -> ()
+           | v :: _ ->
+             Alcotest.failf "%s: %s[%s]: %s" name v.Bounds.tensor v.Bounds.index
+               v.Bounds.detail);
+          Alcotest.(check int) (name ^ " named dims") 0
+            (List.length (Bounds.check_named_dims compiled.Lower.prog)))
+        [ Lower.default; Lower.baseline; { Lower.default with Lower.specialize = false } ])
+    [ "TreeRNN"; "TreeLSTM"; "TreeGRU"; "TreeFC"; "DAG-RNN" ]
+
+let test_device_memory_positive () =
+  let spec = Models.Catalog.get "TreeGRU" Models.Catalog.Small in
+  let r = sim spec ~batch:10 in
+  Alcotest.(check bool) "device memory accounted" true (r.Runtime.device_memory_bytes > 1.0e6)
+
+(* ---------- the paper's qualitative claims ---------- *)
+
+let test_cortex_beats_frameworks () =
+  (* Fig. 6 / Tables 4-5: on the GPU, Cortex beats PyTorch, DyNet and
+     Cavs on every evaluated model, batch 1 and 10. *)
+  List.iter
+    (fun name ->
+      let spec = Models.Catalog.get name Models.Catalog.Small in
+      List.iter
+        (fun batch ->
+          let structure = spec.M.dataset (Rng.create 4) ~batch in
+          let lin = Linearizer.run structure in
+          let compiled = Runtime.compile ~options:(Runtime.options_for spec) spec.M.program in
+          let cortex = ms (Runtime.simulate compiled ~backend:gpu structure) in
+          List.iter
+            (fun kind ->
+              let fw =
+                (Frameworks.run kind ~backend:gpu spec.M.program lin).Frameworks.total_us /. 1000.0
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s beats %s (bs %d): %.3f vs %.3f" name
+                   (Frameworks.name kind) batch cortex fw)
+                true (cortex < fw))
+            [ Frameworks.Pytorch; Frameworks.Dynet; Frameworks.Cavs ])
+        [ 1; 10 ])
+    Models.Catalog.evaluated
+
+let test_fig10a_progression () =
+  (* Fusion then specialization then persistence: latency must not
+     increase along the chain, and fusion must be a big win. *)
+  List.iter
+    (fun name ->
+      let spec = Models.Catalog.get name Models.Catalog.Small in
+      let unfused = ms (sim ~base:{ Lower.baseline with Lower.dynamic_batch = true } spec ~batch:10) in
+      let fused = ms (sim ~base:{ Lower.default with Lower.specialize = false; persist = false } spec ~batch:10) in
+      let specd = ms (sim ~base:{ Lower.default with Lower.persist = false } spec ~batch:10) in
+      Alcotest.(check bool) (name ^ ": fusion >= 2x") true (unfused /. fused >= 2.0);
+      Alcotest.(check bool) (name ^ ": specialization does not hurt") true
+        (specd <= fused *. 1.05))
+    Models.Catalog.evaluated
+
+let test_specialization_dag_vs_tree () =
+  (* §7.3: specialization helps TreeLSTM a lot and DAG-RNN not at all. *)
+  let gain name =
+    let spec = Models.Catalog.get name Models.Catalog.Small in
+    let off = ms (sim ~base:{ Lower.default with Lower.specialize = false } spec ~batch:10) in
+    let on = ms (sim spec ~batch:10) in
+    off /. on
+  in
+  let tree = gain "TreeLSTM" and dag = gain "DAG-RNN" in
+  Alcotest.(check bool) (Printf.sprintf "TreeLSTM gain %.2f > 1.1" tree) true (tree > 1.1);
+  Alcotest.(check bool) (Printf.sprintf "DAG-RNN gain %.2f ~ 1" dag) true
+    (dag < 1.08 && dag > 0.92);
+  Alcotest.(check bool) "tree gains more than DAG" true (tree > dag)
+
+let test_fig10b_unrolling () =
+  let run name block_local =
+    let device r = r.Runtime.latency.Backend.total_us in
+    let spec = Models.Catalog.get name Models.Catalog.Small in
+    let base = device (sim ~base:{ Lower.default with Lower.persist = false } spec ~batch:10) in
+    let unrolled =
+      device
+        (sim
+           ~base:{ Lower.default with Lower.unroll = true; persist = false;
+                   block_local_unroll = block_local }
+           spec ~batch:10)
+    in
+    (base, unrolled)
+  in
+  let lstm_base, lstm_unrolled = run "TreeLSTM" false in
+  let rnn_base, rnn_unrolled = run "TreeRNN" true in
+  Alcotest.(check bool) "unrolling slows TreeLSTM" true (lstm_unrolled > lstm_base);
+  Alcotest.(check bool) "unrolling speeds TreeRNN" true (rnn_unrolled < rnn_base)
+
+let test_fig10c_refactoring () =
+  let gain name =
+    let spec = Models.Catalog.get name Models.Catalog.Small in
+    let base = ms (sim spec ~batch:10) in
+    let refactored = ms (sim ~base:{ Lower.default with Lower.refactor = true } spec ~batch:10) in
+    (base -. refactored) /. base
+  in
+  let full = gain "TreeGRU" and simple = gain "SimpleTreeGRU" in
+  Alcotest.(check bool) (Printf.sprintf "TreeGRU ~ flat (%.1f%%)" (full *. 100.)) true
+    (Float.abs full < 0.08);
+  Alcotest.(check bool) (Printf.sprintf "SimpleTreeGRU wins (%.1f%%)" (simple *. 100.)) true
+    (simple > 0.12)
+
+let test_fig12_memory_ordering () =
+  (* PyTorch < CORTEX < DyNet for every model with 1-D states. *)
+  List.iter
+    (fun name ->
+      let spec = Models.Catalog.get name Models.Catalog.Small in
+      let structure = spec.M.dataset (Rng.create 5) ~batch:10 in
+      let lin = Linearizer.run structure in
+      let fw kind = (Frameworks.run kind ~backend:gpu spec.M.program lin).Frameworks.memory_bytes in
+      let compiled = Runtime.compile ~options:(Runtime.options_for spec) spec.M.program in
+      let cortex = (Runtime.simulate compiled ~backend:gpu structure).Runtime.device_memory_bytes in
+      Alcotest.(check bool) (name ^ ": cortex below DyNet") true (cortex < fw Frameworks.Dynet);
+      (* PyTorch keeps the least (no batching scratch, temps freed); a
+         2% tolerance absorbs accounting noise on embedding-dominated
+         models. *)
+      Alcotest.(check bool) (name ^ ": pytorch lowest") true
+        (fw Frameworks.Pytorch < cortex *. 1.02))
+    [ "TreeFC"; "TreeGRU"; "TreeLSTM" ]
+
+let test_barrier_modes () =
+  (* §A.4: conservative (stock-TVM) placement never uses fewer barriers
+     than the dependence-carrying placement. *)
+  List.iter
+    (fun name ->
+      let spec = Models.Catalog.get name Models.Catalog.Small in
+      let b mode =
+        (sim ~base:{ Lower.default with Lower.barrier_mode = mode } spec ~batch:10)
+          .Runtime.latency.Backend.barriers
+      in
+      Alcotest.(check bool) (name ^ ": conservative >= carrier") true
+        (b Barrier.Conservative >= b Barrier.Carrier))
+    [ "TreeLSTM"; "TreeRNN"; "DAG-RNN" ]
+
+let test_grnn_comparison () =
+  (* Fig. 9: the lock-free barrier makes GRNN-style code strictly
+     faster; Cortex with the same barrier matches it. *)
+  let spec = Models.Catalog.get "LSTM" Models.Catalog.Small in
+  let compiled = Runtime.compile ~options:(Runtime.options_for spec) spec.M.program in
+  let structure = spec.M.dataset (Rng.create 6) ~batch:1 in
+  let grnn = Runtime.simulate ~lock_free:true compiled ~backend:gpu structure in
+  let cortex = Runtime.simulate compiled ~backend:gpu structure in
+  Alcotest.(check bool) "lock-free faster" true (ms grnn < ms cortex);
+  Alcotest.(check bool) "within 2x" true (ms cortex /. ms grnn < 2.0)
+
+let test_linearization_overhead_share () =
+  (* §7.5: linearization is a small share of end-to-end latency for tree
+     models on the GPU. *)
+  let spec = Models.Catalog.get "TreeLSTM" Models.Catalog.Small in
+  let r = sim spec ~batch:10 in
+  let share = r.Runtime.linearize_us /. (r.Runtime.latency.Backend.total_us +. r.Runtime.linearize_us) in
+  Alcotest.(check bool) (Printf.sprintf "share %.1f%% < 35%%" (share *. 100.)) true (share < 0.35)
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "plumbing",
+        [
+          Alcotest.test_case "execute-state" `Quick test_execute_and_state;
+          Alcotest.test_case "grid-search" `Quick test_grid_search;
+          Alcotest.test_case "schedule-check" `Quick test_schedule_check_appd;
+          Alcotest.test_case "tuner" `Quick test_tuner;
+          Alcotest.test_case "checkpoint" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "bounds-clean" `Quick test_bounds_clean;
+          Alcotest.test_case "device-memory" `Quick test_device_memory_positive;
+        ] );
+      ( "paper-claims",
+        [
+          Alcotest.test_case "cortex-beats-frameworks" `Quick test_cortex_beats_frameworks;
+          Alcotest.test_case "fig10a-progression" `Quick test_fig10a_progression;
+          Alcotest.test_case "specialization-dag-vs-tree" `Quick test_specialization_dag_vs_tree;
+          Alcotest.test_case "fig10b-unrolling" `Quick test_fig10b_unrolling;
+          Alcotest.test_case "fig10c-refactoring" `Quick test_fig10c_refactoring;
+          Alcotest.test_case "fig12-memory" `Quick test_fig12_memory_ordering;
+          Alcotest.test_case "barrier-modes" `Quick test_barrier_modes;
+          Alcotest.test_case "grnn" `Quick test_grnn_comparison;
+          Alcotest.test_case "linearization-share" `Quick test_linearization_overhead_share;
+        ] );
+    ]

@@ -1,0 +1,178 @@
+(* Unit and property tests for cortex.tensor: shapes, dense ops and the
+   paper's rational nonlinearities (§A.5). *)
+
+module Rng = Cortex_util.Rng
+module Shape = Cortex_tensor.Shape
+module Tensor = Cortex_tensor.Tensor
+module Nonlinear = Cortex_tensor.Nonlinear
+
+let shape_gen =
+  QCheck.Gen.(list_size (int_range 0 3) (int_range 1 6) >|= Array.of_list)
+
+let shape_arb = QCheck.make ~print:Shape.to_string shape_gen
+
+let test_flatten_roundtrip =
+  QCheck.Test.make ~name:"flatten/unflatten roundtrip" ~count:300 shape_arb (fun shape ->
+      let n = Shape.numel shape in
+      let ok = ref true in
+      for off = 0 to n - 1 do
+        let idx = Shape.unflatten_index shape off in
+        if Shape.flatten_index shape idx <> off then ok := false
+      done;
+      !ok)
+
+let test_strides_row_major () =
+  Alcotest.(check (array int)) "strides" [| 12; 4; 1 |] (Shape.strides [| 2; 3; 4 |]);
+  Alcotest.(check int) "numel" 24 (Shape.numel [| 2; 3; 4 |]);
+  Alcotest.(check int) "scalar numel" 1 (Shape.numel [||])
+
+let test_flatten_bounds () =
+  Alcotest.check_raises "oob" (Invalid_argument "Shape.flatten_index: index 3 out of [0,3) at dim 0")
+    (fun () -> ignore (Shape.flatten_index [| 3 |] [| 3 |]))
+
+let rand_tensor rng shape = Tensor.rand_uniform rng shape ~lo:(-2.0) ~hi:2.0
+
+let test_matmul_identity () =
+  let rng = Rng.create 3 in
+  let a = rand_tensor rng [| 4; 5 |] in
+  let id = Tensor.init [| 5; 5 |] (fun i -> if i.(0) = i.(1) then 1.0 else 0.0) in
+  Alcotest.(check bool) "a * I = a" true (Tensor.approx_equal (Tensor.matmul a id) a)
+
+let test_matmul_assoc =
+  QCheck.Test.make ~name:"(ab)c = a(bc)" ~count:50 QCheck.small_int (fun seed ->
+      let rng = Rng.create seed in
+      let a = rand_tensor rng [| 3; 4 |] in
+      let b = rand_tensor rng [| 4; 2 |] in
+      let c = rand_tensor rng [| 2; 5 |] in
+      Tensor.approx_equal ~tol:1e-9
+        (Tensor.matmul (Tensor.matmul a b) c)
+        (Tensor.matmul a (Tensor.matmul b c)))
+
+let test_matvec_is_matmul_column =
+  QCheck.Test.make ~name:"matvec = matmul with column" ~count:100 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create seed in
+      let a = rand_tensor rng [| 4; 6 |] in
+      let x = rand_tensor rng [| 6 |] in
+      let col = Tensor.reshape x [| 6; 1 |] in
+      let want = Tensor.reshape (Tensor.matmul a col) [| 4 |] in
+      Tensor.approx_equal (Tensor.matvec a x) want)
+
+let test_transpose_involution =
+  QCheck.Test.make ~name:"transpose twice = id" ~count:100 QCheck.small_int (fun seed ->
+      let rng = Rng.create seed in
+      let a = rand_tensor rng [| 3; 7 |] in
+      Tensor.approx_equal (Tensor.transpose (Tensor.transpose a)) a)
+
+let test_transpose_matmul =
+  QCheck.Test.make ~name:"(ab)^T = b^T a^T" ~count:50 QCheck.small_int (fun seed ->
+      let rng = Rng.create seed in
+      let a = rand_tensor rng [| 3; 4 |] in
+      let b = rand_tensor rng [| 4; 5 |] in
+      Tensor.approx_equal ~tol:1e-9
+        (Tensor.transpose (Tensor.matmul a b))
+        (Tensor.matmul (Tensor.transpose b) (Tensor.transpose a)))
+
+let test_elementwise () =
+  let rng = Rng.create 5 in
+  let a = rand_tensor rng [| 2; 3 |] in
+  let b = rand_tensor rng [| 2; 3 |] in
+  Alcotest.(check bool) "a+b-b = a" true
+    (Tensor.approx_equal ~tol:1e-9 (Tensor.sub (Tensor.add a b) b) a);
+  Alcotest.(check bool) "2a = a+a" true
+    (Tensor.approx_equal (Tensor.scale 2.0 a) (Tensor.add a a));
+  let acc = Tensor.copy a in
+  Tensor.add_ acc b;
+  Alcotest.(check bool) "add_ = add" true (Tensor.approx_equal acc (Tensor.add a b))
+
+let test_concat_row () =
+  let a = Tensor.init [| 2; 2 |] (fun i -> float_of_int ((i.(0) * 2) + i.(1))) in
+  let b = Tensor.scale 10.0 a in
+  let cat = Tensor.concat ~axis:0 a b in
+  Alcotest.(check int) "rows" 4 (Tensor.dim cat 0);
+  Alcotest.(check bool) "row 2 = b row 0" true (Tensor.approx_equal (Tensor.row cat 2) (Tensor.row b 0));
+  let cat1 = Tensor.concat ~axis:1 a b in
+  Alcotest.(check int) "cols" 4 (Tensor.dim cat1 1);
+  Alcotest.(check (float 1e-9)) "cell" 20.0 (Tensor.get cat1 [| 1; 2 |])
+
+let test_dot_sum () =
+  let a = Tensor.of_array [| 3 |] [| 1.0; 2.0; 3.0 |] in
+  Alcotest.(check (float 1e-9)) "sum" 6.0 (Tensor.sum a);
+  Alcotest.(check (float 1e-9)) "dot" 14.0 (Tensor.dot a a)
+
+let test_shape_errors () =
+  let a = Tensor.zeros [| 2; 3 |] in
+  let b = Tensor.zeros [| 3; 2 |] in
+  Alcotest.check_raises "map2 mismatch" (Invalid_argument "Tensor.map2: (2,3) vs (3,2)")
+    (fun () -> ignore (Tensor.map2 ( +. ) a b));
+  Alcotest.check_raises "matvec mismatch" (Invalid_argument "Tensor.matvec: (2,3) x (2)")
+    (fun () -> ignore (Tensor.matvec a (Tensor.zeros [| 2 |])))
+
+(* §A.5: rational approximations must be close, bounded and odd/symmetric. *)
+
+let test_tanh_rational_error () =
+  let worst = ref 0.0 in
+  for i = -6000 to 6000 do
+    let x = float_of_int i /. 500.0 in
+    let err = Float.abs (Nonlinear.tanh_rational x -. tanh x) in
+    if err > !worst then worst := err
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "tanh error %.2g < 3e-3" !worst)
+    true (!worst < 3e-3)
+
+let test_tanh_rational_tight_near_zero () =
+  let worst = ref 0.0 in
+  for i = -1500 to 1500 do
+    let x = float_of_int i /. 500.0 in
+    let err = Float.abs (Nonlinear.tanh_rational x -. tanh x) in
+    if err > !worst then worst := err
+  done;
+  Alcotest.(check bool) "error < 1e-4 on [-3,3]" true (!worst < 1e-4)
+
+let test_nonlinear_properties =
+  QCheck.Test.make ~name:"tanh/sigmoid rational: bounded, odd, monotone" ~count:300
+    QCheck.(float_range (-30.0) 30.0)
+    (fun x ->
+      let t = Nonlinear.tanh_rational x in
+      let s = Nonlinear.sigmoid_rational x in
+      t >= -1.0 && t <= 1.0 && s >= 0.0 && s <= 1.0
+      && Float.abs (Nonlinear.tanh_rational (-.x) +. t) < 1e-12
+      && Float.abs (s +. Nonlinear.sigmoid_rational (-.x) -. 1.0) < 1e-9
+      && Nonlinear.tanh_rational (x +. 0.1) >= t -. 1e-12)
+
+let test_relu () =
+  Alcotest.(check (float 0.0)) "relu+" 2.5 (Nonlinear.relu 2.5);
+  Alcotest.(check (float 0.0)) "relu-" 0.0 (Nonlinear.relu (-2.5));
+  Alcotest.(check (float 0.0)) "apply dispatch" (Nonlinear.tanh_rational 0.3)
+    (Nonlinear.apply Nonlinear.Tanh 0.3)
+
+let () =
+  Alcotest.run "tensor"
+    [
+      ( "shape",
+        [
+          Alcotest.test_case "strides" `Quick test_strides_row_major;
+          Alcotest.test_case "bounds" `Quick test_flatten_bounds;
+          QCheck_alcotest.to_alcotest test_flatten_roundtrip;
+        ] );
+      ( "ops",
+        [
+          Alcotest.test_case "matmul-id" `Quick test_matmul_identity;
+          Alcotest.test_case "elementwise" `Quick test_elementwise;
+          Alcotest.test_case "concat-row" `Quick test_concat_row;
+          Alcotest.test_case "dot-sum" `Quick test_dot_sum;
+          Alcotest.test_case "shape-errors" `Quick test_shape_errors;
+          QCheck_alcotest.to_alcotest test_matmul_assoc;
+          QCheck_alcotest.to_alcotest test_matvec_is_matmul_column;
+          QCheck_alcotest.to_alcotest test_transpose_involution;
+          QCheck_alcotest.to_alcotest test_transpose_matmul;
+        ] );
+      ( "nonlinear",
+        [
+          Alcotest.test_case "tanh-error-global" `Quick test_tanh_rational_error;
+          Alcotest.test_case "tanh-error-core" `Quick test_tanh_rational_tight_near_zero;
+          Alcotest.test_case "relu" `Quick test_relu;
+          QCheck_alcotest.to_alcotest test_nonlinear_properties;
+        ] );
+    ]

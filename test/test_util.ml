@@ -1,0 +1,102 @@
+(* Unit and property tests for cortex.util: the deterministic RNG,
+   table rendering and numeric helpers. *)
+
+module Rng = Cortex_util.Rng
+module Table = Cortex_util.Table
+module Stats = Cortex_util.Stats
+
+let test_rng_deterministic () =
+  let a = Rng.create 17 and b = Rng.create 17 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.int a 1_000_000 = Rng.int b 1_000_000 then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_rng_int_range =
+  QCheck.Test.make ~name:"Rng.int stays in range" ~count:500
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let test_rng_uniform_range =
+  QCheck.Test.make ~name:"Rng.uniform in [0,1)" ~count:500 QCheck.small_int (fun seed ->
+      let rng = Rng.create seed in
+      let v = Rng.uniform rng in
+      v >= 0.0 && v < 1.0)
+
+let test_rng_split_independent () =
+  let parent = Rng.create 5 in
+  let child = Rng.split parent in
+  (* The split stream must not simply replay the parent's stream. *)
+  let overlap = ref 0 in
+  for _ = 1 to 32 do
+    if Rng.int parent 1_000_000 = Rng.int child 1_000_000 then incr overlap
+  done;
+  Alcotest.(check bool) "split independent" true (!overlap < 3)
+
+let test_shuffle_permutation =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(pair small_int (list_of_size (QCheck.Gen.int_range 0 30) int))
+    (fun (seed, l) ->
+      let a = Array.of_list l in
+      Rng.shuffle (Rng.create seed) a;
+      List.sort compare (Array.to_list a) = List.sort compare l)
+
+let test_gaussian_moments () =
+  let rng = Rng.create 11 in
+  let n = 20_000 in
+  let xs = List.init n (fun _ -> Rng.gaussian rng ~mean:3.0 ~std:2.0) in
+  let mean = Stats.mean xs in
+  let var = Stats.mean (List.map (fun x -> (x -. mean) ** 2.0) xs) in
+  Alcotest.(check bool) "mean ~ 3" true (Float.abs (mean -. 3.0) < 0.1);
+  Alcotest.(check bool) "std ~ 2" true (Float.abs (sqrt var -. 2.0) < 0.1)
+
+let test_table_render () =
+  let out = Table.render ~header:[ "a"; "bb" ] [ [ "x"; "1" ]; [ "yyy"; "22" ] ] in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "4 lines + trailing" 5 (List.length lines);
+  (* all non-empty lines equally wide *)
+  let widths = List.filter_map (fun l -> if l = "" then None else Some (String.length l)) lines in
+  List.iter (fun w -> Alcotest.(check int) "aligned" (List.hd widths) w) widths
+
+let test_stats () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "median odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
+  Alcotest.(check (float 1e-9)) "median even" 2.5 (Stats.median [ 4.0; 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "geomean" 2.0 (Stats.geomean [ 1.0; 4.0 ]);
+  Alcotest.(check (float 1e-9)) "clamp" 1.0 (Stats.clamp ~lo:0.0 ~hi:1.0 5.0);
+  Alcotest.(check int) "clamp_int" 3 (Stats.clamp_int ~lo:3 ~hi:9 (-2))
+
+let test_time_us () =
+  let (), us = Stats.time_us (fun () -> ignore (Sys.opaque_identity (Array.make 1000 0))) in
+  Alcotest.(check bool) "non-negative" true (us >= 0.0)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed-sensitive" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "gaussian-moments" `Quick test_gaussian_moments;
+          QCheck_alcotest.to_alcotest test_rng_int_range;
+          QCheck_alcotest.to_alcotest test_rng_uniform_range;
+          QCheck_alcotest.to_alcotest test_shuffle_permutation;
+        ] );
+      ( "table+stats",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "time_us" `Quick test_time_us;
+        ] );
+    ]
