@@ -187,6 +187,55 @@ let linearize_cmd =
     (Cmd.info "linearize" ~doc:"Linearize the standard datasets and report stats + wall time")
     Term.(const run $ batch_arg $ seed_arg)
 
+let serve_cmd =
+  let rps_arg = Arg.(value & opt float 2000.0 & info [ "rps" ] ~doc:"Offered load, requests per second") in
+  let duration_arg = Arg.(value & opt float 50.0 & info [ "duration-ms" ] ~doc:"Simulated trace duration") in
+  let max_batch_arg = Arg.(value & opt int 8 & info [ "max-batch" ] ~doc:"Close a batch window at this many requests") in
+  let max_wait_arg = Arg.(value & opt float 200.0 & info [ "max-wait-us" ] ~doc:"Close a partial window after this wait") in
+  let bucketed_arg = Arg.(value & flag & info [ "bucketed" ] ~doc:"Bucket windows by request size (power-of-two node counts) instead of FIFO") in
+  let run name size seed backend options rps duration_ms max_batch max_wait_us bucketed =
+    let spec = get_spec name size in
+    let policy =
+      {
+        Engine.max_batch;
+        max_wait_us;
+        bucketing = (if bucketed then Engine.By_size else Engine.Fifo);
+      }
+    in
+    let engine = Engine.of_spec ~policy ~base:options spec ~backend in
+    let trace =
+      Trace.poisson (Rng.create seed) ~rate_rps:rps ~duration_ms
+        ~gen:(fun rng -> spec.M.dataset rng ~batch:1)
+    in
+    let s = Engine.run_trace engine trace in
+    let a = s.Engine.aggregate in
+    Printf.printf "%s on %s: %d requests (%d nodes) over %.1f ms, policy max_batch=%d max_wait=%.0fus %s\n"
+      name backend.Backend.short a.Engine.num_requests (Trace.num_nodes trace) duration_ms
+      max_batch max_wait_us (if bucketed then "by-size" else "fifo");
+    Printf.printf "  %d windows (mean %.1f req/window), throughput %.0f req/s\n"
+      a.Engine.num_windows a.Engine.mean_window a.Engine.throughput_rps;
+    Printf.printf "  latency mean %.1f us, p50 %.1f us, p99 %.1f us, makespan %.2f ms\n"
+      a.Engine.mean_us a.Engine.p50_us a.Engine.p99_us (a.Engine.makespan_us /. 1000.0);
+    (* A few sample requests to show the per-request breakdown. *)
+    let sample = List.filteri (fun i _ -> i < 5) s.Engine.requests in
+    List.iter
+      (fun (r : Engine.request_report) ->
+        Printf.printf
+          "  req %2d (%3d nodes) window %d/%d: queue %7.1f us, linearize %5.1f us, device %7.1f us, total %8.1f us\n"
+          r.Engine.rr_id r.Engine.rr_nodes r.Engine.rr_window r.Engine.rr_window_size
+          r.Engine.rr_queue_us r.Engine.rr_linearize_us r.Engine.rr_device_us r.Engine.rr_total_us)
+      sample
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Replay a synthetic Poisson trace through the serving engine and report latency/throughput")
+    Term.(
+      const run $ model_arg $ size_arg $ seed_arg $ backend_arg $ options_flags $ rps_arg
+      $ duration_arg $ max_batch_arg $ max_wait_arg $ bucketed_arg)
+
 let () =
   let info = Cmd.info "cortex" ~doc:"Cortex: a compiler for recursive deep learning models" in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; dump_ir_cmd; dump_c_cmd; simulate_cmd; run_cmd; linearize_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; dump_ir_cmd; dump_c_cmd; simulate_cmd; run_cmd; linearize_cmd; serve_cmd ]))

@@ -73,14 +73,14 @@ let () =
      schedules. *)
   let reference = Ra_eval.run model ~params structure in
   let check options label =
-    let compiled = Runtime.compile ~options model in
-    let execution = Runtime.execute compiled ~params structure in
+    let engine = Engine.create ~options ~model ~backend:Backend.gpu () in
+    let fx = Engine.execute_one engine ~params structure in
     let worst =
       List.fold_left
         (fun acc root ->
           Float.max acc
             (Tensor.max_abs_diff
-               (Runtime.state execution "h" root)
+               (Engine.state fx "h" root)
                (Ra_eval.state reference "h" root)))
         0.0 structure.Structure.roots
     in
@@ -102,8 +102,8 @@ let () =
     ]
   in
   let eval options =
-    let compiled = Runtime.compile ~options model in
-    Runtime.total_ms (Runtime.simulate compiled ~backend:Backend.gpu structure)
+    let engine = Engine.create ~options ~model ~backend:Backend.gpu () in
+    Runtime.total_ms (Engine.run_one engine structure)
   in
   let best, best_ms = Runtime.grid_search ~candidates ~eval in
   Printf.printf

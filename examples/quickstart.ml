@@ -40,54 +40,55 @@ let model =
   }
 
 let () =
-  (* 2. Compile: recursion -> linearized loops (ILIR), with dynamic
-     batching, specialization, fusion and persistence all on. *)
-  let compiled = Runtime.compile model in
+  (* 2. An engine owns the compiled model (recursion -> linearized
+     loops, with dynamic batching, specialization, fusion and
+     persistence all on) plus a target backend. *)
+  let engine = Engine.create ~model ~backend:Backend.gpu () in
+  let compiled = Engine.compiled engine in
   Printf.printf "Compiled %s: %d kernel(s), %d phase(s)\n" model.Ra.name
     (List.length compiled.Lower.prog.Ir.kernels)
     compiled.Lower.phases;
 
-  (* 3. Build an input: a small batch of random parse trees. *)
+  (* 3. Build inputs: three random parse trees, served together.  The
+     engine merges them into one linearized forest, so every level runs
+     as a single batched kernel launch across all three requests. *)
   let rng = Rng.create 42 in
-  let structure =
-    Structure.merge
-      (List.init 3 (fun _ -> Gen.sst_tree rng ~vocab ~len:6 ()))
-  in
-  print_endline (Structure.describe structure);
+  let trees = List.init 3 (fun _ -> Gen.sst_tree rng ~vocab ~len:6 ()) in
 
   (* 4. Random parameters and execution. *)
   let prng = Rng.create 7 in
-  let params name =
-    let dims = List.assoc name model.Ra.params in
-    Tensor.rand_uniform prng (Array.of_list dims) ~lo:(-0.3) ~hi:0.3
-  in
-  (* memoize so both consumers see the same values *)
   let table = Hashtbl.create 4 in
+  (* memoized so both consumers see the same values *)
   let params name =
     match Hashtbl.find_opt table name with
     | Some t -> t
     | None ->
-      let t = params name in
+      let dims = List.assoc name model.Ra.params in
+      let t = Tensor.rand_uniform prng (Array.of_list dims) ~lo:(-0.3) ~hi:0.3 in
       Hashtbl.add table name t;
       t
   in
-  let execution = Runtime.execute compiled ~params structure in
+  let fx = Engine.execute engine ~params trees in
 
-  (* 5. Read the root states out and check them against the direct
-     recursive evaluation of the same program. *)
-  let reference = Ra_eval.run model ~params structure in
-  List.iter
-    (fun root ->
-      let compiled_h = Runtime.state execution "h" root in
-      let reference_h = Ra_eval.state reference "h" root in
-      Printf.printf "root %d: compiled h[0..3] = %s  (max |diff| vs recursion: %g)\n"
-        root.Node.id
-        (Tensor.to_string ~max_elems:4 compiled_h)
-        (Tensor.max_abs_diff compiled_h reference_h))
-    structure.Structure.roots;
+  (* 5. Read the root states out per request and check them against the
+     direct recursive evaluation of the same program. *)
+  List.iteri
+    (fun request tree ->
+      let reference = Ra_eval.run model ~params tree in
+      List.iter
+        (fun root ->
+          let compiled_h = Engine.state fx ~request "h" root in
+          let reference_h = Ra_eval.state reference "h" root in
+          Printf.printf
+            "request %d: compiled h[0..3] = %s  (max |diff| vs recursion: %g)\n"
+            request
+            (Tensor.to_string ~max_elems:4 compiled_h)
+            (Tensor.max_abs_diff compiled_h reference_h))
+        tree.Structure.roots)
+    trees;
 
-  (* 6. And estimate what this inference would cost on a V100. *)
-  let report = Runtime.simulate compiled ~backend:Backend.gpu structure in
+  (* 6. And estimate what one of these inferences costs on a V100. *)
+  let report = Engine.run_one engine (List.hd trees) in
   Printf.printf
     "simulated V100 latency: %.1f us (%d kernel launch(es), %d barrier(s); linearization %.1f us)\n"
     report.Runtime.latency.Backend.total_us

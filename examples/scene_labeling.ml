@@ -21,15 +21,15 @@ let classes = 4
 
 let () =
   let spec = Models.Dag_rnn.spec ~rows ~cols ~hidden () in
-  let compiled = Runtime.compile ~options:(Runtime.options_for spec) spec.M.program in
+  let engine = Engine.of_spec spec ~backend:Backend.gpu in
   let grid = Gen.grid_dag ~rows ~cols in
   let params = spec.M.init_params (Rng.create 11) in
-  let execution = Runtime.execute compiled ~params grid in
+  let fx = Engine.execute_one engine ~params grid in
 
   (* Readout per cell. *)
   let w = Tensor.rand_uniform (Rng.create 3) [| classes; hidden |] ~lo:(-1.0) ~hi:1.0 in
   let label_of node =
-    let h = Runtime.state execution "h" node in
+    let h = Engine.state fx "h" node in
     let scores = Tensor.matvec w h in
     let best = ref 0 in
     for c = 1 to classes - 1 do
@@ -60,8 +60,7 @@ let () =
 
   (* Specialization is a no-op for DAGs with one leaf (§7.3): *)
   let ms base =
-    let c = Runtime.compile ~options:(Runtime.options_for ~base spec) spec.M.program in
-    Runtime.total_ms (Runtime.simulate c ~backend:Backend.gpu grid)
+    Runtime.total_ms (Engine.run_one (Engine.of_spec ~base spec ~backend:Backend.gpu) grid)
   in
   Printf.printf "simulated V100: specialized %.3f ms vs unspecialized %.3f ms (expected ~equal)\n"
     (ms Lower.default)

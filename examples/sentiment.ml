@@ -17,39 +17,39 @@ let vocab = 500
 
 let () =
   let spec = Models.Tree_lstm.spec ~vocab ~hidden () in
-  let compiled = Runtime.compile ~options:(Runtime.options_for spec) spec.M.program in
+  let engine = Engine.of_spec spec ~backend:Backend.gpu in
 
   (* A batch of "sentences" (random parse trees standing in for the
-     Stanford Sentiment Treebank; see DESIGN.md on the substitution). *)
+     Stanford Sentiment Treebank; see DESIGN.md on the substitution).
+     Each sentence is its own request; the engine fuses the eight of
+     them into one linearized forest. *)
   let rng = Rng.create 2026 in
   let sentences = List.init 8 (fun _ -> Gen.sst_tree rng ~vocab ()) in
-  let batch = Structure.merge sentences in
-  Printf.printf "batch: %s\n" (Structure.describe batch);
 
   let params = spec.M.init_params (Rng.create 1) in
-  let execution = Runtime.execute compiled ~params batch in
+  let fx = Engine.execute engine ~params sentences in
 
   (* Linear readout: sentiment score = w . h_root. *)
   let w = Tensor.rand_uniform (Rng.create 5) [| hidden |] ~lo:(-1.0) ~hi:1.0 in
   List.iteri
-    (fun i root ->
-      let h = Runtime.state execution "h" root in
+    (fun i sentence ->
+      let root = List.hd sentence.Structure.roots in
+      let h = Engine.state fx ~request:i "h" root in
       let score = Tensor.dot w h in
       let label = if score >= 0.0 then "positive" else "negative" in
-      Printf.printf "sentence %d (root %3d): score %+.4f -> %s\n" i root.Node.id score
-        label)
-    batch.Structure.roots;
+      Printf.printf "sentence %d (%2d words): score %+.4f -> %s\n" i
+        (Structure.num_leaves sentence) score label)
+    sentences;
 
-  (* What the compiler did for this model: *)
-  let lin = Linearizer.run batch in
-  Linearizer.check lin;
+  (* What the compiler did for this batch: *)
+  let lin = (Engine.forest fx).Linearizer.lin in
   Printf.printf
     "\nlinearized %d nodes into %d dynamic batches (largest %d); leaf check is id >= %d\n"
     lin.Linearizer.num_nodes
     (Array.length lin.Linearizer.batches)
     (Array.fold_left (fun m (_, l) -> max m l) 0 lin.Linearizer.batches)
     lin.Linearizer.leaf_begin;
-  let report = Runtime.simulate compiled ~backend:Backend.gpu batch in
+  let report = Engine.run_one engine (Structure.merge sentences) in
   Printf.printf
     "simulated V100: %.2f ms end-to-end in %d fused kernel launch(es) (%d barriers)\n"
     (Runtime.total_ms report)

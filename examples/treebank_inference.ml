@@ -47,30 +47,32 @@ let () =
         t
   in
 
-  let batch = Treebank.merge trees in
-  let compiled = Runtime.compile ~options:(Runtime.options_for spec) spec.M.program in
-  let execution = Runtime.execute compiled ~params batch in
+  (* Each parsed sentence is one request; the engine runs them as a
+     single linearized forest and per-request node ids stay the parse's
+     own ids — no post-merge renumbering to undo. *)
+  let engine = Engine.of_spec spec ~backend:Backend.gpu in
+  let fx =
+    Engine.execute engine ~params
+      (List.map (fun (t : Treebank.tree) -> t.Treebank.structure) trees)
+  in
 
   (* An (untrained) linear readout over 5 sentiment classes. *)
   let w = Tensor.rand_uniform (Rng.create 17) [| 5; hidden |] ~lo:(-1.0) ~hi:1.0 in
-  let predict node =
-    let scores = Tensor.matvec w (Runtime.state execution "h" node) in
+  let predict request node =
+    let scores = Tensor.matvec w (Engine.state fx ~request "h" node) in
     let best = ref 0 in
     for c = 1 to 4 do
       if Tensor.get scores [| c |] > Tensor.get scores [| !best |] then best := c
     done;
     !best
   in
-  (* Per-tree report against the root's gold label.  The trees were
-     renumbered by the merge, so recover each root's label through the
-     per-tree label array at its original root. *)
+  (* Per-tree report against the root's gold label. *)
   List.iteri
     (fun i (t : Treebank.tree) ->
       match t.Treebank.structure.Structure.roots with
-      | [ original_root ] ->
-        let gold = t.Treebank.labels.(original_root.Node.id) in
-        let merged_root = List.nth batch.Structure.roots i in
-        Printf.printf "tree %d: gold %d, predicted %d   %s\n" i gold (predict merged_root)
+      | [ root ] ->
+        let gold = t.Treebank.labels.(root.Node.id) in
+        Printf.printf "tree %d: gold %d, predicted %d   %s\n" i gold (predict i root)
           (Treebank.to_string t)
       | _ -> ())
     trees;

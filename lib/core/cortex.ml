@@ -32,6 +32,8 @@ module Backend = Cortex_backend.Backend
 module Runtime = Cortex_runtime.Runtime
 module Tuner = Cortex_runtime.Tuner
 module Checkpoint = Cortex_runtime.Checkpoint
+module Engine = Cortex_serve.Engine
+module Trace = Cortex_serve.Trace
 module Workload = Cortex_baselines.Workload
 module Frameworks = Cortex_baselines.Frameworks
 module Models = struct

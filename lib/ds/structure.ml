@@ -117,15 +117,16 @@ let parents_count t =
     t.nodes;
   parents
 
-let merge structures =
+let merge_mapped structures =
   match structures with
   | [] -> fail "merge of no structures"
   | first :: rest ->
     List.iter
-      (fun s ->
-        if s.kind <> first.kind then fail "merge of mixed structure kinds";
-        if s.max_children <> first.max_children then fail "merge of mixed max_children")
+      (fun s -> if s.kind <> first.kind then fail "merge of mixed structure kinds")
       rest;
+    let max_children =
+      List.fold_left (fun m s -> max m s.max_children) first.max_children rest
+    in
     let b = Node.builder () in
     let copy_structure s =
       let memo = Hashtbl.create (num_nodes s) in
@@ -138,10 +139,26 @@ let merge structures =
           Hashtbl.add memo n.id n';
           n'
       in
-      List.map copy s.roots
+      let roots = List.map copy s.roots in
+      let map =
+        Array.map (fun (n : Node.t) -> (Hashtbl.find memo n.id : Node.t).id) s.nodes
+      in
+      (roots, map)
     in
-    let roots = List.concat_map copy_structure structures in
-    create ~kind:first.kind ~max_children:first.max_children roots
+    let copies = List.map copy_structure structures in
+    let roots = List.concat_map fst copies in
+    let merged = create ~kind:first.kind ~max_children roots in
+    (merged, Array.of_list (List.map snd copies))
+
+let merge structures =
+  (match structures with
+   | first :: rest ->
+     List.iter
+       (fun s ->
+         if s.max_children <> first.max_children then fail "merge of mixed max_children")
+       rest
+   | [] -> ());
+  fst (merge_mapped structures)
 
 let describe t =
   let kind =

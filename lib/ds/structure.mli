@@ -44,6 +44,15 @@ val parents_count : t -> int array
 
 val merge : t list -> t
 (** Concatenates several structures of the same kind into one (node ids
-    are renumbered); this is how a batch is formed. *)
+    are renumbered); this is how a batch is formed.  Inputs must agree
+    on [max_children]; use {!merge_mapped} to relax that. *)
+
+val merge_mapped : t list -> t * int array array
+(** Like {!merge} but additionally returns, per input structure, the
+    mapping from its node ids to the merged structure's node ids — the
+    serving engine uses this to read per-request results back out of a
+    batched forest.  Inputs may disagree on [max_children]; the merged
+    structure declares the maximum.  Each input's nodes occupy a
+    contiguous id range of the merged structure, in input order. *)
 
 val describe : t -> string

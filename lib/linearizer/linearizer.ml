@@ -17,9 +17,37 @@ type t = {
   postorder : int array;
 }
 
-let run structure =
+type rejection =
+  | Fanout_exceeded of { node : int; arity : int; max_children : int }
+  | Mixed_kinds of Structure.kind * Structure.kind
+  | Empty_forest
+
+exception Rejected of rejection
+
+let kind_name = function
+  | Structure.Sequence -> "sequence"
+  | Structure.Tree -> "tree"
+  | Structure.Dag -> "dag"
+
+let rejection_to_string = function
+  | Fanout_exceeded { node; arity; max_children } ->
+    Printf.sprintf "node %d has %d children but the model admits at most %d" node
+      arity max_children
+  | Mixed_kinds (a, b) ->
+    Printf.sprintf "forest mixes %s and %s structures" (kind_name a) (kind_name b)
+  | Empty_forest -> "empty forest"
+
+let run ?max_children structure =
   let n = Structure.num_nodes structure in
-  let max_children = structure.Structure.max_children in
+  let max_children =
+    Option.value max_children ~default:structure.Structure.max_children
+  in
+  Array.iter
+    (fun (node : Node.t) ->
+      let arity = Array.length node.children in
+      if arity > max_children then
+        raise (Rejected (Fanout_exceeded { node = node.id; arity; max_children })))
+    structure.Structure.nodes;
   let old_level = Structure.level structure in
   let height = Array.fold_left max 0 old_level in
   (* Count nodes per level, then hand out id ranges: the highest level
@@ -157,6 +185,105 @@ let check t =
         if c >= 0 && pos.(c) >= pos.(id) then fail "postorder violates dependences"
       done)
     pos
+
+(* ---------- forest linearization (cross-request batching) ---------- *)
+
+type span = {
+  span_structure : Structure.t;
+  span_ids : int array;
+  span_levels : (int * int) array;
+}
+
+type forest = { lin : t; spans : span array }
+
+let run_forest ?max_children structures =
+  (match structures with
+   | [] -> raise (Rejected Empty_forest)
+   | first :: rest ->
+     List.iter
+       (fun (s : Structure.t) ->
+         if s.Structure.kind <> first.Structure.kind then
+           raise (Rejected (Mixed_kinds (first.Structure.kind, s.Structure.kind))))
+       rest);
+  (* Validate each request's fanout up front so a bad request is
+     reported against its own node ids, not the merged renumbering. *)
+  (match max_children with
+   | None -> ()
+   | Some mc ->
+     List.iter
+       (fun (s : Structure.t) ->
+         Array.iter
+           (fun (node : Node.t) ->
+             let arity = Array.length node.children in
+             if arity > mc then
+               raise
+                 (Rejected (Fanout_exceeded { node = node.id; arity; max_children = mc })))
+           s.Structure.nodes)
+       structures);
+  let merged, maps = Structure.merge_mapped structures in
+  let lin = run ?max_children merged in
+  let span_of s map =
+    let ids = Array.map (fun merged_id -> lin.new_of_old.(merged_id)) map in
+    let height = Array.fold_left (fun m id -> max m lin.level_of.(id)) 0 ids in
+    let lo = Array.make (height + 1) max_int in
+    let hi = Array.make (height + 1) (-1) in
+    let count = Array.make (height + 1) 0 in
+    Array.iter
+      (fun id ->
+        let l = lin.level_of.(id) in
+        lo.(l) <- min lo.(l) id;
+        hi.(l) <- max hi.(l) id;
+        count.(l) <- count.(l) + 1)
+      ids;
+    let span_levels =
+      Array.init (height + 1) (fun l ->
+          if hi.(l) - lo.(l) + 1 <> count.(l) then
+            failwith "Linearizer.run_forest: request batch not contiguous";
+          (lo.(l), count.(l)))
+    in
+    { span_structure = s; span_ids = ids; span_levels }
+  in
+  let spans =
+    Array.of_list (List.map2 span_of structures (Array.to_list maps))
+  in
+  { lin; spans }
+
+let check_forest f =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  check f.lin;
+  (* The spans partition the forest's id space... *)
+  let owner = Array.make f.lin.num_nodes (-1) in
+  Array.iteri
+    (fun k span ->
+      Array.iter
+        (fun id ->
+          if id < 0 || id >= f.lin.num_nodes then fail "span id out of range";
+          if owner.(id) >= 0 then fail "node %d claimed by two requests" id;
+          owner.(id) <- k)
+        span.span_ids)
+    f.spans;
+  Array.iteri (fun id k -> if k < 0 then fail "node %d in no request" id) owner;
+  (* ... and each span is an isomorphic image of its request: payloads,
+     arities and edges all map through span_ids. *)
+  Array.iter
+    (fun span ->
+      Array.iter
+        (fun (node : Node.t) ->
+          let id = span.span_ids.(node.id) in
+          if f.lin.payload.(id) <> node.payload then fail "span payload mismatch";
+          if f.lin.num_children.(id) <> Array.length node.children then
+            fail "span arity mismatch";
+          Array.iteri
+            (fun k (c : Node.t) ->
+              if f.lin.child.(k).(id) <> span.span_ids.(c.id) then
+                fail "span edge mismatch at node %d" node.id)
+            node.children;
+          let l = f.lin.level_of.(id) in
+          let first, len = span.span_levels.(l) in
+          if id < first || id >= first + len then
+            fail "node %d outside its request's level range" id)
+        span.span_structure.Structure.nodes)
+    f.spans
 
 let memory_bytes t =
   (* ints are 8 bytes on this platform; the device-side arrays the

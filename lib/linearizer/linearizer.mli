@@ -41,9 +41,67 @@ type t = {
           batching is off. *)
 }
 
-val run : Cortex_ds.Structure.t -> t
+type rejection =
+  | Fanout_exceeded of { node : int; arity : int; max_children : int }
+      (** A node's arity exceeds what the compiled model admits —
+          running anyway would silently mis-number the child tables. *)
+  | Mixed_kinds of Cortex_ds.Structure.kind * Cortex_ds.Structure.kind
+      (** A forest mixes structure kinds. *)
+  | Empty_forest
+
+exception Rejected of rejection
+(** Typed input-validation failure, raised by {!run} and {!run_forest}
+    instead of crashing (or worse, silently mis-numbering) on malformed
+    inputs. *)
+
+val rejection_to_string : rejection -> string
+
+val run : ?max_children:int -> Cortex_ds.Structure.t -> t
 (** Linearize.  Cost is O(nodes * max_children); §7.5 measures its wall
-    clock. *)
+    clock.
+
+    [max_children] overrides the structure's declared fanout bound with
+    the *model's* — the produced child tables then have exactly the
+    width the compiled kernels index, which is what lets one compiled
+    model serve structures built with differing declarations.  Raises
+    {!Rejected} ([Fanout_exceeded]) if any node's actual arity exceeds
+    the bound. *)
+
+(** {2 Forest linearization (cross-request batching)}
+
+    The serving engine merges the structures of several concurrent
+    inference requests into one linearized {e forest} so a single kernel
+    sequence covers the whole batch window.  The Appendix-B numbering
+    already makes per-level dynamic batches contiguous; linearizing the
+    merged forest therefore batches {e across} requests for free, and
+    each request additionally occupies a contiguous id range {e within}
+    every level (requests are merged in submission order). *)
+
+type span = {
+  span_structure : Cortex_ds.Structure.t;  (** the original request *)
+  span_ids : int array;
+      (** request-local node id -> linearized forest id *)
+  span_levels : (int * int) array;
+      (** per level, the [(begin, length)] range of this request's nodes
+          within the forest numbering — contiguous by construction *)
+}
+
+type forest = {
+  lin : t;  (** the linearization of the merged forest *)
+  spans : span array;  (** one per request, in submission order *)
+}
+
+val run_forest : ?max_children:int -> Cortex_ds.Structure.t list -> forest
+(** Merge the requests' structures and linearize the forest.  Raises
+    {!Rejected} on an empty list, mixed structure kinds, or a fanout
+    violation (checked per request, against the request's own node
+    ids). *)
+
+val check_forest : forest -> unit
+(** {!check} on the merged linearization, plus the span invariants:
+    spans partition the id space, every request edge/payload/arity maps
+    through [span_ids], and each request's per-level ranges are
+    contiguous.  Raises [Failure] on violation. *)
 
 val leaf_batch : t -> int * int
 (** The leaf partition produced for specialized leaf checks. *)

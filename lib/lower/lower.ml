@@ -1118,7 +1118,7 @@ let bind ?(count = false) compiled (lin : Linearizer.t) =
   in
   { ctx; lin; uf_resolver; num_batch_launches = nb }
 
-let state_value bound compiled st_name (node : Cortex_ds.Node.t) =
+let state_value_lin bound compiled st_name lin_id =
   let tensor =
     match List.assoc_opt st_name compiled.state_tensors with
     | Some t -> t
@@ -1127,6 +1127,9 @@ let state_value bound compiled st_name (node : Cortex_ds.Node.t) =
   let storage = Interp.get_tensor bound.ctx tensor in
   let dims = Array.of_list (state_feat_dims compiled.ra st_name) in
   let elems = Array.fold_left Stdlib.( * ) 1 dims in
-  let new_id = bound.lin.Linearizer.new_of_old.(node.Cortex_ds.Node.id) in
-  let data = Array.init elems (fun i -> Tensor.get_flat storage ((new_id * elems) + i)) in
+  let data = Array.init elems (fun i -> Tensor.get_flat storage ((lin_id * elems) + i)) in
   Tensor.of_array dims data
+
+let state_value bound compiled st_name (node : Cortex_ds.Node.t) =
+  state_value_lin bound compiled st_name
+    bound.lin.Linearizer.new_of_old.(node.Cortex_ds.Node.id)

@@ -123,3 +123,10 @@ val state_value :
   bound -> compiled -> string -> Cortex_ds.Node.t -> Cortex_tensor.Tensor.t
 (** Read a state of one node (by original node) out of the executed
     context. *)
+
+val state_value_lin :
+  bound -> compiled -> string -> int -> Cortex_tensor.Tensor.t
+(** Same, addressed by linearized id — the serving engine reads
+    per-request results out of a batched forest through its span
+    tables, where the original nodes belong to a different (pre-merge)
+    structure. *)

@@ -21,14 +21,16 @@ let options_for ?(base = Lower.default) (spec : M.t) =
 
 type execution = { exec_compiled : compiled; exec_bound : Lower.bound }
 
-let execute compiled ~params structure =
-  let lin = Linearizer.run structure in
+let execute_lin compiled ~params lin =
   let bound = Lower.bind compiled lin in
   List.iter
     (fun (name, t) -> Interp.bind_tensor bound.Lower.ctx t (params name))
     compiled.Lower.param_tensors;
   Interp.run_program bound.Lower.ctx compiled.Lower.prog;
   { exec_compiled = compiled; exec_bound = bound }
+
+let execute compiled ~params structure =
+  execute_lin compiled ~params (Linearizer.run structure)
 
 let state e st node = Lower.state_value e.exec_bound e.exec_compiled st node
 
@@ -63,11 +65,7 @@ let device_memory compiled (bound : Lower.bound) =
   +. List.fold_left (fun acc t -> acc +. tensor_bytes t) 0.0 globals
   +. float_of_int (Linearizer.memory_bytes bound.Lower.lin)
 
-let simulate ?(lock_free = false) compiled ~backend structure =
-  let linearize_us =
-    Stats.min_time_us ~repeats:5 (fun () -> Linearizer.run structure)
-  in
-  let lin = Linearizer.run structure in
+let simulate_lin ?(lock_free = false) ?(linearize_us = 0.0) compiled ~backend lin =
   let bound = Lower.bind compiled lin in
   let cost =
     Cost.analyze ~uf:bound.Lower.uf_resolver
@@ -83,6 +81,12 @@ let simulate ?(lock_free = false) compiled ~backend structure =
     device_memory_bytes = device_memory compiled bound;
     num_nodes = lin.Linearizer.num_nodes;
   }
+
+let simulate ?lock_free compiled ~backend structure =
+  let linearize_us =
+    Stats.min_time_us ~repeats:5 (fun () -> Linearizer.run structure)
+  in
+  simulate_lin ?lock_free ~linearize_us compiled ~backend (Linearizer.run structure)
 
 let total_ms r = (r.latency.Backend.total_us +. r.linearize_us) /. 1000.0
 

@@ -27,12 +27,22 @@ type execution = {
   exec_bound : Cortex_lower.Lower.bound;
 }
 
+val execute_lin :
+  compiled ->
+  params:(string -> Cortex_tensor.Tensor.t) ->
+  Linearizer.t ->
+  execution
+(** Bind an already-linearized input (a single structure or a serving
+    engine's forest) and run the kernels numerically. *)
+
 val execute :
   compiled ->
   params:(string -> Cortex_tensor.Tensor.t) ->
   Cortex_ds.Structure.t ->
   execution
-(** Linearize, bind, run the kernels numerically. *)
+(** Linearize, bind, run the kernels numerically.  Thin wrapper around
+    {!execute_lin}; kept as the convenient one-structure entry point —
+    for streams of requests, use [Cortex.Engine] instead. *)
 
 val state :
   execution -> string -> Cortex_ds.Node.t -> Cortex_tensor.Tensor.t
@@ -47,6 +57,19 @@ type report = {
   num_nodes : int;
 }
 
+val simulate_lin :
+  ?lock_free:bool ->
+  ?linearize_us:float ->
+  compiled ->
+  backend:Cortex_backend.Backend.t ->
+  Linearizer.t ->
+  report
+(** Statically cost the compiled kernels against an already-linearized
+    input and price them on [backend] — the engine-reusable core of
+    {!simulate}.  [linearize_us] (default 0) is recorded verbatim in the
+    report; the serving engine passes the wall clock it measured for the
+    whole forest. *)
+
 val simulate :
   ?lock_free:bool ->
   compiled ->
@@ -56,7 +79,9 @@ val simulate :
 (** Linearize (timed), statically cost the compiled kernels against the
     concrete structure and price them on [backend].  [lock_free]
     selects the faster global-barrier implementation (default false:
-    the paper's Cortex uses the lock-based one, §7.2). *)
+    the paper's Cortex uses the lock-based one, §7.2).  Thin wrapper
+    around {!simulate_lin}; for streams of requests, use
+    [Cortex.Engine]. *)
 
 val total_ms : report -> float
 (** Simulated end-to-end inference latency in milliseconds, including

@@ -1,0 +1,362 @@
+module Structure = Cortex_ds.Structure
+module Node = Cortex_ds.Node
+module Linearizer = Cortex_linearizer.Linearizer
+module Ra = Cortex_ra.Ra
+module Lower = Cortex_lower.Lower
+module Backend = Cortex_backend.Backend
+module Runtime = Cortex_runtime.Runtime
+module Stats = Cortex_util.Stats
+module M = Cortex_models.Models_common
+
+(* ---------- policies ---------- *)
+
+type bucketing = Fifo | By_size
+
+type policy = { max_batch : int; max_wait_us : float; bucketing : bucketing }
+
+let default_policy = { max_batch = 8; max_wait_us = 200.0; bucketing = Fifo }
+
+(* ---------- errors ---------- *)
+
+type error =
+  | Kind_mismatch of { expected : Structure.kind; got : Structure.kind }
+  | Rejected of Linearizer.rejection
+
+exception Error of error
+
+let kind_name = function
+  | Structure.Sequence -> "sequence"
+  | Structure.Tree -> "tree"
+  | Structure.Dag -> "dag"
+
+let error_to_string = function
+  | Kind_mismatch { expected; got } ->
+    Printf.sprintf "structure kind mismatch: the model expects a %s, the request is a %s"
+      (kind_name expected) (kind_name got)
+  | Rejected r -> Linearizer.rejection_to_string r
+
+(* ---------- engine state ---------- *)
+
+type pending = {
+  p_id : int;
+  p_arrival : float;
+  p_structure : Structure.t;
+  p_nodes : int;
+}
+
+type t = {
+  model : Ra.t;
+  eng_backend : Backend.t;
+  eng_policy : policy;
+  lock_free : bool;
+  eng_compiled : Lower.compiled;
+  mutable next_id : int;
+  mutable queue : pending list;  (* newest first *)
+}
+
+let create ?(policy = default_policy) ?options ?(lock_free = false) ~model ~backend () =
+  if policy.max_batch < 1 then invalid_arg "Engine.create: max_batch must be >= 1";
+  if policy.max_wait_us < 0.0 then invalid_arg "Engine.create: max_wait_us must be >= 0";
+  {
+    model;
+    eng_backend = backend;
+    eng_policy = policy;
+    lock_free;
+    eng_compiled = Runtime.compile ?options model;
+    next_id = 0;
+    queue = [];
+  }
+
+let of_spec ?policy ?base ?lock_free (spec : M.t) ~backend =
+  create ?policy ~options:(Runtime.options_for ?base spec) ?lock_free
+    ~model:spec.M.program ~backend ()
+
+let compiled t = t.eng_compiled
+let backend t = t.eng_backend
+let policy t = t.eng_policy
+let pending t = List.length t.queue
+
+(* ---------- validation ---------- *)
+
+(* Reject what would crash — or worse, silently mis-number — the
+   compiled kernels: a structure of the wrong kind (a DAG's shared
+   subtrees re-enter a tree model's traversal, the moral equivalent of a
+   cycle) or a node whose arity exceeds the child-table width the model
+   was compiled for. *)
+let validate t (s : Structure.t) =
+  if s.Structure.kind <> t.model.Ra.kind then
+    Some (Kind_mismatch { expected = t.model.Ra.kind; got = s.Structure.kind })
+  else begin
+    let mc = t.model.Ra.max_children in
+    let bad = ref None in
+    Array.iter
+      (fun (node : Node.t) ->
+        let arity = Array.length node.Node.children in
+        if arity > mc && !bad = None then
+          bad :=
+            Some
+              (Rejected
+                 (Linearizer.Fanout_exceeded
+                    { node = node.Node.id; arity; max_children = mc })))
+      s.Structure.nodes;
+    !bad
+  end
+
+let validate_exn t s =
+  match validate t s with Some e -> raise (Error e) | None -> ()
+
+(* ---------- serving simulation ---------- *)
+
+let submit t ?(arrival_us = 0.0) structure =
+  match validate t structure with
+  | Some e -> Stdlib.Error e
+  | None ->
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    t.queue <-
+      {
+        p_id = id;
+        p_arrival = arrival_us;
+        p_structure = structure;
+        p_nodes = Structure.num_nodes structure;
+      }
+      :: t.queue;
+    Ok id
+
+let submit_exn t ?arrival_us structure =
+  match submit t ?arrival_us structure with
+  | Ok id -> id
+  | Stdlib.Error e -> raise (Error e)
+
+type request_report = {
+  rr_id : int;
+  rr_nodes : int;
+  rr_window : int;
+  rr_window_size : int;
+  rr_arrival_us : float;
+  rr_queue_us : float;
+  rr_linearize_us : float;
+  rr_device_us : float;
+  rr_total_us : float;
+}
+
+type window_report = {
+  wr_index : int;
+  wr_size : int;
+  wr_nodes : int;
+  wr_dispatch_us : float;
+  wr_report : Runtime.report;
+}
+
+type aggregate = {
+  num_requests : int;
+  num_windows : int;
+  mean_window : float;
+  throughput_rps : float;
+  mean_us : float;
+  p50_us : float;
+  p99_us : float;
+  makespan_us : float;
+}
+
+type summary = {
+  aggregate : aggregate;
+  requests : request_report list;
+  windows : window_report list;
+}
+
+(* Cut an arrival-ordered run of requests into windows: a window closes
+   when it reaches [max_batch] members or when the next arrival falls
+   past the oldest member's [max_wait_us] deadline.  Each window carries
+   its ready time: a full window is ready when its last member arrives,
+   a partial one when the batching timer fires. *)
+let form_windows policy pendings =
+  let close first window_rev size =
+    let members = List.rev window_rev in
+    let ready =
+      if size >= policy.max_batch then
+        List.fold_left (fun m p -> Float.max m p.p_arrival) 0.0 members
+      else first +. policy.max_wait_us
+    in
+    (ready, members)
+  in
+  let rec go acc window size first = function
+    | [] -> List.rev (if window = [] then acc else close first window size :: acc)
+    | p :: rest ->
+      if window = [] then go acc [ p ] 1 p.p_arrival rest
+      else if size >= policy.max_batch || p.p_arrival > first +. policy.max_wait_us
+      then go (close first window size :: acc) [ p ] 1 p.p_arrival rest
+      else go acc (p :: window) (size + 1) first rest
+  in
+  go [] [] 0 0.0 pendings
+
+(* Power-of-two size bucket: trees of 2^b..2^(b+1)-1 nodes batch
+   together, keeping the forest's levels uniformly wide. *)
+let bucket_of nodes =
+  let rec go b n = if n <= 1 then b else go (b + 1) (n lsr 1) in
+  go 0 (max 1 nodes)
+
+let form_windows_bucketed policy pendings =
+  let buckets = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      let key = bucket_of p.p_nodes in
+      let prev = Option.value (Hashtbl.find_opt buckets key) ~default:[] in
+      Hashtbl.replace buckets key (p :: prev))
+    pendings;
+  let keys = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) buckets []) in
+  List.concat_map
+    (fun k -> form_windows policy (List.rev (Hashtbl.find buckets k)))
+    keys
+
+let empty_aggregate =
+  {
+    num_requests = 0;
+    num_windows = 0;
+    mean_window = 0.0;
+    throughput_rps = 0.0;
+    mean_us = 0.0;
+    p50_us = 0.0;
+    p99_us = 0.0;
+    makespan_us = 0.0;
+  }
+
+let aggregate_of requests ~num_windows =
+  match requests with
+  | [] -> empty_aggregate
+  | _ ->
+    let n = List.length requests in
+    let totals = List.map (fun r -> r.rr_total_us) requests in
+    let first_arrival =
+      List.fold_left (fun m r -> Float.min m r.rr_arrival_us) infinity requests
+    in
+    let last_completion =
+      List.fold_left
+        (fun m r -> Float.max m (r.rr_arrival_us +. r.rr_total_us))
+        0.0 requests
+    in
+    let makespan_us = last_completion -. first_arrival in
+    {
+      num_requests = n;
+      num_windows;
+      mean_window = float_of_int n /. float_of_int (max 1 num_windows);
+      throughput_rps =
+        (if makespan_us > 0.0 then float_of_int n /. makespan_us *. 1.0e6 else 0.0);
+      mean_us = Stats.mean totals;
+      p50_us = Stats.p50 totals;
+      p99_us = Stats.p99 totals;
+      makespan_us;
+    }
+
+let drain t =
+  let pendings =
+    List.stable_sort
+      (fun a b -> compare (a.p_arrival, a.p_id) (b.p_arrival, b.p_id))
+      (List.rev t.queue)
+  in
+  t.queue <- [];
+  let windows =
+    match t.eng_policy.bucketing with
+    | Fifo -> form_windows t.eng_policy pendings
+    | By_size -> form_windows_bucketed t.eng_policy pendings
+  in
+  (* Play the windows through one simulated device in ready order: the
+     device is busy for a window's forest latency, so a window dispatches
+     at max(device free, window ready). *)
+  let windows =
+    List.stable_sort (fun (ra, _) (rb, _) -> compare ra rb) windows
+  in
+  let device_free = ref 0.0 in
+  let wreports = ref [] in
+  let rreports = ref [] in
+  List.iteri
+    (fun i (ready, members) ->
+      let structures = List.map (fun p -> p.p_structure) members in
+      (* Min over a few repeats: a single wall-clock sample is at the
+         mercy of GC pauses, and one noisy window skews a whole sweep. *)
+      let lin_us =
+        Stats.min_time_us ~repeats:3 (fun () ->
+            Linearizer.run_forest ~max_children:t.model.Ra.max_children structures)
+      in
+      let fl = Linearizer.run_forest ~max_children:t.model.Ra.max_children structures in
+      let report =
+        Runtime.simulate_lin ~lock_free:t.lock_free ~linearize_us:lin_us
+          t.eng_compiled ~backend:t.eng_backend fl.Linearizer.lin
+      in
+      let dispatch = Float.max !device_free ready in
+      let device_us = report.Runtime.latency.Backend.total_us in
+      let completion = dispatch +. lin_us +. device_us in
+      device_free := completion;
+      let size = List.length members in
+      wreports :=
+        {
+          wr_index = i;
+          wr_size = size;
+          wr_nodes = fl.Linearizer.lin.Linearizer.num_nodes;
+          wr_dispatch_us = dispatch;
+          wr_report = report;
+        }
+        :: !wreports;
+      List.iter
+        (fun p ->
+          rreports :=
+            {
+              rr_id = p.p_id;
+              rr_nodes = p.p_nodes;
+              rr_window = i;
+              rr_window_size = size;
+              rr_arrival_us = p.p_arrival;
+              rr_queue_us = dispatch -. p.p_arrival;
+              rr_linearize_us = lin_us;
+              rr_device_us = device_us;
+              rr_total_us = completion -. p.p_arrival;
+            }
+            :: !rreports)
+        members)
+    windows;
+  let requests = List.sort (fun a b -> compare a.rr_id b.rr_id) !rreports in
+  let windows = List.rev !wreports in
+  { aggregate = aggregate_of requests ~num_windows:(List.length windows); requests; windows }
+
+let run_trace t trace =
+  List.iter
+    (fun (e : Trace.event) ->
+      ignore (submit_exn t ~arrival_us:e.Trace.at_us e.Trace.structure))
+    trace;
+  drain t
+
+let run_one t structure =
+  validate_exn t structure;
+  let mc = t.model.Ra.max_children in
+  let linearize_us =
+    Stats.min_time_us ~repeats:5 (fun () -> Linearizer.run ~max_children:mc structure)
+  in
+  Runtime.simulate_lin ~lock_free:t.lock_free ~linearize_us t.eng_compiled
+    ~backend:t.eng_backend
+    (Linearizer.run ~max_children:mc structure)
+
+(* ---------- numeric execution ---------- *)
+
+type execution = { ex_forest : Linearizer.forest; ex_exec : Runtime.execution }
+
+let execute t ~params structures =
+  List.iter (validate_exn t) structures;
+  let forest =
+    try Linearizer.run_forest ~max_children:t.model.Ra.max_children structures
+    with Linearizer.Rejected r -> raise (Error (Rejected r))
+  in
+  let ex = Runtime.execute_lin t.eng_compiled ~params forest.Linearizer.lin in
+  { ex_forest = forest; ex_exec = ex }
+
+let execute_one t ~params structure = execute t ~params [ structure ]
+
+let state e ?(request = 0) st_name (node : Node.t) =
+  let spans = e.ex_forest.Linearizer.spans in
+  if request < 0 || request >= Array.length spans then
+    invalid_arg "Engine.state: no such request";
+  let span = spans.(request) in
+  Lower.state_value_lin e.ex_exec.Runtime.exec_bound e.ex_exec.Runtime.exec_compiled
+    st_name
+    span.Linearizer.span_ids.(node.Node.id)
+
+let forest e = e.ex_forest

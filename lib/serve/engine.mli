@@ -1,0 +1,192 @@
+(** The cross-request serving engine.
+
+    The paper's dynamic batching (§4.2, App. B) batches the independent
+    nodes {e within} one input structure.  A production server instead
+    sees a stream of small independent requests — the setting Cavs and
+    Jeong et al.'s recursion work attack with {e cross-instance} dynamic
+    batching.  This engine closes that gap: it owns one compiled model
+    (model persistence, §5.3 — compile once, serve forever) and
+    processes a queue of inference requests by {e forest linearization}:
+    the structures of a batch window are merged and linearized as one
+    forest ({!Cortex_linearizer.Linearizer.run_forest}), so a single
+    kernel sequence — one launch per level — covers every request in the
+    window, amortizing kernel launches and filling the device's lanes
+    with the union of the requests' per-level batches.
+
+    The engine is the intended public entry point of the stack; the
+    lower-level [Runtime.compile]/[execute]/[simulate] functions remain
+    as documented thin wrappers for single-structure use.
+
+    Two ways in:
+    - {b serving simulation}: {!submit} requests with arrival times (or
+      {!run_trace} a whole {!Trace.t}), then {!drain}; windows form
+      according to the {!policy}, each window's forest is linearized for
+      real (measured wall clock) and priced on the backend model, and
+      you get per-request reports plus throughput/p50/p99 aggregates;
+    - {b numeric execution}: {!execute} a forest of structures and read
+      bitwise-exact per-request states back through the span tables. *)
+
+module Linearizer = Cortex_linearizer.Linearizer
+module Runtime = Cortex_runtime.Runtime
+module M = Cortex_models.Models_common
+
+(** {2 Batching policies} *)
+
+type bucketing =
+  | Fifo  (** window over the queue in arrival order *)
+  | By_size
+      (** bucket queued requests by size (power-of-two node count)
+          before windowing, so a window's trees are similarly shaped and
+          the forest's levels stay uniformly wide *)
+
+type policy = {
+  max_batch : int;  (** close a window when it holds this many requests *)
+  max_wait_us : float;
+      (** ... or when the oldest member has waited this long *)
+  bucketing : bucketing;
+}
+
+val default_policy : policy
+(** [{ max_batch = 8; max_wait_us = 200.0; bucketing = Fifo }] *)
+
+(** {2 Errors} *)
+
+type error =
+  | Kind_mismatch of {
+      expected : Cortex_ds.Structure.kind;
+      got : Cortex_ds.Structure.kind;
+    }
+      (** e.g. a DAG (shared subtrees) submitted to a tree model — the
+          guard that keeps per-child traversal from revisiting nodes *)
+  | Rejected of Linearizer.rejection
+      (** fanout beyond the model's [max_children], mixed kinds, … *)
+
+exception Error of error
+
+val error_to_string : error -> string
+
+(** {2 Engine lifecycle} *)
+
+type t
+
+val create :
+  ?policy:policy ->
+  ?options:Cortex_lower.Lower.options ->
+  ?lock_free:bool ->
+  model:Cortex_ra.Ra.t ->
+  backend:Cortex_backend.Backend.t ->
+  unit ->
+  t
+(** Compile [model] once (default options {!Cortex_lower.Lower.default})
+    and stand up an empty queue.  [lock_free] selects the lock-free
+    global barrier for the latency simulation (§7.2). *)
+
+val of_spec :
+  ?policy:policy ->
+  ?base:Cortex_lower.Lower.options ->
+  ?lock_free:bool ->
+  M.t ->
+  backend:Cortex_backend.Backend.t ->
+  t
+(** {!create} for a model-zoo spec, applying its schedule metadata via
+    [Runtime.options_for]. *)
+
+val compiled : t -> Cortex_lower.Lower.compiled
+val backend : t -> Cortex_backend.Backend.t
+val policy : t -> policy
+val pending : t -> int
+(** Requests queued and not yet drained. *)
+
+(** {2 Serving simulation} *)
+
+val submit :
+  t -> ?arrival_us:float -> Cortex_ds.Structure.t -> (int, error) result
+(** Validate a request against the compiled model (kind, fanout) and
+    enqueue it; returns its request id.  [arrival_us] (default 0)
+    stamps the simulated arrival clock. *)
+
+val submit_exn : t -> ?arrival_us:float -> Cortex_ds.Structure.t -> int
+(** {!submit}, raising {!Error} on rejection. *)
+
+type request_report = {
+  rr_id : int;
+  rr_nodes : int;
+  rr_window : int;  (** index of the window that served it *)
+  rr_window_size : int;  (** how many requests shared that window *)
+  rr_arrival_us : float;
+  rr_queue_us : float;  (** arrival -> window dispatch *)
+  rr_linearize_us : float;
+      (** the window's measured forest-linearization wall clock *)
+  rr_device_us : float;  (** simulated device latency of the window *)
+  rr_total_us : float;  (** arrival -> completion *)
+}
+
+type window_report = {
+  wr_index : int;
+  wr_size : int;
+  wr_nodes : int;
+  wr_dispatch_us : float;
+  wr_report : Runtime.report;  (** full backend report for the forest *)
+}
+
+type aggregate = {
+  num_requests : int;
+  num_windows : int;
+  mean_window : float;  (** requests per window *)
+  throughput_rps : float;  (** completed requests per simulated second *)
+  mean_us : float;  (** mean request latency (arrival -> completion) *)
+  p50_us : float;
+  p99_us : float;
+  makespan_us : float;
+}
+
+type summary = {
+  aggregate : aggregate;
+  requests : request_report list;  (** by request id *)
+  windows : window_report list;
+}
+
+val drain : t -> summary
+(** Form windows over everything queued (per the engine's {!policy}),
+    linearize each window's forest (measured), price it on the backend,
+    and play the windows through a single simulated device in ready
+    order.  Empties the queue. *)
+
+val run_trace : t -> Trace.t -> summary
+(** {!submit_exn} every event of the trace at its arrival time, then
+    {!drain}. *)
+
+val run_one : t -> Cortex_ds.Structure.t -> Runtime.report
+(** Single-request convenience: validate, linearize (timed) and price
+    one structure on the engine's backend — what
+    [Runtime.compile] + [Runtime.simulate] used to spell per call
+    site, minus the recompilation. *)
+
+(** {2 Numeric execution} *)
+
+type execution
+
+val execute :
+  t ->
+  params:(string -> Cortex_tensor.Tensor.t) ->
+  Cortex_ds.Structure.t list ->
+  execution
+(** Validate and forest-linearize the requests, then run the compiled
+    kernels numerically over the merged forest (one pass serves every
+    request).  Raises {!Error} on a malformed request. *)
+
+val execute_one :
+  t ->
+  params:(string -> Cortex_tensor.Tensor.t) ->
+  Cortex_ds.Structure.t ->
+  execution
+
+val state :
+  execution -> ?request:int -> string -> Cortex_ds.Node.t -> Cortex_tensor.Tensor.t
+(** [state e ~request st node] reads state [st] of [node] {e of request
+    [request]'s original structure} (default request 0) out of the
+    executed forest, through the linearizer's span tables.  Bitwise
+    identical to executing that request alone. *)
+
+val forest : execution -> Linearizer.forest
+(** The forest linearization backing this execution. *)

@@ -1,0 +1,27 @@
+module Rng = Cortex_util.Rng
+module Structure = Cortex_ds.Structure
+
+type event = { at_us : float; structure : Structure.t }
+type t = event list
+
+let poisson rng ~rate_rps ~duration_ms ~gen =
+  if rate_rps <= 0.0 then invalid_arg "Trace.poisson: rate must be positive";
+  let rate_per_us = rate_rps /. 1.0e6 in
+  let horizon_us = duration_ms *. 1000.0 in
+  let rec go acc t =
+    let dt = -.Float.log (1.0 -. Rng.uniform rng) /. rate_per_us in
+    let t = t +. dt in
+    if t >= horizon_us then List.rev acc
+    else go ({ at_us = t; structure = gen rng } :: acc) t
+  in
+  go [] 0.0
+
+let of_structures ?(spacing_us = 0.0) structures =
+  List.mapi
+    (fun i s -> { at_us = spacing_us *. float_of_int i; structure = s })
+    structures
+
+let length = List.length
+
+let num_nodes t =
+  List.fold_left (fun acc e -> acc + Structure.num_nodes e.structure) 0 t

@@ -1,0 +1,31 @@
+(** Synthetic request traces for the serving engine.
+
+    A trace is a time-stamped stream of inference requests — the input
+    of [Engine.run_trace].  Arrival times are in microseconds on the
+    engine's simulated clock (the same clock the backend latency model
+    prices device time on). *)
+
+type event = { at_us : float; structure : Cortex_ds.Structure.t }
+
+type t = event list
+(** Sorted by arrival time. *)
+
+val poisson :
+  Cortex_util.Rng.t ->
+  rate_rps:float ->
+  duration_ms:float ->
+  gen:(Cortex_util.Rng.t -> Cortex_ds.Structure.t) ->
+  t
+(** Open-loop Poisson arrivals at [rate_rps] requests/second for
+    [duration_ms] of simulated time; each request's structure is drawn
+    from [gen] (e.g. an SST-length parse tree, a grid DAG).
+    Deterministic in the rng seed. *)
+
+val of_structures : ?spacing_us:float -> Cortex_ds.Structure.t list -> t
+(** A degenerate trace: the [i]-th structure arrives at
+    [i * spacing_us] (default 0 — everything arrives at once, the
+    offered-load-saturated case used by the batching-policy sweeps). *)
+
+val length : t -> int
+val num_nodes : t -> int
+(** Total nodes across all requests. *)

@@ -16,6 +16,23 @@ let geomean = function
     let s = List.fold_left (fun acc x -> acc +. log x) 0.0 xs in
     exp (s /. float_of_int (List.length xs))
 
+let percentile p = function
+  | [] -> invalid_arg "Stats.percentile: empty"
+  | xs ->
+    if p < 0.0 || p > 100.0 || Float.is_nan p then
+      invalid_arg "Stats.percentile: p outside [0, 100]";
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+
+let p50 xs = percentile 50.0 xs
+let p99 xs = percentile 99.0 xs
+
 let clamp ~lo ~hi v = Float.max lo (Float.min hi v)
 let clamp_int ~lo ~hi v = max lo (min hi v)
 

@@ -5,6 +5,19 @@ val median : float list -> float
 val geomean : float list -> float
 (** Geometric mean; elements must be positive. *)
 
+val percentile : float -> float list -> float
+(** [percentile p xs] is the exact [p]-th percentile of [xs] with linear
+    interpolation between order statistics (the common "type 7" rule:
+    rank [p/100 * (n-1)]).  [percentile 50.0] therefore equals {!median}
+    on both parities, [percentile 0.0] the minimum and [percentile
+    100.0] the maximum.  Raises [Invalid_argument] on an empty list or
+    [p] outside [0, 100]. *)
+
+val p50 : float list -> float
+val p99 : float list -> float
+(** Tail-latency shorthands for [percentile 50.0] / [percentile 99.0],
+    used by the serving engine's aggregate reports. *)
+
 val clamp : lo:float -> hi:float -> float -> float
 val clamp_int : lo:int -> hi:int -> int -> int
 

@@ -1,0 +1,353 @@
+(* The serving engine: forest linearization, cross-request equivalence,
+   input validation, batching policies and the cross-request batching
+   payoff (serve bench's acceptance shape). *)
+
+open Cortex
+module M = Models.Common
+
+let gpu = Backend.gpu
+
+let sst_trees rng ~vocab n = List.init n (fun _ -> Gen.sst_tree rng ~vocab ())
+
+(* ---------- forest linearization ---------- *)
+
+let test_run_forest_invariants () =
+  let rng = Rng.create 7 in
+  let structures = sst_trees rng ~vocab:40 5 in
+  let f = Linearizer.run_forest structures in
+  Linearizer.check_forest f;
+  Alcotest.(check int) "forest covers all requests"
+    (List.fold_left (fun acc s -> acc + Structure.num_nodes s) 0 structures)
+    f.Linearizer.lin.Linearizer.num_nodes;
+  (* Per-level batches of the forest are the unions of the requests'
+     levels: each request's slice is contiguous and they tile the
+     level's batch. *)
+  Array.iteri
+    (fun level (first, len) ->
+      let covered =
+        Array.fold_left
+          (fun acc (span : Linearizer.span) ->
+            if level < Array.length span.Linearizer.span_levels then
+              acc + snd span.Linearizer.span_levels.(level)
+            else acc)
+          0 f.Linearizer.spans
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "level %d tiled by request ranges" level)
+        len covered;
+      Array.iter
+        (fun (span : Linearizer.span) ->
+          if level < Array.length span.Linearizer.span_levels then begin
+            let b, l = span.Linearizer.span_levels.(level) in
+            Alcotest.(check bool) "range within level batch" true
+              (l = 0 || (b >= first && b + l <= first + len))
+          end)
+        f.Linearizer.spans)
+    f.Linearizer.lin.Linearizer.batches
+
+let test_forest_of_one_matches_run () =
+  let rng = Rng.create 3 in
+  let s = Gen.sst_tree rng ~vocab:30 () in
+  let f = Linearizer.run_forest [ s ] in
+  let lone = Linearizer.run s in
+  Alcotest.(check int) "same nodes" lone.Linearizer.num_nodes
+    f.Linearizer.lin.Linearizer.num_nodes;
+  Alcotest.(check int) "same batches"
+    (Array.length lone.Linearizer.batches)
+    (Array.length f.Linearizer.lin.Linearizer.batches)
+
+(* ---------- cross-request equivalence (bitwise) ---------- *)
+
+let check_forest_equivalence (spec : M.t) structures seed =
+  let params = spec.M.init_params (Rng.create seed) in
+  let engine = Engine.of_spec spec ~backend:gpu in
+  let fx = Engine.execute engine ~params structures in
+  let compiled = Runtime.compile ~options:(Runtime.options_for spec) spec.M.program in
+  List.iteri
+    (fun k s ->
+      let solo = Runtime.execute compiled ~params s in
+      List.iter
+        (fun (st : Ra.state) ->
+          Array.iter
+            (fun (node : Node.t) ->
+              let batched = Engine.state fx ~request:k st.Ra.st_name node in
+              let alone = Runtime.state solo st.Ra.st_name node in
+              Alcotest.(check bool)
+                (Printf.sprintf "seed %d request %d node %d state %s bitwise equal"
+                   seed k node.Node.id st.Ra.st_name)
+                true
+                (Tensor.max_abs_diff batched alone = 0.0))
+            s.Structure.nodes)
+        spec.M.program.Ra.states)
+    structures
+
+let test_forest_equivalence_treelstm () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.create seed in
+      let spec = Models.Tree_lstm.spec ~vocab:50 ~hidden:8 () in
+      check_forest_equivalence spec (sst_trees rng ~vocab:50 4) (seed + 100))
+    [ 1; 2; 3 ]
+
+let test_forest_equivalence_dagrnn () =
+  List.iter
+    (fun seed ->
+      let spec = Models.Dag_rnn.spec ~rows:5 ~cols:5 ~hidden:6 () in
+      let structures =
+        [
+          Gen.grid_dag ~rows:5 ~cols:5;
+          Gen.grid_dag ~rows:3 ~cols:5;
+          Gen.grid_dag ~rows:4 ~cols:4;
+        ]
+      in
+      check_forest_equivalence spec structures seed)
+    [ 11; 12 ]
+
+(* ---------- input validation ---------- *)
+
+let tree_model max_children =
+  let open Ra in
+  {
+    name = "serve_test_tree";
+    kind = Structure.Tree;
+    max_children;
+    params = [ ("Emb", [ 21; 4 ]); ("U", [ 4; 4 ]); ("b", [ 4 ]) ];
+    rec_ops =
+      [
+        op "cs" ~axes:[ ("i", 4) ] (ChildSum (ChildState ("h", Current, [ IAxis "i" ])));
+        op "h" ~axes:[ ("i", 4) ]
+          (tanh_
+             (Param ("Emb", [ IPayload; IAxis "i" ])
+             + Sum ("j", 4, Param ("U", [ IAxis "i"; IAxis "j" ]) * Temp ("cs", [ IAxis "j" ]))
+             + Param ("b", [ IAxis "i" ])));
+      ];
+    leaf_ops = None;
+    states = [ { st_name = "h"; st_op = "h"; st_init = Zero } ];
+    outputs = [ "h" ];
+  }
+
+let ternary_tree () =
+  (* One root with three leaf children: fanout 3, declared honestly. *)
+  let b = Node.builder () in
+  let leaves = List.init 3 (fun i -> Node.make b ~payload:i []) in
+  let root = Node.make b ~payload:20 leaves in
+  Structure.create ~kind:Structure.Tree ~max_children:3 [ root ]
+
+let shared_dag () =
+  (* A diamond: the shared leaf forces kind Dag. *)
+  let b = Node.builder () in
+  let shared = Node.make b ~payload:1 [] in
+  let l = Node.make b ~payload:2 [ shared ] in
+  let r = Node.make b ~payload:3 [ shared ] in
+  let root = Node.make b ~payload:4 [ l; r ] in
+  Structure.create ~kind:Structure.Dag ~max_children:2 [ root ]
+
+let test_submit_rejects_fanout () =
+  let engine = Engine.create ~model:(tree_model 2) ~backend:gpu () in
+  match Engine.submit engine (ternary_tree ()) with
+  | Ok _ -> Alcotest.fail "fanout-3 request accepted by a 2-ary model"
+  | Error (Engine.Rejected (Linearizer.Fanout_exceeded f)) ->
+    Alcotest.(check int) "offending arity" 3 f.arity;
+    Alcotest.(check int) "model bound" 2 f.max_children;
+    Alcotest.(check int) "queue untouched" 0 (Engine.pending engine)
+  | Error e -> Alcotest.failf "wrong error: %s" (Engine.error_to_string e)
+
+let test_submit_rejects_kind () =
+  (* A DAG's shared subtree re-enters a tree traversal — the cycle-like
+     malformation a tree model must refuse. *)
+  let engine = Engine.create ~model:(tree_model 2) ~backend:gpu () in
+  match Engine.submit engine (shared_dag ()) with
+  | Ok _ -> Alcotest.fail "dag accepted by a tree model"
+  | Error (Engine.Kind_mismatch { expected; got }) ->
+    Alcotest.(check bool) "expected tree" true (expected = Structure.Tree);
+    Alcotest.(check bool) "got dag" true (got = Structure.Dag)
+  | Error e -> Alcotest.failf "wrong error: %s" (Engine.error_to_string e)
+
+let test_cycle_unconstructible () =
+  (* An actual cycle cannot be built — children are fixed at node
+     construction — and the nearest malformation, a shared subtree
+     declared as a tree (a node with two parents, which would re-enter
+     the traversal like a cycle does), is rejected at construction, so
+     the engine never sees one. *)
+  let b = Node.builder () in
+  let shared = Node.make b ~payload:0 [] in
+  let l = Node.make b ~payload:1 [ shared ] in
+  let r = Node.make b ~payload:2 [ shared ] in
+  let root = Node.make b ~payload:3 [ l; r ] in
+  try
+    ignore (Structure.create ~kind:Structure.Tree ~max_children:2 [ root ]);
+    Alcotest.fail "malformed structure accepted"
+  with Structure.Invalid _ -> ()
+
+let test_linearizer_rejects_fanout () =
+  let s = ternary_tree () in
+  (try
+     ignore (Linearizer.run ~max_children:2 s);
+     Alcotest.fail "Linearizer.run accepted fanout 3 under a bound of 2"
+   with Linearizer.Rejected (Linearizer.Fanout_exceeded _) -> ());
+  (* and with the bound satisfied it must succeed *)
+  Linearizer.check (Linearizer.run ~max_children:3 s)
+
+let test_linearizer_rejects_forest_shapes () =
+  (try
+     ignore (Linearizer.run_forest []);
+     Alcotest.fail "empty forest accepted"
+   with Linearizer.Rejected Linearizer.Empty_forest -> ());
+  let rng = Rng.create 5 in
+  let tree = Gen.sst_tree rng ~vocab:10 () in
+  let seq = Gen.sequence rng ~vocab:10 ~len:4 () in
+  try
+    ignore (Linearizer.run_forest [ tree; seq ]);
+    Alcotest.fail "mixed kinds accepted"
+  with Linearizer.Rejected (Linearizer.Mixed_kinds _) -> ()
+
+(* ---------- batching policies ---------- *)
+
+let small_spec = Models.Tree_lstm.spec ~vocab:50 ~hidden:8 ()
+
+let test_policy_max_batch () =
+  let policy = { Engine.default_policy with Engine.max_batch = 4 } in
+  let engine = Engine.of_spec ~policy small_spec ~backend:gpu in
+  let rng = Rng.create 21 in
+  List.iter
+    (fun s -> ignore (Engine.submit_exn engine s))
+    (sst_trees rng ~vocab:50 10);
+  let s = Engine.drain engine in
+  Alcotest.(check int) "all served" 10 s.Engine.aggregate.Engine.num_requests;
+  Alcotest.(check int) "windows of <= 4" 3 s.Engine.aggregate.Engine.num_windows;
+  List.iter
+    (fun (w : Engine.window_report) ->
+      Alcotest.(check bool) "window size bounded" true (w.Engine.wr_size <= 4))
+    s.Engine.windows;
+  Alcotest.(check int) "queue drained" 0 (Engine.pending engine)
+
+let test_policy_max_wait () =
+  let policy =
+    { Engine.max_batch = 100; max_wait_us = 100.0; bucketing = Engine.Fifo }
+  in
+  let engine = Engine.of_spec ~policy small_spec ~backend:gpu in
+  let rng = Rng.create 22 in
+  (* Two bursts 10 ms apart: the wait deadline must split them. *)
+  List.iteri
+    (fun i s ->
+      let arrival_us = if i < 3 then float_of_int i else 10_000.0 +. float_of_int i in
+      ignore (Engine.submit_exn engine ~arrival_us s))
+    (sst_trees rng ~vocab:50 6);
+  let s = Engine.drain engine in
+  Alcotest.(check int) "two windows" 2 s.Engine.aggregate.Engine.num_windows;
+  (* Queueing delay is bounded by the wait deadline for the first-burst
+     requests (device starts idle). *)
+  List.iter
+    (fun (r : Engine.request_report) ->
+      if r.Engine.rr_window = 0 then
+        Alcotest.(check bool) "queue <= max_wait" true (r.Engine.rr_queue_us <= 100.0))
+    s.Engine.requests
+
+let test_policy_bucketing () =
+  let rng = Rng.create 23 in
+  let small = List.init 6 (fun _ -> Gen.sst_tree rng ~vocab:50 ~len:4 ()) in
+  let big = List.init 6 (fun _ -> Gen.sst_tree rng ~vocab:50 ~len:40 ()) in
+  (* Interleave small and big requests. *)
+  let interleaved = List.concat (List.map2 (fun a b -> [ a; b ]) small big) in
+  let policy =
+    { Engine.max_batch = 6; max_wait_us = 1.0e9; bucketing = Engine.By_size }
+  in
+  let engine = Engine.of_spec ~policy small_spec ~backend:gpu in
+  List.iter (fun s -> ignore (Engine.submit_exn engine s)) interleaved;
+  let s = Engine.drain engine in
+  Alcotest.(check int) "all served" 12 s.Engine.aggregate.Engine.num_requests;
+  (* Every window is size-homogeneous: max/min node counts within a
+     window stay within the power-of-two bucket (ratio < 4). *)
+  List.iter
+    (fun (w : Engine.window_report) ->
+      let members =
+        List.filter (fun (r : Engine.request_report) -> r.Engine.rr_window = w.Engine.wr_index) s.Engine.requests
+      in
+      let nodes = List.map (fun (r : Engine.request_report) -> r.Engine.rr_nodes) members in
+      let lo = List.fold_left min max_int nodes and hi = List.fold_left max 0 nodes in
+      Alcotest.(check bool)
+        (Printf.sprintf "window %d homogeneous (%d..%d nodes)" w.Engine.wr_index lo hi)
+        true
+        (hi < 4 * lo))
+    s.Engine.windows
+
+let test_empty_drain () =
+  let engine = Engine.of_spec small_spec ~backend:gpu in
+  let s = Engine.drain engine in
+  Alcotest.(check int) "no requests" 0 s.Engine.aggregate.Engine.num_requests;
+  Alcotest.(check int) "no windows" 0 s.Engine.aggregate.Engine.num_windows
+
+let test_run_one_matches_runtime () =
+  let spec = Models.Catalog.get "TreeLSTM" Models.Catalog.Small in
+  let structure = spec.M.dataset (Rng.create 31) ~batch:4 in
+  let engine = Engine.of_spec spec ~backend:gpu in
+  let via_engine = Engine.run_one engine structure in
+  let compiled = Runtime.compile ~options:(Runtime.options_for spec) spec.M.program in
+  let via_runtime = Runtime.simulate compiled ~backend:gpu structure in
+  (* The device-side pricing is deterministic; only the measured host
+     linearization wall clock may differ. *)
+  Alcotest.(check (float 1e-9)) "same device latency"
+    via_runtime.Runtime.latency.Backend.total_us
+    via_engine.Runtime.latency.Backend.total_us;
+  Alcotest.(check int) "same nodes" via_runtime.Runtime.num_nodes
+    via_engine.Runtime.num_nodes
+
+(* ---------- the cross-request batching payoff ---------- *)
+
+let test_gpu_throughput_monotone_in_window () =
+  (* The serve bench's acceptance shape: for small trees on the GPU,
+     simulated throughput improves monotonically with the batch window —
+     cross-request forests amortize kernel launches and fill the wide
+     machine's lanes. *)
+  let spec = Models.Catalog.get "TreeLSTM" Models.Catalog.Small in
+  let rng = Rng.create 41 in
+  let requests = List.init 24 (fun _ -> Gen.sst_tree rng ~vocab:100 ~len:8 ()) in
+  let throughput w =
+    let policy = { Engine.max_batch = w; max_wait_us = 0.0; bucketing = Engine.Fifo } in
+    let engine = Engine.of_spec ~policy spec ~backend:gpu in
+    let s = Engine.run_trace engine (Trace.of_structures requests) in
+    s.Engine.aggregate.Engine.throughput_rps
+  in
+  let sweep = List.map (fun w -> (w, throughput w)) [ 1; 2; 4; 8; 16 ] in
+  let rec monotone = function
+    | (wa, a) :: ((wb, b) :: _ as tl) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "throughput(%d)=%.0f < throughput(%d)=%.0f" wa a wb b)
+        true (a < b);
+      monotone tl
+    | _ -> ()
+  in
+  monotone sweep
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "forest",
+        [
+          Alcotest.test_case "invariants" `Quick test_run_forest_invariants;
+          Alcotest.test_case "singleton" `Quick test_forest_of_one_matches_run;
+          Alcotest.test_case "equivalence-treelstm" `Quick test_forest_equivalence_treelstm;
+          Alcotest.test_case "equivalence-dagrnn" `Quick test_forest_equivalence_dagrnn;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "fanout" `Quick test_submit_rejects_fanout;
+          Alcotest.test_case "kind" `Quick test_submit_rejects_kind;
+          Alcotest.test_case "cycle" `Quick test_cycle_unconstructible;
+          Alcotest.test_case "linearizer-fanout" `Quick test_linearizer_rejects_fanout;
+          Alcotest.test_case "forest-shapes" `Quick test_linearizer_rejects_forest_shapes;
+        ] );
+      ( "policies",
+        [
+          Alcotest.test_case "max-batch" `Quick test_policy_max_batch;
+          Alcotest.test_case "max-wait" `Quick test_policy_max_wait;
+          Alcotest.test_case "bucketing" `Quick test_policy_bucketing;
+          Alcotest.test_case "empty-drain" `Quick test_empty_drain;
+          Alcotest.test_case "run-one" `Quick test_run_one_matches_runtime;
+        ] );
+      ( "serving",
+        [
+          Alcotest.test_case "gpu-throughput-monotone" `Quick
+            test_gpu_throughput_monotone_in_window;
+        ] );
+    ]

@@ -76,6 +76,30 @@ let test_stats () =
   Alcotest.(check (float 1e-9)) "clamp" 1.0 (Stats.clamp ~lo:0.0 ~hi:1.0 5.0);
   Alcotest.(check int) "clamp_int" 3 (Stats.clamp_int ~lo:3 ~hi:9 (-2))
 
+let test_percentiles () =
+  Alcotest.(check (float 1e-9)) "p50 odd = median" 2.0 (Stats.p50 [ 3.0; 1.0; 2.0 ]);
+  Alcotest.(check (float 1e-9)) "p50 even = median" 2.5 (Stats.p50 [ 4.0; 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "p0 = min" 1.0 (Stats.percentile 0.0 [ 5.0; 1.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "p100 = max" 5.0 (Stats.percentile 100.0 [ 5.0; 1.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "singleton" 7.0 (Stats.p99 [ 7.0 ]);
+  (* Type-7 interpolation on 1..100: rank = 0.99 * 99 = 98.01. *)
+  let hundred = List.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 1e-9)) "p99 of 1..100" 99.01 (Stats.p99 hundred);
+  Alcotest.(check (float 1e-9)) "p25 interpolates" 1.75 (Stats.percentile 25.0 [ 1.0; 2.0; 3.0; 4.0 ]);
+  Alcotest.check_raises "empty input" (Invalid_argument "Stats.percentile: empty")
+    (fun () -> ignore (Stats.p50 []));
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.percentile: p outside [0, 100]") (fun () ->
+      ignore (Stats.percentile 101.0 [ 1.0 ]))
+
+let test_percentile_bounds =
+  QCheck.Test.make ~name:"percentile within min..max" ~count:300
+    QCheck.(pair (float_range 0.0 100.0) (list_of_size (QCheck.Gen.int_range 1 40) (float_range (-100.0) 100.0)))
+    (fun (p, xs) ->
+      let v = Stats.percentile p xs in
+      let lo = List.fold_left min infinity xs and hi = List.fold_left max neg_infinity xs in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
 let test_time_us () =
   let (), us = Stats.time_us (fun () -> ignore (Sys.opaque_identity (Array.make 1000 0))) in
   Alcotest.(check bool) "non-negative" true (us >= 0.0)
@@ -97,6 +121,8 @@ let () =
         [
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "percentiles" `Quick test_percentiles;
+          QCheck_alcotest.to_alcotest test_percentile_bounds;
           Alcotest.test_case "time_us" `Quick test_time_us;
         ] );
     ]
