@@ -650,7 +650,105 @@ let serving () =
     ~title:
       "Serving — Poisson 4000 req/s for 30 ms, GPU, max_batch 8 / max_wait 300 us"
     ~header rows;
-  print_newline ()
+  print_newline ();
+  (* Device-scaling sweep: same overload trace sharded across N GPUs,
+     one row per dispatch policy.  The load saturates a single device, so
+     near-linear throughput scaling with N is the expected shape. *)
+  let strace =
+    Trace.poisson (Rng.create (seed + 2)) ~rate_rps:40000.0 ~duration_ms:10.0
+      ~gen:(fun rng -> Gen.sst_tree rng ~vocab:200 ())
+  in
+  let header =
+    [ "Dispatch"; "devices"; "req/s"; "p99 us"; "makespan ms"; "max util"; "occupancy" ]
+  in
+  let rows =
+    List.concat_map
+      (fun dispatch ->
+        List.map
+          (fun n ->
+            let devices = List.init n (fun _ -> Backend.gpu) in
+            let policy = { Engine.max_batch = 8; max_wait_us = 300.0; bucketing = Engine.Fifo } in
+            let engine = Engine.of_spec ~policy ~dispatch ~devices spec ~backend:Backend.gpu in
+            let s = Engine.run_trace engine strace in
+            let a = s.Engine.aggregate in
+            let max_util =
+              List.fold_left
+                (fun acc (d : Engine.device_report) -> Float.max acc d.Engine.dr_utilization)
+                0.0 s.Engine.device_reports
+            in
+            let occ =
+              let busy, w =
+                List.fold_left
+                  (fun (b, w) (d : Engine.device_report) ->
+                    (b +. d.Engine.dr_busy_us, w +. (d.Engine.dr_occupancy *. d.Engine.dr_busy_us)))
+                  (0.0, 0.0) s.Engine.device_reports
+              in
+              if busy = 0.0 then 0.0 else w /. busy
+            in
+            [
+              Dispatch.policy_to_string dispatch;
+              string_of_int n;
+              Printf.sprintf "%.0f" a.Engine.throughput_rps;
+              Printf.sprintf "%.1f" a.Engine.p99_us;
+              Printf.sprintf "%.2f" (a.Engine.makespan_us /. 1000.0);
+              Printf.sprintf "%.0f%%" (100.0 *. max_util);
+              Printf.sprintf "%.0f%%" (100.0 *. occ);
+            ])
+          [ 1; 2; 4; 8 ])
+      [ Dispatch.Round_robin; Dispatch.Least_loaded; Dispatch.Size_affinity ]
+  in
+  Table.print
+    ~title:
+      "Serving — device scaling, Poisson 40k req/s for 10 ms (overload), N x GPU, max_batch 8"
+    ~header rows;
+  print_endline
+    "Throughput scales near-linearly until the offered load is no longer the bottleneck;\nleast-loaded keeps the per-device utilization spread tightest.\n";
+  (* Shape-cache sweep: a repeated-shape workload (perfect trees of a few
+     heights) with the cache off vs on.  Hits skip the inspector, so the
+     linearize column collapses while latency/throughput stay honest. *)
+  let ctrace =
+    Trace.poisson (Rng.create (seed + 3)) ~rate_rps:4000.0 ~duration_ms:30.0
+      ~gen:(fun rng ->
+        let height = 3 + Rng.int rng 3 in
+        Gen.perfect_tree rng ~height ~vocab:200 ())
+  in
+  let header =
+    [ "Cache"; "hits"; "misses"; "hit rate"; "mean lin us"; "req/s"; "p99 us" ]
+  in
+  let rows =
+    List.map
+      (fun (label, cache_capacity) ->
+        let policy = { Engine.max_batch = 1; max_wait_us = 0.0; bucketing = Engine.Fifo } in
+        let engine =
+          Engine.of_spec ~policy ~cache_capacity spec ~backend:Backend.gpu
+        in
+        let s = Engine.run_trace engine ctrace in
+        let a = s.Engine.aggregate in
+        let c = s.Engine.cache in
+        let mean_lin =
+          let lins =
+            List.map (fun (w : Engine.window_report) -> w.Engine.wr_report.Runtime.linearize_us)
+              s.Engine.windows
+          in
+          Stats.mean lins
+        in
+        [
+          label;
+          string_of_int c.Shape_cache.hits;
+          string_of_int c.Shape_cache.misses;
+          Printf.sprintf "%.0f%%" (100.0 *. Shape_cache.hit_rate c);
+          Printf.sprintf "%.1f" mean_lin;
+          Printf.sprintf "%.0f" a.Engine.throughput_rps;
+          Printf.sprintf "%.1f" a.Engine.p99_us;
+        ])
+      [ ("off", 0); ("on", 1024) ]
+  in
+  Table.print
+    ~title:
+      "Serving — shape-keyed linearization cache, repeated perfect-tree shapes (heights 3-5), max_batch 1"
+    ~header rows;
+  print_endline
+    "With a handful of hot shapes the cache converges to ~100% hits: a hit re-binds payloads\nin O(nodes) instead of re-running the inspector, collapsing the linearization column.\n"
 
 let all =
   [

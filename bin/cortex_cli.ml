@@ -193,7 +193,33 @@ let serve_cmd =
   let max_batch_arg = Arg.(value & opt int 8 & info [ "max-batch" ] ~doc:"Close a batch window at this many requests") in
   let max_wait_arg = Arg.(value & opt float 200.0 & info [ "max-wait-us" ] ~doc:"Close a partial window after this wait") in
   let bucketed_arg = Arg.(value & flag & info [ "bucketed" ] ~doc:"Bucket windows by request size (power-of-two node counts) instead of FIFO") in
-  let run name size seed backend options rps duration_ms max_batch max_wait_us bucketed =
+  let devices_arg =
+    Arg.(value & opt int 1 & info [ "devices" ] ~doc:"Shard the engine across this many copies of --backend")
+  in
+  let device_list_arg =
+    Arg.(value & opt (some string) None
+         & info [ "device-list" ]
+             ~doc:"Comma-separated heterogeneous device list (e.g. gpu,gpu,intel); overrides --devices")
+  in
+  let dispatch_arg =
+    let parse s =
+      match Dispatch.policy_of_string s with
+      | Some p -> Ok p
+      | None -> Error (`Msg ("unknown dispatch policy " ^ s))
+    in
+    let print fmt p = Format.pp_print_string fmt (Dispatch.policy_to_string p) in
+    Arg.(value & opt (conv (parse, print)) Dispatch.Round_robin
+         & info [ "dispatch" ] ~doc:"round-robin | least-loaded | size-affinity")
+  in
+  let backend_of_name s =
+    match String.lowercase_ascii (String.trim s) with
+    | "gpu" -> Backend.gpu
+    | "intel" -> Backend.intel
+    | "arm" -> Backend.arm
+    | other -> invalid_arg ("unknown backend " ^ other)
+  in
+  let run name size seed backend options rps duration_ms max_batch max_wait_us bucketed
+      num_devices device_list dispatch =
     let spec = get_spec name size in
     let policy =
       {
@@ -202,7 +228,14 @@ let serve_cmd =
         bucketing = (if bucketed then Engine.By_size else Engine.Fifo);
       }
     in
-    let engine = Engine.of_spec ~policy ~base:options spec ~backend in
+    let devices =
+      match device_list with
+      | Some list -> List.map backend_of_name (String.split_on_char ',' list)
+      | None ->
+        if num_devices < 1 then invalid_arg "--devices must be >= 1";
+        List.init num_devices (fun _ -> backend)
+    in
+    let engine = Engine.of_spec ~policy ~base:options ~dispatch ~devices spec ~backend in
     let trace =
       Trace.poisson (Rng.create seed) ~rate_rps:rps ~duration_ms
         ~gen:(fun rng -> spec.M.dataset rng ~batch:1)
@@ -210,28 +243,47 @@ let serve_cmd =
     let s = Engine.run_trace engine trace in
     let a = s.Engine.aggregate in
     Printf.printf "%s on %s: %d requests (%d nodes) over %.1f ms, policy max_batch=%d max_wait=%.0fus %s\n"
-      name backend.Backend.short a.Engine.num_requests (Trace.num_nodes trace) duration_ms
+      name
+      (String.concat "+" (List.map (fun (b : Backend.t) -> b.Backend.short) devices))
+      a.Engine.num_requests (Trace.num_nodes trace) duration_ms
       max_batch max_wait_us (if bucketed then "by-size" else "fifo");
-    Printf.printf "  %d windows (mean %.1f req/window), throughput %.0f req/s\n"
-      a.Engine.num_windows a.Engine.mean_window a.Engine.throughput_rps;
+    Printf.printf "  %d windows (mean %.1f req/window), throughput %.0f req/s, dispatch %s\n"
+      a.Engine.num_windows a.Engine.mean_window a.Engine.throughput_rps
+      (Dispatch.policy_to_string dispatch);
     Printf.printf "  latency mean %.1f us, p50 %.1f us, p99 %.1f us, makespan %.2f ms\n"
       a.Engine.mean_us a.Engine.p50_us a.Engine.p99_us (a.Engine.makespan_us /. 1000.0);
+    let c = s.Engine.cache in
+    Printf.printf "  shape cache: %d hits / %d misses (%.0f%% hit rate), %d shapes cached\n"
+      c.Shape_cache.hits c.Shape_cache.misses
+      (100.0 *. Shape_cache.hit_rate c)
+      c.Shape_cache.entries;
+    List.iter
+      (fun (d : Engine.device_report) ->
+        Printf.printf
+          "  device %d (%-5s): %3d windows, %4d req, %6d nodes, busy %8.1f us, util %3.0f%%, occupancy %3.0f%%\n"
+          d.Engine.dr_index d.Engine.dr_backend.Backend.short d.Engine.dr_windows
+          d.Engine.dr_requests d.Engine.dr_nodes d.Engine.dr_busy_us
+          (100.0 *. d.Engine.dr_utilization)
+          (100.0 *. d.Engine.dr_occupancy))
+      s.Engine.device_reports;
     (* A few sample requests to show the per-request breakdown. *)
     let sample = List.filteri (fun i _ -> i < 5) s.Engine.requests in
     List.iter
       (fun (r : Engine.request_report) ->
         Printf.printf
-          "  req %2d (%3d nodes) window %d/%d: queue %7.1f us, linearize %5.1f us, device %7.1f us, total %8.1f us\n"
+          "  req %2d (%3d nodes) window %d/%d dev %d: queue %7.1f us, linearize %5.1f us, device %7.1f us, total %8.1f us\n"
           r.Engine.rr_id r.Engine.rr_nodes r.Engine.rr_window r.Engine.rr_window_size
-          r.Engine.rr_queue_us r.Engine.rr_linearize_us r.Engine.rr_device_us r.Engine.rr_total_us)
+          r.Engine.rr_device r.Engine.rr_queue_us r.Engine.rr_linearize_us
+          r.Engine.rr_device_us r.Engine.rr_total_us)
       sample
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Replay a synthetic Poisson trace through the serving engine and report latency/throughput")
+       ~doc:"Replay a synthetic Poisson trace through the (optionally sharded) serving engine and report latency/throughput")
     Term.(
       const run $ model_arg $ size_arg $ seed_arg $ backend_arg $ options_flags $ rps_arg
-      $ duration_arg $ max_batch_arg $ max_wait_arg $ bucketed_arg)
+      $ duration_arg $ max_batch_arg $ max_wait_arg $ bucketed_arg $ devices_arg
+      $ device_list_arg $ dispatch_arg)
 
 let () =
   let info = Cmd.info "cortex" ~doc:"Cortex: a compiler for recursive deep learning models" in

@@ -152,6 +152,26 @@ let kernel_efficiency be (k : Cost.kernel_cost) =
   if is_prefix "setup" || is_prefix "pre_" || is_prefix "hoist_" then be.gemm_efficiency
   else be.roofline_efficiency
 
+(* Flop-weighted mean of the per-segment lane occupancy the latency
+   model prices — how full the machine's lanes are where the work
+   actually is.  Narrow levels near tree roots drag this down; the
+   serving engine aggregates it per device (busy-time weighted) for the
+   utilization reports. *)
+let mean_occupancy be (cost : Cost.t) =
+  let wsum = ref 0.0 in
+  let fsum = ref 0.0 in
+  List.iter
+    (fun (k : Cost.kernel_cost) ->
+      List.iter
+        (fun (s : Cost.segment) ->
+          let lanes = Float.max s.Cost.lanes be.min_lanes in
+          let occ = Float.min 1.0 (lanes /. be.width) in
+          wsum := !wsum +. (occ *. s.Cost.flops);
+          fsum := !fsum +. s.Cost.flops)
+        k.Cost.segments)
+    cost.Cost.kernels;
+  if !fsum > 0.0 then !wsum /. !fsum else 0.0
+
 let simulate be ~persist ~lock_free (cost : Cost.t) =
   let persist_on = persist && persisted_bytes be cost > 0.0 in
   let size_of tid = try List.assoc tid cost.Cost.param_sizes with Not_found -> 0.0 in

@@ -97,3 +97,11 @@ val simulate :
 val persisted_bytes : t -> Cortex_ilir.Cost.t -> float
 (** How many parameter bytes fit the persistence budget (0 when nothing
     is persistable). *)
+
+val mean_occupancy : t -> Cortex_ilir.Cost.t -> float
+(** Flop-weighted mean of the per-segment lane occupancy
+    ([min 1 (lanes / width)], with the backend's lane floor applied) —
+    the fraction of the machine the program's dynamic batches actually
+    fill, before the occupancy exponent inflates the cost of the narrow
+    ones.  The serving engine's per-device utilization reports
+    aggregate this. *)

@@ -33,6 +33,8 @@ module Runtime = Cortex_runtime.Runtime
 module Tuner = Cortex_runtime.Tuner
 module Checkpoint = Cortex_runtime.Checkpoint
 module Engine = Cortex_serve.Engine
+module Dispatch = Cortex_serve.Dispatch
+module Shape_cache = Cortex_serve.Shape_cache
 module Trace = Cortex_serve.Trace
 module Workload = Cortex_baselines.Workload
 module Frameworks = Cortex_baselines.Frameworks

@@ -16,7 +16,10 @@ let perfect_tree rng ?(vocab = vocab_size) ~height () =
     else begin
       let left = build (h - 1) in
       let right = build (h - 1) in
-      Node.make b ~payload:null_word [ left; right ]
+      (* The null word of a [vocab]-word model is id [vocab] (its Emb
+         holds [vocab + 1] rows) — matching [sst_tree] below, not the
+         default vocabulary's [null_word]. *)
+      Node.make b ~payload:vocab [ left; right ]
     end
   in
   Structure.create ~kind:Tree ~max_children:2 [ build height ]

@@ -21,6 +21,7 @@ type rejection =
   | Fanout_exceeded of { node : int; arity : int; max_children : int }
   | Mixed_kinds of Structure.kind * Structure.kind
   | Empty_forest
+  | Empty_structure
 
 exception Rejected of rejection
 
@@ -36,9 +37,13 @@ let rejection_to_string = function
   | Mixed_kinds (a, b) ->
     Printf.sprintf "forest mixes %s and %s structures" (kind_name a) (kind_name b)
   | Empty_forest -> "empty forest"
+  | Empty_structure -> "empty structure"
 
 let run ?max_children structure =
   let n = Structure.num_nodes structure in
+  (* A structure with no nodes would fall through the numbering and
+     emit a phantom (0, 0) batch — one launch over nothing. *)
+  if n = 0 then raise (Rejected Empty_structure);
   let max_children =
     Option.value max_children ~default:structure.Structure.max_children
   in
@@ -202,9 +207,10 @@ let run_forest ?max_children structures =
    | first :: rest ->
      List.iter
        (fun (s : Structure.t) ->
+         if Structure.num_nodes s = 0 then raise (Rejected Empty_structure);
          if s.Structure.kind <> first.Structure.kind then
            raise (Rejected (Mixed_kinds (first.Structure.kind, s.Structure.kind))))
-       rest);
+       (first :: rest));
   (* Validate each request's fanout up front so a bad request is
      reported against its own node ids, not the merged renumbering. *)
   (match max_children with
@@ -247,6 +253,75 @@ let run_forest ?max_children structures =
     Array.of_list (List.map2 span_of structures (Array.to_list maps))
   in
   { lin; spans }
+
+(* The canonical shape encoding: everything the numbering depends on —
+   structure kinds, node counts, root ids and per-node children ids —
+   and nothing it doesn't (payloads).  Two forests produce equal keys
+   iff [run_forest] would produce identical numberings for them, so a
+   shape-keyed cache needs no collision handling: string equality on
+   the key is shape equality. *)
+let shape_key structures =
+  let b = Buffer.create 256 in
+  let add_int n =
+    Buffer.add_string b (string_of_int n);
+    Buffer.add_char b ','
+  in
+  List.iter
+    (fun (s : Structure.t) ->
+      Buffer.add_char b
+        (match s.Structure.kind with
+         | Structure.Sequence -> 's'
+         | Structure.Tree -> 't'
+         | Structure.Dag -> 'd');
+      add_int (Structure.num_nodes s);
+      List.iter (fun (r : Node.t) -> add_int r.Node.id) s.Structure.roots;
+      Buffer.add_char b '|';
+      Array.iter
+        (fun (node : Node.t) ->
+          Array.iter (fun (c : Node.t) -> add_int c.Node.id) node.Node.children;
+          Buffer.add_char b ';')
+        s.Structure.nodes;
+      Buffer.add_char b '#')
+    structures;
+  Buffer.contents b
+
+(* Reuse a cached numbering for a forest of identical shape: everything
+   but the payload table is a pure function of the shape, so a cache hit
+   re-binds payloads through the span maps and shares the rest.  The
+   [structure] field of the result still names the shape-representative
+   merged structure of the original cold run (its payloads are stale);
+   nothing downstream reads payloads from it — the executor goes through
+   the [payload] array rebound here. *)
+let rebind_forest f structures =
+  let spans = f.spans in
+  if List.length structures <> Array.length spans then
+    invalid_arg "Linearizer.rebind_forest: request count mismatch";
+  (* Re-merge the new requests: [Structure.merge_mapped] assigns
+     creation ids by topology alone, so an equal shape reproduces the
+     cached merged structure exactly (modulo payloads) and the cached
+     [new_of_old]/[old_of_new] tables remain valid against it.  This
+     keeps every [check]/[check_forest] invariant true of a rebound
+     forest, at O(nodes) — the expensive part of a cold run (numbering,
+     batching, span building) is still skipped. *)
+  let merged, _maps = Structure.merge_mapped structures in
+  if Structure.num_nodes merged <> f.lin.num_nodes then
+    invalid_arg "Linearizer.rebind_forest: shape mismatch";
+  let payload = Array.copy f.lin.payload in
+  let spans =
+    Array.of_list
+      (List.mapi
+         (fun k (s : Structure.t) ->
+           let span = spans.(k) in
+           if Structure.num_nodes s <> Array.length span.span_ids then
+             invalid_arg "Linearizer.rebind_forest: shape mismatch";
+           Array.iter
+             (fun (node : Node.t) ->
+               payload.(span.span_ids.(node.Node.id)) <- node.Node.payload)
+             s.Structure.nodes;
+           { span with span_structure = s })
+         structures)
+  in
+  { lin = { f.lin with structure = merged; payload }; spans }
 
 let check_forest f =
   let fail fmt = Printf.ksprintf failwith fmt in

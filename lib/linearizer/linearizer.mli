@@ -48,6 +48,9 @@ type rejection =
   | Mixed_kinds of Cortex_ds.Structure.kind * Cortex_ds.Structure.kind
       (** A forest mixes structure kinds. *)
   | Empty_forest
+  | Empty_structure
+      (** A structure with no nodes — linearizing it would emit a
+          phantom [(0, 0)] batch (one kernel launch over nothing). *)
 
 exception Rejected of rejection
 (** Typed input-validation failure, raised by {!run} and {!run_forest}
@@ -96,6 +99,28 @@ val run_forest : ?max_children:int -> Cortex_ds.Structure.t list -> forest
     {!Rejected} on an empty list, mixed structure kinds, or a fanout
     violation (checked per request, against the request's own node
     ids). *)
+
+val shape_key : Cortex_ds.Structure.t list -> string
+(** The canonical shape encoding of a forest: kinds, node counts, root
+    ids and per-node children ids — everything the numbering depends
+    on, payloads excluded.  Equal keys iff {!run_forest} (under a fixed
+    [max_children]) produces identical numberings, so a shape-keyed
+    cache needs no collision handling. *)
+
+val rebind_forest : forest -> Cortex_ds.Structure.t list -> forest
+(** [rebind_forest cached structures] reuses a cached numbering for a
+    forest whose {!shape_key} equals the cached one: the requests are
+    re-merged (an O(nodes) structure copy — [Structure.merge_mapped]'s
+    id assignment depends on topology alone, so the cached numbering
+    tables stay valid), payloads are re-bound through the span maps
+    into a fresh payload table, the spans' [span_structure]s point at
+    the new requests, and every other array is shared with the cached
+    run (they are pure functions of the shape).  The result satisfies
+    {!check_forest} and is indistinguishable from a cold {!run_forest}
+    of the same requests; only the numbering/batching/span work is
+    skipped.  Raises [Invalid_argument] on a request count or node
+    count mismatch (the cheap prefix of shape equality — callers are
+    expected to key on {!shape_key}). *)
 
 val check_forest : forest -> unit
 (** {!check} on the merged linearization, plus the span invariants:

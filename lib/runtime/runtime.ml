@@ -40,6 +40,7 @@ type report = {
   linearize_us : float;
   device_memory_bytes : float;
   num_nodes : int;
+  occupancy : float;
 }
 
 (* Bytes of the device-resident tensors: parameters, plus every
@@ -80,6 +81,7 @@ let simulate_lin ?(lock_free = false) ?(linearize_us = 0.0) compiled ~backend li
     linearize_us;
     device_memory_bytes = device_memory compiled bound;
     num_nodes = lin.Linearizer.num_nodes;
+    occupancy = Backend.mean_occupancy backend cost;
   }
 
 let simulate ?lock_free compiled ~backend structure =

@@ -55,6 +55,10 @@ type report = {
       (** peak device footprint: parameters + global tensors + the
           linearizer's arrays *)
   num_nodes : int;
+  occupancy : float;
+      (** flop-weighted mean lane occupancy on this backend
+          ({!Cortex_backend.Backend.mean_occupancy}) — how full the
+          machine was where the work was *)
 }
 
 val simulate_lin :

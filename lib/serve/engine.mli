@@ -21,10 +21,15 @@
     - {b serving simulation}: {!submit} requests with arrival times (or
       {!run_trace} a whole {!Trace.t}), then {!drain}; windows form
       according to the {!policy}, each window's forest is linearized for
-      real (measured wall clock) and priced on the backend model, and
-      you get per-request reports plus throughput/p50/p99 aggregates;
+      real (measured wall clock, through a shape-keyed cache — repeated
+      shapes skip the inspector and are payload-rebound instead), a
+      {!Dispatch.policy} spreads the windows across the engine's
+      simulated devices (possibly heterogeneous), and you get
+      per-request reports plus throughput/p50/p99 aggregates,
+      per-device utilization/occupancy accounting and cache hit rates;
     - {b numeric execution}: {!execute} a forest of structures and read
-      bitwise-exact per-request states back through the span tables. *)
+      bitwise-exact per-request states back through the span tables
+      (also shape-cached; a hit is bitwise identical to a cold run). *)
 
 module Linearizer = Cortex_linearizer.Linearizer
 module Runtime = Cortex_runtime.Runtime
@@ -73,18 +78,32 @@ val create :
   ?policy:policy ->
   ?options:Cortex_lower.Lower.options ->
   ?lock_free:bool ->
+  ?dispatch:Dispatch.policy ->
+  ?devices:Cortex_backend.Backend.t list ->
+  ?cache_capacity:int ->
   model:Cortex_ra.Ra.t ->
   backend:Cortex_backend.Backend.t ->
   unit ->
   t
 (** Compile [model] once (default options {!Cortex_lower.Lower.default})
     and stand up an empty queue.  [lock_free] selects the lock-free
-    global barrier for the latency simulation (§7.2). *)
+    global barrier for the latency simulation (§7.2).
+
+    [devices] (default [[ backend ]]) lists the simulated devices the
+    drain shards windows across — each entry its own backend model, so
+    the list may be heterogeneous (2 GPUs + 1 Intel) — and [dispatch]
+    (default {!Dispatch.Round_robin}) picks which device a ready window
+    lands on.  [backend] remains the single-request pricing device for
+    {!run_one}.  [cache_capacity] bounds the shape-keyed linearization
+    cache ({!Shape_cache.create}); [0] disables it. *)
 
 val of_spec :
   ?policy:policy ->
   ?base:Cortex_lower.Lower.options ->
   ?lock_free:bool ->
+  ?dispatch:Dispatch.policy ->
+  ?devices:Cortex_backend.Backend.t list ->
+  ?cache_capacity:int ->
   M.t ->
   backend:Cortex_backend.Backend.t ->
   t
@@ -94,6 +113,13 @@ val of_spec :
 val compiled : t -> Cortex_lower.Lower.compiled
 val backend : t -> Cortex_backend.Backend.t
 val policy : t -> policy
+val dispatch_policy : t -> Dispatch.policy
+val devices : t -> Cortex_backend.Backend.t list
+val num_devices : t -> int
+val cache_stats : t -> Shape_cache.stats
+(** Cumulative shape-cache counters (both the drain and the numeric
+    {!execute} path go through the cache). *)
+
 val pending : t -> int
 (** Requests queued and not yet drained. *)
 
@@ -113,10 +139,12 @@ type request_report = {
   rr_nodes : int;
   rr_window : int;  (** index of the window that served it *)
   rr_window_size : int;  (** how many requests shared that window *)
+  rr_device : int;  (** index of the device the window ran on *)
   rr_arrival_us : float;
   rr_queue_us : float;  (** arrival -> window dispatch *)
   rr_linearize_us : float;
-      (** the window's measured forest-linearization wall clock *)
+      (** the window's measured linearization wall clock (a cache hit's
+          payload re-bind, or a miss's full inspector pass) *)
   rr_device_us : float;  (** simulated device latency of the window *)
   rr_total_us : float;  (** arrival -> completion *)
 }
@@ -125,8 +153,28 @@ type window_report = {
   wr_index : int;
   wr_size : int;
   wr_nodes : int;
+  wr_device : int;  (** index of the device it ran on *)
+  wr_cache_hit : bool;
+      (** whether the forest numbering came out of the shape cache *)
   wr_dispatch_us : float;
   wr_report : Runtime.report;  (** full backend report for the forest *)
+}
+
+type device_report = {
+  dr_index : int;
+  dr_backend : Cortex_backend.Backend.t;
+  dr_windows : int;
+  dr_requests : int;
+  dr_nodes : int;
+  dr_busy_us : float;  (** total time occupied by windows *)
+  dr_utilization : float;
+      (** busy time over the drain's makespan — the classic
+          open-systems utilization; near 1 means this device is the
+          bottleneck, near 0 that dispatch starved it *)
+  dr_occupancy : float;
+      (** busy-time-weighted mean lane occupancy of the windows it ran
+          ({!Cortex_backend.Backend.mean_occupancy}) — how full the
+          device's lanes were {e while} it was busy *)
 }
 
 type aggregate = {
@@ -144,13 +192,23 @@ type summary = {
   aggregate : aggregate;
   requests : request_report list;  (** by request id *)
   windows : window_report list;
+  device_reports : device_report list;  (** one per device, in index order *)
+  cache : Shape_cache.stats;
+      (** cumulative shape-cache counters at the end of this drain *)
 }
 
 val drain : t -> summary
 (** Form windows over everything queued (per the engine's {!policy}),
-    linearize each window's forest (measured), price it on the backend,
-    and play the windows through a single simulated device in ready
-    order.  Empties the queue. *)
+    linearize each window's forest exactly once through the shape cache
+    (timing that one run — a hit re-binds payloads, a miss runs the
+    inspector), and play the windows through the engine's simulated
+    devices in ready order: the {!Dispatch.policy} picks a device, the
+    window occupies it from [max(device free, ready)] to completion,
+    priced on that device's backend.  Device clocks are fresh per
+    drain; the shape cache persists across drains.  An explicit drain
+    is a flush: the trailing partial window is ready at its last
+    member's arrival, not after the batching timer.  Empties the
+    queue. *)
 
 val run_trace : t -> Trace.t -> summary
 (** {!submit_exn} every event of the trace at its arrival time, then

@@ -6,7 +6,7 @@ let median = function
   | [] -> invalid_arg "Stats.median: empty"
   | xs ->
     let a = Array.of_list xs in
-    Array.sort compare a;
+    Array.sort Float.compare a;
     let n = Array.length a in
     if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
 
@@ -22,7 +22,7 @@ let percentile p = function
     if p < 0.0 || p > 100.0 || Float.is_nan p then
       invalid_arg "Stats.percentile: p outside [0, 100]";
     let a = Array.of_list xs in
-    Array.sort compare a;
+    Array.sort Float.compare a;
     let n = Array.length a in
     let rank = p /. 100.0 *. float_of_int (n - 1) in
     let lo = int_of_float (Float.floor rank) in

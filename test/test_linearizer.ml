@@ -74,6 +74,103 @@ let test_check_catches_corruption () =
   swap lin.Linearizer.postorder 0 (lin.Linearizer.num_nodes - 1);
   Linearizer.check lin
 
+(* ---------- shape keys and payload re-binding ---------- *)
+
+(* Same topology, different payloads: perfect trees are deterministic
+   shapes, the rng only draws leaf payloads. *)
+let perfect3 seed = Gen.perfect_tree (Rng.create seed) ~vocab:30 ~height:3 ()
+
+let test_shape_key_is_shape_equality () =
+  let a = [ perfect3 1; perfect3 2 ] and b = [ perfect3 3; perfect3 4 ] in
+  Alcotest.(check string) "payloads don't enter the key"
+    (Linearizer.shape_key a) (Linearizer.shape_key b);
+  let c = [ perfect3 1; Gen.perfect_tree (Rng.create 2) ~vocab:30 ~height:4 () ] in
+  Alcotest.(check bool) "different topology, different key" false
+    (Linearizer.shape_key a = Linearizer.shape_key c);
+  (* Order matters: a forest's numbering depends on submission order. *)
+  Alcotest.(check bool) "request order enters the key" false
+    (Linearizer.shape_key c = Linearizer.shape_key (List.rev c))
+
+let test_rebind_matches_cold_run () =
+  (* Rebinding a forest to its own structures must be the identity... *)
+  let cold_input = List.map (fun s -> Gen.sst_tree (Rng.create s) ~vocab:30 ()) [ 1; 2; 3 ] in
+  let cached = Linearizer.run_forest cold_input in
+  let rebound = Linearizer.rebind_forest cached cold_input in
+  Linearizer.check_forest rebound;
+  Alcotest.(check (array int)) "same numbering"
+    cached.Linearizer.lin.Linearizer.new_of_old
+    rebound.Linearizer.lin.Linearizer.new_of_old;
+  Alcotest.(check (array int)) "same payloads"
+    cached.Linearizer.lin.Linearizer.payload
+    rebound.Linearizer.lin.Linearizer.payload;
+  (* Different payloads, same shape: the rebound forest must equal a
+     cold linearization of the new requests, array for array. *)
+  let cached = Linearizer.run_forest [ perfect3 1; perfect3 2 ] in
+  let fresh = [ perfect3 5; perfect3 6 ] in
+  let rebound = Linearizer.rebind_forest cached fresh in
+  let cold = Linearizer.run_forest fresh in
+  Linearizer.check_forest rebound;
+  Alcotest.(check (array int)) "numbering matches cold run"
+    cold.Linearizer.lin.Linearizer.new_of_old
+    rebound.Linearizer.lin.Linearizer.new_of_old;
+  Alcotest.(check (array int)) "payloads match cold run"
+    cold.Linearizer.lin.Linearizer.payload
+    rebound.Linearizer.lin.Linearizer.payload;
+  Alcotest.(check bool) "cold payload table untouched" false
+    (cached.Linearizer.lin.Linearizer.payload = cold.Linearizer.lin.Linearizer.payload);
+  Array.iteri
+    (fun k (span : Linearizer.span) ->
+      let cold_span = cold.Linearizer.spans.(k) in
+      Alcotest.(check (array int)) "span ids match" cold_span.Linearizer.span_ids
+        span.Linearizer.span_ids;
+      Alcotest.(check bool) "span points at the new request" true
+        (span.Linearizer.span_structure == List.nth fresh k))
+    rebound.Linearizer.spans
+
+let test_rebind_rejects_shape_mismatch () =
+  let cached = Linearizer.run_forest [ perfect3 1; perfect3 2 ] in
+  Alcotest.check_raises "request count mismatch"
+    (Invalid_argument "Linearizer.rebind_forest: request count mismatch")
+    (fun () -> ignore (Linearizer.rebind_forest cached [ perfect3 1 ]));
+  let taller = Gen.perfect_tree (Rng.create 9) ~vocab:30 ~height:4 () in
+  try
+    ignore (Linearizer.rebind_forest cached [ perfect3 1; taller ]);
+    Alcotest.fail "node-count mismatch accepted"
+  with Invalid_argument _ -> ()
+
+(* ---------- empty structures ---------- *)
+
+(* [Structure.create] refuses rootless structures, so a node-free
+   structure is unconstructible through the public API; forge one to
+   pin down the linearizer's own guard (it would otherwise emit a
+   phantom (0,0) batch — one kernel launch over nothing). *)
+let forged_empty_structure () : Structure.t =
+  let module Forged = struct
+    type forged = {
+      kind : Structure.kind;
+      max_children : int;
+      roots : Cortex_ds.Node.t list;
+      nodes : Cortex_ds.Node.t array;
+    }
+  end in
+  Obj.magic
+    { Forged.kind = Structure.Tree; max_children = 2; roots = []; nodes = [||] }
+
+let test_rejects_empty_structure () =
+  let empty = forged_empty_structure () in
+  (try
+     ignore (Linearizer.run empty);
+     Alcotest.fail "empty structure accepted by run"
+   with Linearizer.Rejected Linearizer.Empty_structure -> ());
+  let rng = Rng.create 15 in
+  let tree = Gen.sst_tree rng ~vocab:10 () in
+  (try
+     ignore (Linearizer.run_forest [ tree; empty ]);
+     Alcotest.fail "empty structure accepted by run_forest"
+   with Linearizer.Rejected Linearizer.Empty_structure -> ());
+  Alcotest.(check string) "rejection prints" "empty structure"
+    (Linearizer.rejection_to_string Linearizer.Empty_structure)
+
 (* ---------- unrolled grouping ---------- *)
 
 let prop_unrolling name gen =
@@ -137,6 +234,13 @@ let () =
           Alcotest.test_case "grid-batches" `Quick test_grid_dag_batches;
           Alcotest.test_case "memory" `Quick test_memory_accounting;
           Alcotest.test_case "checker-rejects-corruption" `Quick test_check_catches_corruption;
+        ] );
+      ( "shape-cache",
+        [
+          Alcotest.test_case "shape-key" `Quick test_shape_key_is_shape_equality;
+          Alcotest.test_case "rebind" `Quick test_rebind_matches_cold_run;
+          Alcotest.test_case "rebind-mismatch" `Quick test_rebind_rejects_shape_mismatch;
+          Alcotest.test_case "empty-structure" `Quick test_rejects_empty_structure;
         ] );
       ( "unrolling",
         [

@@ -292,6 +292,290 @@ let test_run_one_matches_runtime () =
   Alcotest.(check int) "same nodes" via_runtime.Runtime.num_nodes
     via_engine.Runtime.num_nodes
 
+(* ---------- window-formation edge cases ---------- *)
+
+let submit_at engine arrivals =
+  let rng = Rng.create 51 in
+  List.iter
+    (fun arrival_us ->
+      ignore (Engine.submit_exn engine ~arrival_us (Gen.sst_tree rng ~vocab:50 ~len:4 ())))
+    arrivals
+
+let test_arrival_exactly_at_deadline_joins () =
+  (* The join condition is [arrival > first + max_wait]: a request
+     landing exactly on the deadline still makes the window. *)
+  let policy = { Engine.max_batch = 100; max_wait_us = 100.0; bucketing = Engine.Fifo } in
+  let engine = Engine.of_spec ~policy small_spec ~backend:gpu in
+  submit_at engine [ 0.0; 100.0 ];
+  let s = Engine.drain engine in
+  Alcotest.(check int) "exactly-at-deadline joins" 1 s.Engine.aggregate.Engine.num_windows;
+  let engine = Engine.of_spec ~policy small_spec ~backend:gpu in
+  submit_at engine [ 0.0; 100.5 ];
+  let s = Engine.drain engine in
+  Alcotest.(check int) "past-deadline splits" 2 s.Engine.aggregate.Engine.num_windows
+
+let test_max_batch_one () =
+  let policy = { Engine.max_batch = 1; max_wait_us = 1.0e9; bucketing = Engine.Fifo } in
+  let engine = Engine.of_spec ~policy small_spec ~backend:gpu in
+  submit_at engine [ 0.0; 10.0; 20.0; 30.0; 40.0 ];
+  let s = Engine.drain engine in
+  Alcotest.(check int) "one window per request" 5 s.Engine.aggregate.Engine.num_windows;
+  List.iter
+    (fun (w : Engine.window_report) ->
+      Alcotest.(check int) "singleton window" 1 w.Engine.wr_size)
+    s.Engine.windows;
+  (* A full (here: size-1) window is ready at its last member's arrival,
+     and the device starts idle — the first request never queues. *)
+  let r0 = List.hd s.Engine.requests in
+  Alcotest.(check (float 1e-9)) "first request dispatches on arrival" 0.0
+    r0.Engine.rr_queue_us
+
+let test_simultaneous_arrivals () =
+  let policy = { Engine.max_batch = 3; max_wait_us = 1.0e9; bucketing = Engine.Fifo } in
+  let engine = Engine.of_spec ~policy small_spec ~backend:gpu in
+  submit_at engine [ 42.0; 42.0; 42.0; 42.0; 42.0 ];
+  let s = Engine.drain engine in
+  Alcotest.(check int) "two windows" 2 s.Engine.aggregate.Engine.num_windows;
+  Alcotest.(check (list int)) "sizes 3 then 2" [ 3; 2 ]
+    (List.map (fun (w : Engine.window_report) -> w.Engine.wr_size) s.Engine.windows);
+  List.iter
+    (fun (r : Engine.request_report) ->
+      if r.Engine.rr_window = 0 then
+        Alcotest.(check (float 1e-9)) "window 0 dispatches on arrival" 0.0
+          r.Engine.rr_queue_us)
+    s.Engine.requests
+
+let test_drain_is_a_flush () =
+  (* An explicit drain must not charge the trailing partial window the
+     batching timer: it is ready at its last member's arrival. *)
+  let policy = { Engine.max_batch = 100; max_wait_us = 1.0e9; bucketing = Engine.Fifo } in
+  let engine = Engine.of_spec ~policy small_spec ~backend:gpu in
+  submit_at engine [ 0.0; 10.0; 20.0 ];
+  let s = Engine.drain engine in
+  Alcotest.(check int) "one flushed window" 1 s.Engine.aggregate.Engine.num_windows;
+  List.iter
+    (fun (r : Engine.request_report) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "queue %.1f bounded by the flush, not the timer"
+           r.Engine.rr_queue_us)
+        true
+        (r.Engine.rr_queue_us <= 20.0))
+    s.Engine.requests
+
+let test_negative_arrivals () =
+  (* Traces may use any epoch; a full window's ready time is its last
+     member's arrival even when every arrival is negative (a [0.0] fold
+     seed would silently pull the ready time to zero). *)
+  let policy = { Engine.max_batch = 2; max_wait_us = 1.0e9; bucketing = Engine.Fifo } in
+  let engine = Engine.of_spec ~policy small_spec ~backend:gpu in
+  submit_at engine [ -100.0; -50.0 ];
+  let s = Engine.drain engine in
+  Alcotest.(check int) "one full window" 1 s.Engine.aggregate.Engine.num_windows;
+  let r0 = List.hd s.Engine.requests in
+  Alcotest.(check (float 1e-9)) "first member waits for the second only" 50.0
+    r0.Engine.rr_queue_us
+
+(* ---------- the shape-keyed linearization cache ---------- *)
+
+let perfect_payloads seed = Gen.perfect_tree (Rng.create seed) ~vocab:50 ~height:3 ()
+
+let test_cache_hits_in_drain () =
+  let policy = { Engine.max_batch = 1; max_wait_us = 0.0; bucketing = Engine.Fifo } in
+  let engine = Engine.of_spec ~policy small_spec ~backend:gpu in
+  (* Six requests of identical topology, different payloads. *)
+  List.iteri
+    (fun i seed ->
+      ignore (Engine.submit_exn engine ~arrival_us:(float_of_int i) (perfect_payloads seed)))
+    [ 1; 2; 3; 4; 5; 6 ];
+  let s = Engine.drain engine in
+  let c = s.Engine.cache in
+  Alcotest.(check int) "one miss" 1 c.Shape_cache.misses;
+  Alcotest.(check int) "five hits" 5 c.Shape_cache.hits;
+  Alcotest.(check int) "one shape cached" 1 c.Shape_cache.entries;
+  let first = List.hd s.Engine.windows in
+  Alcotest.(check bool) "first window is the cold run" false first.Engine.wr_cache_hit;
+  List.iter
+    (fun (w : Engine.window_report) ->
+      if w.Engine.wr_index > 0 then begin
+        Alcotest.(check bool)
+          (Printf.sprintf "window %d served from cache" w.Engine.wr_index)
+          true w.Engine.wr_cache_hit;
+        (* Same shape, same device pricing — bit for bit. *)
+        Alcotest.(check (float 0.0)) "identical device latency"
+          first.Engine.wr_report.Runtime.latency.Backend.total_us
+          w.Engine.wr_report.Runtime.latency.Backend.total_us
+      end)
+    s.Engine.windows
+
+let test_cache_disabled () =
+  let policy = { Engine.max_batch = 1; max_wait_us = 0.0; bucketing = Engine.Fifo } in
+  let engine = Engine.of_spec ~policy ~cache_capacity:0 small_spec ~backend:gpu in
+  List.iter
+    (fun seed -> ignore (Engine.submit_exn engine (perfect_payloads seed)))
+    [ 1; 2; 3 ];
+  let s = Engine.drain engine in
+  Alcotest.(check int) "no hits" 0 s.Engine.cache.Shape_cache.hits;
+  Alcotest.(check int) "all misses" 3 s.Engine.cache.Shape_cache.misses;
+  Alcotest.(check int) "nothing retained" 0 s.Engine.cache.Shape_cache.entries
+
+let test_cache_hit_bitwise_equivalence () =
+  (* A cache hit's numeric execution must be bitwise identical to a cold
+     linearization of the same requests. *)
+  let spec = Models.Tree_lstm.spec ~vocab:50 ~hidden:8 () in
+  let params = spec.M.init_params (Rng.create 77) in
+  let warm = Engine.of_spec spec ~backend:gpu in
+  let cold = Engine.of_spec spec ~backend:gpu in
+  (* Warm the cache with one shape, then execute different payloads of
+     the same shape: the second call is a hit. *)
+  ignore (Engine.execute warm ~params [ perfect_payloads 1; perfect_payloads 2 ]);
+  let batch = [ perfect_payloads 3; perfect_payloads 4 ] in
+  let via_hit = Engine.execute warm ~params batch in
+  Alcotest.(check int) "second execute hit the cache" 1
+    (Engine.cache_stats warm).Shape_cache.hits;
+  let via_cold = Engine.execute cold ~params batch in
+  Alcotest.(check int) "fresh engine ran cold" 0
+    (Engine.cache_stats cold).Shape_cache.hits;
+  List.iteri
+    (fun k (s : Structure.t) ->
+      List.iter
+        (fun (st : Ra.state) ->
+          Array.iter
+            (fun (node : Node.t) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "request %d node %d state %s bitwise equal" k
+                   node.Node.id st.Ra.st_name)
+                true
+                (Tensor.max_abs_diff
+                   (Engine.state via_hit ~request:k st.Ra.st_name node)
+                   (Engine.state via_cold ~request:k st.Ra.st_name node)
+                = 0.0))
+            s.Structure.nodes)
+        spec.M.program.Ra.states)
+    batch
+
+(* ---------- multi-device sharding ---------- *)
+
+let test_device_reports_accounting () =
+  let policy = { Engine.max_batch = 2; max_wait_us = 50.0; bucketing = Engine.Fifo } in
+  let engine =
+    Engine.of_spec ~policy ~devices:[ Backend.gpu; Backend.arm ] small_spec ~backend:gpu
+  in
+  let rng = Rng.create 61 in
+  List.iteri
+    (fun i s -> ignore (Engine.submit_exn engine ~arrival_us:(10.0 *. float_of_int i) s))
+    (sst_trees rng ~vocab:50 9);
+  let s = Engine.drain engine in
+  Alcotest.(check int) "one report per device" 2 (List.length s.Engine.device_reports);
+  let total f = List.fold_left (fun acc d -> acc + f d) 0 s.Engine.device_reports in
+  Alcotest.(check int) "windows partitioned" s.Engine.aggregate.Engine.num_windows
+    (total (fun (d : Engine.device_report) -> d.Engine.dr_windows));
+  Alcotest.(check int) "requests partitioned" s.Engine.aggregate.Engine.num_requests
+    (total (fun (d : Engine.device_report) -> d.Engine.dr_requests));
+  List.iter
+    (fun (d : Engine.device_report) ->
+      Alcotest.(check bool) "utilization in [0,1]" true
+        (d.Engine.dr_utilization >= 0.0 && d.Engine.dr_utilization <= 1.0);
+      Alcotest.(check bool) "occupancy in [0,1]" true
+        (d.Engine.dr_occupancy >= 0.0 && d.Engine.dr_occupancy <= 1.0))
+    s.Engine.device_reports;
+  List.iter
+    (fun (r : Engine.request_report) ->
+      Alcotest.(check bool) "device index in range" true
+        (r.Engine.rr_device >= 0 && r.Engine.rr_device < 2))
+    s.Engine.requests
+
+let test_dispatch_round_robin () =
+  let policy = { Engine.max_batch = 1; max_wait_us = 0.0; bucketing = Engine.Fifo } in
+  let engine =
+    Engine.of_spec ~policy ~dispatch:Dispatch.Round_robin
+      ~devices:[ Backend.gpu; Backend.gpu ] small_spec ~backend:gpu
+  in
+  let rng = Rng.create 62 in
+  List.iter (fun s -> ignore (Engine.submit_exn engine s)) (sst_trees rng ~vocab:50 8);
+  let s = Engine.drain engine in
+  List.iter
+    (fun (d : Engine.device_report) ->
+      Alcotest.(check int)
+        (Printf.sprintf "device %d takes every other window" d.Engine.dr_index)
+        4 d.Engine.dr_windows)
+    s.Engine.device_reports
+
+let test_dispatch_least_loaded () =
+  (* Heterogeneous pair under a backlog, at the paper's hidden size
+     (where the GPU's lane advantage is real — at toy hidden sizes the
+     launch overhead dominates and ARM keeps up): the fast device frees
+     up first and so absorbs more windows than the slow one. *)
+  let policy = { Engine.max_batch = 4; max_wait_us = 0.0; bucketing = Engine.Fifo } in
+  let spec = Models.Catalog.get "TreeLSTM" Models.Catalog.Small in
+  let engine =
+    Engine.of_spec ~policy ~dispatch:Dispatch.Least_loaded
+      ~devices:[ Backend.gpu; Backend.arm ] spec ~backend:gpu
+  in
+  let rng = Rng.create 63 in
+  List.iter
+    (fun s -> ignore (Engine.submit_exn engine s))
+    (List.init 32 (fun _ -> Gen.sst_tree rng ~vocab:50 ~len:20 ()));
+  let s = Engine.drain engine in
+  let w i =
+    (List.nth s.Engine.device_reports i).Engine.dr_windows
+  in
+  Alcotest.(check int) "all windows placed" 8 (w 0 + w 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "GPU (%d) outruns ARM (%d)" (w 0) (w 1))
+    true
+    (w 0 > w 1)
+
+let test_dispatch_size_affinity () =
+  (* Two shapes in two buckets (7 nodes -> bucket 2, 15 nodes -> bucket
+     3) over two devices: each shape must land on exactly one device,
+     and on different ones. *)
+  let policy = { Engine.max_batch = 1; max_wait_us = 0.0; bucketing = Engine.Fifo } in
+  let engine =
+    Engine.of_spec ~policy ~dispatch:Dispatch.Size_affinity
+      ~devices:[ Backend.gpu; Backend.gpu ] small_spec ~backend:gpu
+  in
+  let rng = Rng.create 64 in
+  List.iter
+    (fun height -> ignore (Engine.submit_exn engine (Gen.perfect_tree rng ~vocab:50 ~height ())))
+    [ 3; 4; 3; 4; 3; 4 ];
+  let s = Engine.drain engine in
+  let device_of nodes =
+    List.filter_map
+      (fun (w : Engine.window_report) ->
+        if w.Engine.wr_nodes = nodes then Some w.Engine.wr_device else None)
+      s.Engine.windows
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list int)) "7-node trees pinned to device 0" [ 0 ] (device_of 7);
+  Alcotest.(check (list int)) "15-node trees pinned to device 1" [ 1 ] (device_of 15)
+
+let test_device_scaling () =
+  (* The acceptance shape: N homogeneous devices under an open-loop
+     Poisson overload give near-linear throughput scaling. *)
+  let spec = Models.Catalog.get "TreeLSTM" Models.Catalog.Small in
+  let trace =
+    Trace.poisson (Rng.create 65) ~rate_rps:100_000.0 ~duration_ms:2.0
+      ~gen:(fun rng -> Gen.sst_tree rng ~vocab:100 ~len:8 ())
+  in
+  let throughput n =
+    let policy = { Engine.max_batch = 8; max_wait_us = 100.0; bucketing = Engine.Fifo } in
+    let engine =
+      Engine.of_spec ~policy ~dispatch:Dispatch.Least_loaded
+        ~devices:(List.init n (fun _ -> Backend.gpu))
+        spec ~backend:gpu
+    in
+    (Engine.run_trace engine trace).Engine.aggregate.Engine.throughput_rps
+  in
+  let t1 = throughput 1 and t2 = throughput 2 and t4 = throughput 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "2 devices scale (%.0f vs %.0f)" t2 t1)
+    true
+    (t2 > 1.5 *. t1);
+  Alcotest.(check bool)
+    (Printf.sprintf "4 devices scale (%.0f vs %.0f)" t4 t1)
+    true
+    (t4 > 2.5 *. t1)
+
 (* ---------- the cross-request batching payoff ---------- *)
 
 let test_gpu_throughput_monotone_in_window () =
@@ -344,6 +628,28 @@ let () =
           Alcotest.test_case "bucketing" `Quick test_policy_bucketing;
           Alcotest.test_case "empty-drain" `Quick test_empty_drain;
           Alcotest.test_case "run-one" `Quick test_run_one_matches_runtime;
+        ] );
+      ( "windows",
+        [
+          Alcotest.test_case "deadline-joins" `Quick test_arrival_exactly_at_deadline_joins;
+          Alcotest.test_case "max-batch-one" `Quick test_max_batch_one;
+          Alcotest.test_case "simultaneous" `Quick test_simultaneous_arrivals;
+          Alcotest.test_case "drain-flush" `Quick test_drain_is_a_flush;
+          Alcotest.test_case "negative-arrivals" `Quick test_negative_arrivals;
+        ] );
+      ( "shape-cache",
+        [
+          Alcotest.test_case "drain-hits" `Quick test_cache_hits_in_drain;
+          Alcotest.test_case "disabled" `Quick test_cache_disabled;
+          Alcotest.test_case "bitwise-equivalence" `Quick test_cache_hit_bitwise_equivalence;
+        ] );
+      ( "devices",
+        [
+          Alcotest.test_case "reports" `Quick test_device_reports_accounting;
+          Alcotest.test_case "round-robin" `Quick test_dispatch_round_robin;
+          Alcotest.test_case "least-loaded" `Quick test_dispatch_least_loaded;
+          Alcotest.test_case "size-affinity" `Quick test_dispatch_size_affinity;
+          Alcotest.test_case "scaling" `Quick test_device_scaling;
         ] );
       ( "serving",
         [

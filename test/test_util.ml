@@ -86,6 +86,12 @@ let test_percentiles () =
   let hundred = List.init 100 (fun i -> float_of_int (i + 1)) in
   Alcotest.(check (float 1e-9)) "p99 of 1..100" 99.01 (Stats.p99 hundred);
   Alcotest.(check (float 1e-9)) "p25 interpolates" 1.75 (Stats.percentile 25.0 [ 1.0; 2.0; 3.0; 4.0 ]);
+  (* Total float order: negatives, mixed signs and zero must sort
+     numerically (the sort uses [Float.compare], not the polymorphic
+     one). *)
+  Alcotest.(check (float 1e-9)) "median negatives" (-2.0) (Stats.median [ -1.0; -3.0; -2.0 ]);
+  Alcotest.(check (float 1e-9)) "p0 mixed signs" (-7.5) (Stats.percentile 0.0 [ 2.0; -7.5; 0.0 ]);
+  Alcotest.(check (float 1e-9)) "p100 mixed signs" 2.0 (Stats.percentile 100.0 [ 2.0; -7.5; 0.0 ]);
   Alcotest.check_raises "empty input" (Invalid_argument "Stats.percentile: empty")
     (fun () -> ignore (Stats.p50 []));
   Alcotest.check_raises "p out of range"
