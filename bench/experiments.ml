@@ -750,6 +750,127 @@ let serving () =
   print_endline
     "With a handful of hot shapes the cache converges to ~100% hits: a hit re-binds payloads\nin O(nodes) instead of re-running the inspector, collapsing the linearization column.\n"
 
+(* ---------- extra: chaos sweep (fault-tolerant serving) ---------- *)
+
+(* Availability under injected faults: the same open-loop trace played
+   against fleets of 1/2/4 devices with increasing transient-abort
+   rates, plus a fail-stop column sweep.  Every run installs a fault
+   spec (possibly empty), so the whole table is deterministic in the
+   seed — chaos mode charges no measured linearization wall clock. *)
+let chaos () =
+  let spec = Models.Catalog.get "TreeLSTM" Models.Catalog.Small in
+  let trace ?deadline_us ?(rate_rps = 20000.0) () =
+    Trace.poisson ?deadline_us (Rng.create (seed + 4)) ~rate_rps
+      ~duration_ms:10.0
+      ~gen:(fun rng -> Gen.sst_tree rng ~vocab:200 ())
+  in
+  let offered = Trace.length (trace ()) in
+  let policy = { Engine.max_batch = 8; max_wait_us = 300.0; bucketing = Engine.Fifo } in
+  let run ?queue_cap ?rate_rps ~devices ~faults () =
+    let devs = List.init devices (fun _ -> Backend.gpu) in
+    let engine =
+      Engine.of_spec ~policy ~dispatch:Dispatch.Least_loaded ~devices:devs
+        ?queue_cap ~faults ~seed:42 spec ~backend:Backend.gpu
+    in
+    Engine.run_trace engine (trace ~deadline_us:4000.0 ?rate_rps ())
+  in
+  let header =
+    [ "devices"; "p(abort)"; "offered"; "completed"; "avail"; "retries"; "p99 us"; "goodput r/s" ]
+  in
+  let rows =
+    List.concat_map
+      (fun devices ->
+        List.map
+          (fun p ->
+            let faults =
+              if p = 0.0 then []
+              else [ Fault.Transient { device = -1; prob = p; from_us = 0.0; until_us = infinity } ]
+            in
+            let s = run ~devices ~faults () in
+            let slo = s.Engine.slo in
+            let served = slo.Engine.slo_completed + slo.Engine.slo_lost in
+            [
+              string_of_int devices;
+              Printf.sprintf "%.2f" p;
+              string_of_int offered;
+              string_of_int slo.Engine.slo_completed;
+              Printf.sprintf "%.1f%%"
+                (100.0 *. float_of_int slo.Engine.slo_completed
+                /. float_of_int (max 1 served));
+              string_of_int slo.Engine.slo_retries;
+              Printf.sprintf "%.1f" s.Engine.aggregate.Engine.p99_us;
+              Printf.sprintf "%.0f" slo.Engine.slo_goodput_rps;
+            ])
+          [ 0.0; 0.05; 0.2 ])
+      [ 1; 2; 4 ]
+  in
+  Table.print
+    ~title:
+      "Chaos — transient kernel aborts, Poisson 20k req/s for 10 ms, deadline 4 ms, retry budget 4"
+    ~header rows;
+  print_endline
+    "Retries absorb transient aborts (availability stays ~100% up to p=0.2 — lost requests need\n5 consecutive aborts); the price is retry latency in the p99 and goodput columns.\n";
+  (* Fail-stop: kill one device mid-trace and watch failover re-dispatch
+     its in-flight window to the survivors. *)
+  let header =
+    [ "devices"; "fail"; "completed"; "lost"; "failovers"; "p99 us"; "goodput r/s" ]
+  in
+  let rows =
+    List.concat_map
+      (fun devices ->
+        List.map
+          (fun at_us ->
+            let faults =
+              match at_us with
+              | None -> []
+              | Some t -> [ Fault.Fail_stop { device = 0; at_us = t } ]
+            in
+            (* Overload (2x a device's capacity) keeps device 0 busy at
+               the instant it dies, so the failover path actually runs. *)
+            let s = run ~rate_rps:40000.0 ~devices ~faults () in
+            let slo = s.Engine.slo in
+            [
+              string_of_int devices;
+              (match at_us with None -> "-" | Some t -> Printf.sprintf "dev0@%.0fms" (t /. 1000.));
+              string_of_int slo.Engine.slo_completed;
+              string_of_int slo.Engine.slo_lost;
+              string_of_int slo.Engine.slo_failovers;
+              Printf.sprintf "%.1f" s.Engine.aggregate.Engine.p99_us;
+              Printf.sprintf "%.0f" slo.Engine.slo_goodput_rps;
+            ])
+          [ None; Some 2000.0 ])
+      [ 2; 4 ]
+  in
+  Table.print
+    ~title:"Chaos — fail-stop of device 0 at t=2 ms, survivors absorb the load"
+    ~header rows;
+  print_endline
+    "No request is lost to a fail-stop while any device survives: in-flight windows abort at the\ninstant of death and fail over (re-bound through the shape cache, never re-linearized).\n";
+  (* Load shedding: 2x overload with and without a queue cap. *)
+  let header =
+    [ "queue cap"; "completed"; "shed"; "p99 us"; "req/s"; "goodput r/s" ]
+  in
+  let rows =
+    List.map
+      (fun cap ->
+        let s = run ?queue_cap:cap ~rate_rps:80000.0 ~devices:2 ~faults:[] () in
+        let slo = s.Engine.slo in
+        [
+          (match cap with None -> "none" | Some c -> string_of_int c);
+          string_of_int slo.Engine.slo_completed;
+          string_of_int slo.Engine.slo_shed;
+          Printf.sprintf "%.1f" s.Engine.aggregate.Engine.p99_us;
+          Printf.sprintf "%.0f" s.Engine.aggregate.Engine.throughput_rps;
+          Printf.sprintf "%.0f" slo.Engine.slo_goodput_rps;
+        ])
+      [ None; Some 128; Some 64 ]
+  in
+  Table.print
+    ~title:"Chaos — load shedding at 2x overload (2 x GPU, deadline 4 ms)"
+    ~header rows;
+  print_endline
+    "A queue cap trades completed requests for bounded tail latency: the shed column is demand\nthe server refused instead of queuing past its deadline.\n"
+
 let all =
   [
     ("fig6", fig6);
@@ -768,6 +889,7 @@ let all =
     ("appd", appd);
     ("ablation_barrier", ablation_barrier);
     ("serving", serving);
+    ("chaos", chaos);
     ("tuning", tuning);
     ("breakdown", debug);
   ]

@@ -218,8 +218,29 @@ let serve_cmd =
     | "arm" -> Backend.arm
     | other -> invalid_arg ("unknown backend " ^ other)
   in
+  let faults_arg =
+    let parse s = match Fault.parse s with Ok spec -> Ok spec | Error e -> Error (`Msg e) in
+    let print fmt spec = Format.pp_print_string fmt (Fault.to_string spec) in
+    Arg.(value & opt (some (conv (parse, print))) None
+         & info [ "faults" ]
+             ~doc:"Fault spec, e.g. 'failstop@1:5000;transient@*:0.05,0,1e6;straggler@0:3,2000,8000'. \
+                   Installing one (even an empty string) makes the run deterministic in --seed")
+  in
+  let deadline_arg =
+    Arg.(value & opt (some float) None
+         & info [ "deadline-us" ] ~doc:"Per-request completion deadline, relative to arrival")
+  in
+  let queue_cap_arg =
+    Arg.(value & opt (some int) None
+         & info [ "queue-cap" ] ~doc:"Shed submissions past this queue depth")
+  in
+  let watermark_arg =
+    Arg.(value & opt (some int) None
+         & info [ "degrade-watermark" ]
+             ~doc:"Degrade the batching policy (halve max-batch, force by-size) past this queue depth")
+  in
   let run name size seed backend options rps duration_ms max_batch max_wait_us bucketed
-      num_devices device_list dispatch =
+      num_devices device_list dispatch faults deadline_us queue_cap degrade_watermark =
     let spec = get_spec name size in
     let policy =
       {
@@ -235,9 +256,12 @@ let serve_cmd =
         if num_devices < 1 then invalid_arg "--devices must be >= 1";
         List.init num_devices (fun _ -> backend)
     in
-    let engine = Engine.of_spec ~policy ~base:options ~dispatch ~devices spec ~backend in
+    let engine =
+      Engine.of_spec ~policy ~base:options ~dispatch ~devices ?queue_cap
+        ?degrade_watermark ?faults ~seed spec ~backend
+    in
     let trace =
-      Trace.poisson (Rng.create seed) ~rate_rps:rps ~duration_ms
+      Trace.poisson ?deadline_us (Rng.create seed) ~rate_rps:rps ~duration_ms
         ~gen:(fun rng -> spec.M.dataset rng ~batch:1)
     in
     let s = Engine.run_trace engine trace in
@@ -257,6 +281,17 @@ let serve_cmd =
       c.Shape_cache.hits c.Shape_cache.misses
       (100.0 *. Shape_cache.hit_rate c)
       c.Shape_cache.entries;
+    let slo = s.Engine.slo in
+    Printf.printf "  slo: seed %d%s%s, completed %d, lost %d, shed %d, rejected %d\n"
+      slo.Engine.slo_seed
+      (if slo.Engine.slo_chaos then " (chaos mode)" else "")
+      (if slo.Engine.slo_degraded then " (degraded)" else "")
+      slo.Engine.slo_completed slo.Engine.slo_lost slo.Engine.slo_shed
+      slo.Engine.slo_rejected;
+    Printf.printf "  faults: %d transient aborts, %d retries, %d failovers\n"
+      slo.Engine.slo_transients slo.Engine.slo_retries slo.Engine.slo_failovers;
+    Printf.printf "  deadlines: %d on-time, %d missed, goodput %.0f req/s\n"
+      slo.Engine.slo_on_time slo.Engine.slo_deadline_misses slo.Engine.slo_goodput_rps;
     List.iter
       (fun (d : Engine.device_report) ->
         Printf.printf
@@ -283,7 +318,8 @@ let serve_cmd =
     Term.(
       const run $ model_arg $ size_arg $ seed_arg $ backend_arg $ options_flags $ rps_arg
       $ duration_arg $ max_batch_arg $ max_wait_arg $ bucketed_arg $ devices_arg
-      $ device_list_arg $ dispatch_arg)
+      $ device_list_arg $ dispatch_arg $ faults_arg $ deadline_arg $ queue_cap_arg
+      $ watermark_arg)
 
 let () =
   let info = Cmd.info "cortex" ~doc:"Cortex: a compiler for recursive deep learning models" in

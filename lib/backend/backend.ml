@@ -238,3 +238,18 @@ let simulate be ~persist ~lock_free (cost : Cost.t) =
     kernel_launches = !launches;
     barriers = cost.Cost.barrier_count;
   }
+
+(* A straggling device runs everything slower: the serving engine's
+   fault model multiplies a window's device-side time by a factor.
+   Scaling the whole latency record (not just the total) keeps the
+   compute/barrier/launch breakdown consistent in the reports; traffic
+   and counts are work, not time, and stay as they are. *)
+let scale_latency (l : latency) factor =
+  if factor < 0.0 then invalid_arg "Backend.scale_latency: negative factor";
+  {
+    l with
+    total_us = l.total_us *. factor;
+    compute_us = l.compute_us *. factor;
+    barrier_us = l.barrier_us *. factor;
+    launch_us = l.launch_us *. factor;
+  }

@@ -94,6 +94,13 @@ val simulate :
   t -> persist:bool -> lock_free:bool -> Cortex_ilir.Cost.t -> latency
 (** Cost a compiled program's counts on this backend. *)
 
+val scale_latency : latency -> float -> latency
+(** Multiply every time field (total, compute, barrier, launch) by a
+    factor, leaving traffic bytes and launch/barrier counts untouched —
+    how the serving engine prices a straggling device (its fault model
+    slows execution down without changing the work done).  Raises
+    [Invalid_argument] on a negative factor. *)
+
 val persisted_bytes : t -> Cortex_ilir.Cost.t -> float
 (** How many parameter bytes fit the persistence budget (0 when nothing
     is persistable). *)

@@ -34,6 +34,7 @@ module Tuner = Cortex_runtime.Tuner
 module Checkpoint = Cortex_runtime.Checkpoint
 module Engine = Cortex_serve.Engine
 module Dispatch = Cortex_serve.Dispatch
+module Fault = Cortex_serve.Fault
 module Shape_cache = Cortex_serve.Shape_cache
 module Trace = Cortex_serve.Trace
 module Workload = Cortex_baselines.Workload

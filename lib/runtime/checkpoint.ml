@@ -40,21 +40,49 @@ let write oc (table : t) =
       done)
     table
 
+(* Bytes left in the channel, when it is seekable (a pipe or socket is
+   not — there we fall back to the static caps and let [read_exactly]
+   catch the truncation).  Every count read from the header is bounded
+   against this before any allocation: a bit-flipped count or extent
+   must not drive a gigabyte [Tensor.zeros] or a 10^6-iteration loop
+   over a 100-byte file. *)
+let remaining ic =
+  try Some (in_channel_length ic - pos_in ic) with Sys_error _ -> None
+
+let check_remaining ic ~need what =
+  match remaining ic with
+  | Some left when need > left ->
+    raise
+      (Corrupt
+         (Printf.sprintf "%s: %d bytes claimed, %d left in the file" what need left))
+  | _ -> ()
+
 let read ic =
   let m = Bytes.to_string (read_exactly ic (String.length magic)) in
   if m <> magic then raise (Corrupt ("bad magic " ^ m));
   let count = read_i64 ic in
   if count < 0 || count > 1_000_000 then raise (Corrupt "implausible tensor count");
+  (* Each tensor needs at least name_len + rank + one payload word. *)
+  check_remaining ic ~need:(count * 24) "tensor count";
   List.init count (fun _ ->
       let name_len = read_i64 ic in
       if name_len < 0 || name_len > 4096 then raise (Corrupt "implausible name length");
+      check_remaining ic ~need:name_len "name length";
       let name = Bytes.to_string (read_exactly ic name_len) in
       let rank = read_i64 ic in
       if rank < 0 || rank > 8 then raise (Corrupt "implausible rank");
       let shape = Array.init rank (fun _ -> read_i64 ic) in
       Array.iter (fun d -> if d <= 0 || d > 100_000_000 then raise (Corrupt "bad extent")) shape;
+      let numel =
+        Array.fold_left
+          (fun acc d ->
+            if acc > max_int / d then raise (Corrupt "extent product overflows");
+            acc * d)
+          1 shape
+      in
+      check_remaining ic ~need:(numel * 8) "tensor payload";
       let tensor = Tensor.zeros shape in
-      for i = 0 to Tensor.numel tensor - 1 do
+      for i = 0 to numel - 1 do
         Tensor.set_flat tensor i (read_f64 ic)
       done;
       (name, tensor))

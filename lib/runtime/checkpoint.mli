@@ -15,7 +15,12 @@ exception Corrupt of string
 
 val write : out_channel -> t -> unit
 val read : in_channel -> t
-(** Raises {!Corrupt} on bad magic or truncated data. *)
+(** Raises {!Corrupt} on bad magic or truncated data.  Hardened against
+    adversarial headers: tensor counts, name lengths and payload sizes
+    are bounded against the bytes actually remaining in the channel
+    (when it is seekable) {e before} any allocation, and the extent
+    product is overflow-checked — a bit-flipped header fails fast with
+    {!Corrupt} instead of attempting a huge allocation. *)
 
 val save : string -> t -> unit
 (** Write to a file path. *)

@@ -92,6 +92,8 @@ let simulate ?lock_free compiled ~backend structure =
 
 let total_ms r = (r.latency.Backend.total_us +. r.linearize_us) /. 1000.0
 
+let scale_report r factor = { r with latency = Backend.scale_latency r.latency factor }
+
 module Schedule_check = struct
   type verdict = Valid | Invalid of string
 

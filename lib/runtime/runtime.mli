@@ -92,6 +92,12 @@ val total_ms : report -> float
     the measured linearization time (§7.5: linearization runs on the
     host before any tensor computation). *)
 
+val scale_report : report -> float -> report
+(** The report with its device-side latency scaled by a factor
+    ({!Cortex_backend.Backend.scale_latency}) — the serving engine's
+    straggler pricing.  Cost counts, traffic and the host-side
+    linearization time are unchanged. *)
+
 (** Register-pressure schedule validity (Appendix D). *)
 module Schedule_check : sig
   type verdict = Valid | Invalid of string

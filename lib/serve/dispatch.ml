@@ -22,6 +22,7 @@ type device = {
   mutable dev_requests : int;
   mutable dev_nodes : int;
   mutable dev_occ_weight : float;
+  mutable dev_failed : bool;
 }
 
 type t = { policy : policy; devices : device array; mutable cursor : int }
@@ -43,6 +44,7 @@ let create ~policy backends =
              dev_requests = 0;
              dev_nodes = 0;
              dev_occ_weight = 0.0;
+             dev_failed = false;
            })
          backends)
   in
@@ -51,6 +53,11 @@ let create ~policy backends =
 let num_devices t = Array.length t.devices
 let devices t = t.devices
 let policy t = t.policy
+
+let fail d = d.dev_failed <- true
+
+let alive t =
+  Array.fold_left (fun acc d -> if d.dev_failed then acc else acc + 1) 0 t.devices
 
 (* Power-of-two size bucket: forests of 2^b..2^(b+1)-1 nodes share a
    bucket.  Used both by the engine's By_size windowing and by the
@@ -61,17 +68,36 @@ let size_bucket nodes =
 
 let select t ~nodes =
   let n = Array.length t.devices in
+  if alive t = 0 then invalid_arg "Dispatch.select: all devices failed";
   match t.policy with
   | Round_robin ->
-    let d = t.devices.(t.cursor) in
-    t.cursor <- (t.cursor + 1) mod n;
-    d
+    (* Skip fail-stopped devices; the cursor advances past them so the
+       survivors keep alternating. *)
+    let rec find k =
+      let d = t.devices.((t.cursor + k) mod n) in
+      if d.dev_failed then find (k + 1)
+      else begin
+        t.cursor <- (t.cursor + k + 1) mod n;
+        d
+      end
+    in
+    find 0
   | Least_loaded ->
-    (* Earliest-free device; ties go to the lowest index. *)
-    Array.fold_left
-      (fun best d -> if d.dev_free_us < best.dev_free_us then d else best)
-      t.devices.(0) t.devices
-  | Size_affinity -> t.devices.(size_bucket nodes mod n)
+    (* Earliest-free surviving device; ties go to the lowest index. *)
+    let best = ref None in
+    Array.iter
+      (fun d ->
+        if not d.dev_failed then
+          match !best with
+          | Some b when b.dev_free_us <= d.dev_free_us -> ()
+          | _ -> best := Some d)
+      t.devices;
+    Option.get !best
+  | Size_affinity ->
+    (* Bucket-to-device assignment over the survivors, in index order:
+       when a device dies its buckets redistribute over the rest. *)
+    let survivors = Array.of_seq (Seq.filter (fun d -> not d.dev_failed) (Array.to_seq t.devices)) in
+    survivors.(size_bucket nodes mod Array.length survivors)
 
 let commit d ~dispatch_us ~completion_us ~requests ~nodes ~occupancy =
   let busy = completion_us -. dispatch_us in

@@ -40,6 +40,9 @@ type device = {
   mutable dev_requests : int;
   mutable dev_nodes : int;
   mutable dev_occ_weight : float;  (** busy-time-weighted occupancy sum *)
+  mutable dev_failed : bool;
+      (** fail-stopped: the device takes no further windows; set by the
+          engine's fault handling via {!fail} *)
 }
 
 type t
@@ -52,14 +55,23 @@ val num_devices : t -> int
 val devices : t -> device array
 val policy : t -> policy
 
+val fail : device -> unit
+(** Mark a device fail-stopped: {!select} never picks it again. *)
+
+val alive : t -> int
+(** How many devices have not fail-stopped. *)
+
 val size_bucket : int -> int
 (** [size_bucket n] is [floor (log2 (max 1 n))]: node counts
     [2^b .. 2^(b+1)-1] share bucket [b]. *)
 
 val select : t -> nodes:int -> device
 (** Pick the device for a window of [nodes] total nodes, per the
-    policy.  Round-robin advances its cursor; the other policies are
-    read-only until {!commit}. *)
+    policy, among the devices that have not {!fail}-stopped:
+    round-robin advances its cursor past dead devices, least-loaded
+    folds over the survivors, size-affinity redistributes its buckets
+    over the survivors in index order.  Raises [Invalid_argument] when
+    every device has failed. *)
 
 val commit :
   device ->

@@ -6,6 +6,7 @@ module Lower = Cortex_lower.Lower
 module Backend = Cortex_backend.Backend
 module Runtime = Cortex_runtime.Runtime
 module Stats = Cortex_util.Stats
+module Tensor = Cortex_tensor.Tensor
 module M = Cortex_models.Models_common
 
 (* ---------- policies ---------- *)
@@ -21,6 +22,8 @@ let default_policy = { max_batch = 8; max_wait_us = 200.0; bucketing = Fifo }
 type error =
   | Kind_mismatch of { expected : Structure.kind; got : Structure.kind }
   | Rejected of Linearizer.rejection
+  | Shed of { cap : int }
+  | Unsorted_trace of { index : int; at_us : float; prev_us : float }
 
 exception Error of error
 
@@ -34,12 +37,19 @@ let error_to_string = function
     Printf.sprintf "structure kind mismatch: the model expects a %s, the request is a %s"
       (kind_name expected) (kind_name got)
   | Rejected r -> Linearizer.rejection_to_string r
+  | Shed { cap } ->
+    Printf.sprintf "request shed: the queue is at its cap of %d" cap
+  | Unsorted_trace { index; at_us; prev_us } ->
+    Printf.sprintf
+      "unsorted trace: event %d arrives at %g us after an event at %g us" index
+      at_us prev_us
 
 (* ---------- engine state ---------- *)
 
 type pending = {
   p_id : int;
   p_arrival : float;
+  p_deadline : float;  (* absolute; [infinity] when none *)
   p_structure : Structure.t;
   p_nodes : int;
 }
@@ -53,16 +63,41 @@ type t = {
   eng_dispatch : Dispatch.policy;
   eng_devices : Backend.t list;
   eng_cache : Shape_cache.t;
+  eng_queue_cap : int option;
+  eng_watermark : int option;
+  eng_faults : Fault.spec option;
+  eng_seed : int;
+  eng_retry : Fault.retry;
+  eng_params : (string -> Tensor.t) option;
   mutable next_id : int;
   mutable queue : pending list;  (* newest first *)
+  mutable queued : int;
+  mutable n_shed : int;
+  mutable n_rejected : int;
 }
 
 let create ?(policy = default_policy) ?options ?(lock_free = false)
-    ?(dispatch = Dispatch.Round_robin) ?devices ?cache_capacity ~model ~backend () =
+    ?(dispatch = Dispatch.Round_robin) ?devices ?cache_capacity ?queue_cap
+    ?degrade_watermark ?faults ?(seed = 0) ?(retry = Fault.default_retry) ?params
+    ~model ~backend () =
   if policy.max_batch < 1 then invalid_arg "Engine.create: max_batch must be >= 1";
   if policy.max_wait_us < 0.0 then invalid_arg "Engine.create: max_wait_us must be >= 0";
+  (match queue_cap with
+   | Some c when c < 0 -> invalid_arg "Engine.create: queue_cap must be >= 0"
+   | _ -> ());
+  (match degrade_watermark with
+   | Some w when w < 0 -> invalid_arg "Engine.create: degrade_watermark must be >= 0"
+   | _ -> ());
+  if retry.Fault.max_retries < 0 then
+    invalid_arg "Engine.create: max_retries must be >= 0";
   let devices = Option.value devices ~default:[ backend ] in
   if devices = [] then invalid_arg "Engine.create: empty device list";
+  (* Validate the fault spec against the device count up front, not at
+     the first drain. *)
+  (match faults with
+   | Some spec ->
+     ignore (Fault.create ~seed ~devices:(List.length devices) spec)
+   | None -> ());
   {
     model;
     eng_backend = backend;
@@ -72,14 +107,24 @@ let create ?(policy = default_policy) ?options ?(lock_free = false)
     eng_dispatch = dispatch;
     eng_devices = devices;
     eng_cache = Shape_cache.create ?capacity:cache_capacity ();
+    eng_queue_cap = queue_cap;
+    eng_watermark = degrade_watermark;
+    eng_faults = faults;
+    eng_seed = seed;
+    eng_retry = retry;
+    eng_params = params;
     next_id = 0;
     queue = [];
+    queued = 0;
+    n_shed = 0;
+    n_rejected = 0;
   }
 
-let of_spec ?policy ?base ?lock_free ?dispatch ?devices ?cache_capacity
-    (spec : M.t) ~backend =
+let of_spec ?policy ?base ?lock_free ?dispatch ?devices ?cache_capacity ?queue_cap
+    ?degrade_watermark ?faults ?seed ?retry ?params (spec : M.t) ~backend =
   create ?policy ~options:(Runtime.options_for ?base spec) ?lock_free ?dispatch
-    ?devices ?cache_capacity ~model:spec.M.program ~backend ()
+    ?devices ?cache_capacity ?queue_cap ?degrade_watermark ?faults ?seed ?retry
+    ?params ~model:spec.M.program ~backend ()
 
 let compiled t = t.eng_compiled
 let backend t = t.eng_backend
@@ -88,7 +133,9 @@ let dispatch_policy t = t.eng_dispatch
 let devices t = t.eng_devices
 let num_devices t = List.length t.eng_devices
 let cache_stats t = Shape_cache.stats t.eng_cache
-let pending t = List.length t.queue
+let pending t = t.queued
+let fault_spec t = t.eng_faults
+let seed t = t.eng_seed
 
 (* ---------- validation ---------- *)
 
@@ -122,24 +169,37 @@ let validate_exn t s =
 
 (* ---------- serving simulation ---------- *)
 
-let submit t ?(arrival_us = 0.0) structure =
-  match validate t structure with
-  | Some e -> Stdlib.Error e
-  | None ->
-    let id = t.next_id in
-    t.next_id <- id + 1;
-    t.queue <-
-      {
-        p_id = id;
-        p_arrival = arrival_us;
-        p_structure = structure;
-        p_nodes = Structure.num_nodes structure;
-      }
-      :: t.queue;
-    Ok id
+let submit t ?(arrival_us = 0.0) ?deadline_us structure =
+  (* The queue cap is the front door: load shedding happens before
+     validation, the way a real server drops on the floor before it
+     parses.  A shed is typed [Shed] and counted separately from
+     validation rejections. *)
+  match t.eng_queue_cap with
+  | Some cap when t.queued >= cap ->
+    t.n_shed <- t.n_shed + 1;
+    Stdlib.Error (Shed { cap })
+  | _ -> (
+    match validate t structure with
+    | Some e ->
+      t.n_rejected <- t.n_rejected + 1;
+      Stdlib.Error e
+    | None ->
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      t.queue <-
+        {
+          p_id = id;
+          p_arrival = arrival_us;
+          p_deadline = Option.value deadline_us ~default:infinity;
+          p_structure = structure;
+          p_nodes = Structure.num_nodes structure;
+        }
+        :: t.queue;
+      t.queued <- t.queued + 1;
+      Ok id)
 
-let submit_exn t ?arrival_us structure =
-  match submit t ?arrival_us structure with
+let submit_exn t ?arrival_us ?deadline_us structure =
+  match submit t ?arrival_us ?deadline_us structure with
   | Ok id -> id
   | Stdlib.Error e -> raise (Error e)
 
@@ -150,10 +210,12 @@ type request_report = {
   rr_window_size : int;
   rr_device : int;
   rr_arrival_us : float;
+  rr_deadline_us : float;
   rr_queue_us : float;
   rr_linearize_us : float;
   rr_device_us : float;
   rr_total_us : float;
+  rr_on_time : bool;
 }
 
 type window_report = {
@@ -162,6 +224,7 @@ type window_report = {
   wr_nodes : int;
   wr_device : int;
   wr_cache_hit : bool;
+  wr_attempts : int;
   wr_dispatch_us : float;
   wr_report : Runtime.report;
 }
@@ -169,6 +232,7 @@ type window_report = {
 type device_report = {
   dr_index : int;
   dr_backend : Backend.t;
+  dr_failed : bool;
   dr_windows : int;
   dr_requests : int;
   dr_nodes : int;
@@ -188,12 +252,30 @@ type aggregate = {
   makespan_us : float;
 }
 
+type slo = {
+  slo_seed : int;
+  slo_chaos : bool;
+  slo_degraded : bool;
+  slo_completed : int;
+  slo_lost : int;
+  slo_shed : int;
+  slo_rejected : int;
+  slo_transients : int;
+  slo_retries : int;
+  slo_failovers : int;
+  slo_deadline_misses : int;
+  slo_on_time : int;
+  slo_goodput_rps : float;
+}
+
 type summary = {
   aggregate : aggregate;
   requests : request_report list;
   windows : window_report list;
   device_reports : device_report list;
   cache : Shape_cache.stats;
+  slo : slo;
+  results : (int * Tensor.t) list;
 }
 
 (* Cut an arrival-ordered run of requests into windows: a window closes
@@ -282,6 +364,17 @@ let aggregate_of requests ~num_windows =
       makespan_us;
     }
 
+(* The outcome of playing one window through the fault model. *)
+type attempt_outcome =
+  | Completed of {
+      ao_dev : Dispatch.device;
+      ao_dispatch : float;
+      ao_completion : float;
+      ao_report : Runtime.report;
+      ao_attempts : int;
+    }
+  | Lost_window
+
 let drain t =
   let pendings =
     List.stable_sort
@@ -289,10 +382,30 @@ let drain t =
       (List.rev t.queue)
   in
   t.queue <- [];
+  t.queued <- 0;
+  let shed = t.n_shed and rejected = t.n_rejected in
+  t.n_shed <- 0;
+  t.n_rejected <- 0;
+  let depth = List.length pendings in
+  (* Degrade under overload: past the watermark, halve the batch window
+     and force size bucketing — smaller, shape-homogeneous windows
+     dispatch sooner, trading peak throughput for bounded latency. *)
+  let degraded =
+    match t.eng_watermark with Some w -> depth > w | None -> false
+  in
+  let policy =
+    if degraded then
+      {
+        t.eng_policy with
+        max_batch = max 1 (t.eng_policy.max_batch / 2);
+        bucketing = By_size;
+      }
+    else t.eng_policy
+  in
   let windows =
-    match t.eng_policy.bucketing with
-    | Fifo -> form_windows t.eng_policy pendings
-    | By_size -> form_windows_bucketed t.eng_policy pendings
+    match policy.bucketing with
+    | Fifo -> form_windows policy pendings
+    | By_size -> form_windows_bucketed policy pendings
   in
   (* Play the windows through the simulated devices in ready order: the
      dispatch policy picks a device per window, the window occupies it
@@ -304,60 +417,202 @@ let drain t =
     List.stable_sort (fun (ra, _) (rb, _) -> compare ra rb) windows
   in
   let disp = Dispatch.create ~policy:t.eng_dispatch t.eng_devices in
+  (* Chaos mode: with a fault spec installed (even an empty one), the
+     simulated clock charges a zero linearization cost instead of the
+     measured host wall clock, so every fault decision — and therefore
+     the whole summary — is a pure function of (seed, spec, trace).
+     The measured wall clock would leak nondeterminism into dispatch
+     times and flip marginal fault draws between identical runs. *)
+  let chaos = t.eng_faults <> None in
+  let inj =
+    Option.map
+      (fun spec ->
+        Fault.create ~seed:t.eng_seed ~devices:(List.length t.eng_devices) spec)
+      t.eng_faults
+  in
+  let fail_at d =
+    match inj with Some i -> Fault.fail_at i d | None -> infinity
+  in
+  let transients = ref 0 and retries = ref 0 and failovers = ref 0 in
+  let lost = ref 0 in
   let wreports = ref [] in
   let rreports = ref [] in
-  List.iteri
-    (fun i (ready, members) ->
+  let results = ref [] in
+  let windex = ref 0 in
+  (* Mark fail-stopped devices whose time has come, so dispatch avoids
+     them; an in-flight abort is detected separately below. *)
+  let mark_dead now =
+    Array.iter
+      (fun (d : Dispatch.device) ->
+        if (not d.Dispatch.dev_failed) && fail_at d.Dispatch.dev_index <= now then
+          Dispatch.fail d)
+      (Dispatch.devices disp)
+  in
+  List.iter
+    (fun (ready, members) ->
       let structures = List.map (fun p -> p.p_structure) members in
       (* Linearize exactly once and reuse the result, timing that one
          run: a cache hit is a payload re-bind, a miss the full
          inspector pass — either way the wall clock measured is the
-         wall clock charged. *)
-      let (fl, hit), lin_us =
+         wall clock charged (chaos mode charges zero; see above). *)
+      let (fl, hit), lin_wall =
         Stats.time_us (fun () ->
             Shape_cache.find_or_linearize t.eng_cache
               ~max_children:t.model.Ra.max_children structures)
       in
+      let lin_us = if chaos then 0.0 else lin_wall in
       let nodes = fl.Linearizer.lin.Linearizer.num_nodes in
-      let dev = Dispatch.select disp ~nodes in
-      let report =
-        Runtime.simulate_lin ~lock_free:t.lock_free ~linearize_us:lin_us
-          t.eng_compiled ~backend:dev.Dispatch.dev_backend fl.Linearizer.lin
-      in
-      let dispatch = Float.max dev.Dispatch.dev_free_us ready in
-      let device_us = report.Runtime.latency.Backend.total_us in
-      let completion = dispatch +. lin_us +. device_us in
       let size = List.length members in
-      Dispatch.commit dev ~dispatch_us:dispatch ~completion_us:completion
-        ~requests:size ~nodes ~occupancy:report.Runtime.occupancy;
-      wreports :=
-        {
-          wr_index = i;
-          wr_size = size;
-          wr_nodes = nodes;
-          wr_device = dev.Dispatch.dev_index;
-          wr_cache_hit = hit;
-          wr_dispatch_us = dispatch;
-          wr_report = report;
-        }
-        :: !wreports;
-      List.iter
-        (fun p ->
-          rreports :=
-            {
-              rr_id = p.p_id;
-              rr_nodes = p.p_nodes;
-              rr_window = i;
-              rr_window_size = size;
-              rr_device = dev.Dispatch.dev_index;
-              rr_arrival_us = p.p_arrival;
-              rr_queue_us = dispatch -. p.p_arrival;
-              rr_linearize_us = lin_us;
-              rr_device_us = device_us;
-              rr_total_us = completion -. p.p_arrival;
-            }
-            :: !rreports)
-        members)
+      (* The retry/failover loop.  [n] counts transient re-executions
+         (the retry budget); failover re-dispatches after a fail-stop
+         are free — the work was lost to the fleet, not to a flaky
+         kernel.  The window's linearization is never redone: [fl] is
+         already bound, and a failover on a cached shape re-uses the
+         same numbering (that is the shape cache's contract). *)
+      let rec attempt n ready =
+        mark_dead ready;
+        if Dispatch.alive disp = 0 then Lost_window
+        else begin
+          let dev = Dispatch.select disp ~nodes in
+          let dispatch = Float.max dev.Dispatch.dev_free_us ready in
+          let ft = fail_at dev.Dispatch.dev_index in
+          if ft <= dispatch then begin
+            (* The device dies while the window waits in its queue slot:
+               nothing was in flight, just pick another device. *)
+            Dispatch.fail dev;
+            attempt n ready
+          end
+          else begin
+            let report =
+              Runtime.simulate_lin ~lock_free:t.lock_free ~linearize_us:lin_us
+                t.eng_compiled ~backend:dev.Dispatch.dev_backend fl.Linearizer.lin
+            in
+            let factor =
+              match inj with
+              | Some i ->
+                Fault.latency_factor i ~device:dev.Dispatch.dev_index ~at_us:dispatch
+              | None -> 1.0
+            in
+            let report =
+              if factor = 1.0 then report else Runtime.scale_report report factor
+            in
+            let device_us = report.Runtime.latency.Backend.total_us in
+            (* The host-side linearization is charged once, on the first
+               execution; a retry re-launches kernels, not the
+               inspector. *)
+            let lin_charge = if n = 0 then lin_us else 0.0 in
+            let completion = dispatch +. lin_charge +. device_us in
+            if ft < completion then begin
+              (* In-flight fail-stop: the window aborts at the instant
+                 the device dies and fails over to a survivor. *)
+              Dispatch.commit dev ~dispatch_us:dispatch ~completion_us:ft
+                ~requests:0 ~nodes:0 ~occupancy:report.Runtime.occupancy;
+              Dispatch.fail dev;
+              incr failovers;
+              attempt n ft
+            end
+            else begin
+              let aborted =
+                match inj with
+                | Some i ->
+                  Fault.draw_transient i ~device:dev.Dispatch.dev_index
+                    ~at_us:dispatch
+                | None -> false
+              in
+              if aborted then begin
+                (* The kernel ran and the fault was detected at
+                   completion: the wasted execution still occupied the
+                   device. *)
+                incr transients;
+                Dispatch.commit dev ~dispatch_us:dispatch ~completion_us:completion
+                  ~requests:0 ~nodes ~occupancy:report.Runtime.occupancy;
+                if n >= t.eng_retry.Fault.max_retries then Lost_window
+                else begin
+                  incr retries;
+                  let delay =
+                    Fault.backoff_us (Option.get inj) ~retry:t.eng_retry
+                      ~device:dev.Dispatch.dev_index ~attempt:n
+                  in
+                  attempt (n + 1) (completion +. delay)
+                end
+              end
+              else begin
+                Dispatch.commit dev ~dispatch_us:dispatch ~completion_us:completion
+                  ~requests:size ~nodes ~occupancy:report.Runtime.occupancy;
+                Completed
+                  {
+                    ao_dev = dev;
+                    ao_dispatch = dispatch;
+                    ao_completion = completion;
+                    ao_report = report;
+                    ao_attempts = n + 1;
+                  }
+              end
+            end
+          end
+        end
+      in
+      match attempt 0 ready with
+      | Lost_window -> lost := !lost + size
+      | Completed { ao_dev = dev; ao_dispatch = dispatch; ao_completion = completion;
+                    ao_report = report; ao_attempts = attempts } ->
+        let i = !windex in
+        incr windex;
+        let device_us = report.Runtime.latency.Backend.total_us in
+        wreports :=
+          {
+            wr_index = i;
+            wr_size = size;
+            wr_nodes = nodes;
+            wr_device = dev.Dispatch.dev_index;
+            wr_cache_hit = hit;
+            wr_attempts = attempts;
+            wr_dispatch_us = dispatch;
+            wr_report = report;
+          }
+          :: !wreports;
+        (* Numeric serving: with a parameter resolver installed, run the
+           window's forest through the compiled kernels once (retries
+           and failovers re-dispatch the same linearization, so the
+           numbers cannot depend on the fault history — the property
+           the chaos tests pin bitwise). *)
+        (match t.eng_params with
+         | Some params ->
+           let ex = Runtime.execute_lin t.eng_compiled ~params fl.Linearizer.lin in
+           let out = List.hd t.model.Ra.outputs in
+           List.iteri
+             (fun k p ->
+               match p.p_structure.Structure.roots with
+               | [] -> ()
+               | root :: _ ->
+                 let span = fl.Linearizer.spans.(k) in
+                 let v =
+                   Lower.state_value_lin ex.Runtime.exec_bound
+                     ex.Runtime.exec_compiled out
+                     span.Linearizer.span_ids.(root.Node.id)
+                 in
+                 results := (p.p_id, v) :: !results)
+             members
+         | None -> ());
+        List.iter
+          (fun p ->
+            rreports :=
+              {
+                rr_id = p.p_id;
+                rr_nodes = p.p_nodes;
+                rr_window = i;
+                rr_window_size = size;
+                rr_device = dev.Dispatch.dev_index;
+                rr_arrival_us = p.p_arrival;
+                rr_deadline_us = p.p_deadline;
+                rr_queue_us = dispatch -. p.p_arrival;
+                rr_linearize_us = lin_us;
+                rr_device_us = device_us;
+                rr_total_us = completion -. p.p_arrival;
+                rr_on_time = completion <= p.p_deadline;
+              }
+              :: !rreports)
+          members)
     windows;
   let requests = List.sort (fun a b -> compare a.rr_id b.rr_id) !rreports in
   let windows = List.rev !wreports in
@@ -369,6 +624,7 @@ let drain t =
            {
              dr_index = d.Dispatch.dev_index;
              dr_backend = d.Dispatch.dev_backend;
+             dr_failed = d.Dispatch.dev_failed;
              dr_windows = d.Dispatch.dev_windows;
              dr_requests = d.Dispatch.dev_requests;
              dr_nodes = d.Dispatch.dev_nodes;
@@ -381,12 +637,60 @@ let drain t =
            })
          (Dispatch.devices disp))
   in
-  { aggregate; requests; windows; device_reports; cache = Shape_cache.stats t.eng_cache }
+  let on_time = List.length (List.filter (fun r -> r.rr_on_time) requests) in
+  let slo =
+    {
+      slo_seed = t.eng_seed;
+      slo_chaos = chaos;
+      slo_degraded = degraded;
+      slo_completed = aggregate.num_requests;
+      slo_lost = !lost;
+      slo_shed = shed;
+      slo_rejected = rejected;
+      slo_transients = !transients;
+      slo_retries = !retries;
+      slo_failovers = !failovers;
+      slo_deadline_misses = aggregate.num_requests - on_time;
+      slo_on_time = on_time;
+      slo_goodput_rps =
+        (if aggregate.makespan_us > 0.0 then
+           float_of_int on_time /. aggregate.makespan_us *. 1.0e6
+         else 0.0);
+    }
+  in
+  {
+    aggregate;
+    requests;
+    windows;
+    device_reports;
+    cache = Shape_cache.stats t.eng_cache;
+    slo;
+    results = List.sort (fun (a, _) (b, _) -> compare a b) !results;
+  }
 
 let run_trace t trace =
+  (* The trace contract says sorted by arrival; silently windowing an
+     unsorted one would interleave bursts that never coexisted.  Reject
+     it with a typed error instead. *)
+  ignore
+    (List.fold_left
+       (fun (i, prev) (e : Trace.event) ->
+         if e.Trace.at_us < prev then
+           raise
+             (Error (Unsorted_trace { index = i; at_us = e.Trace.at_us; prev_us = prev }));
+         (i + 1, e.Trace.at_us))
+       (0, neg_infinity) trace);
   List.iter
     (fun (e : Trace.event) ->
-      ignore (submit_exn t ~arrival_us:e.Trace.at_us e.Trace.structure))
+      match
+        submit t ~arrival_us:e.Trace.at_us ?deadline_us:e.Trace.deadline_us
+          e.Trace.structure
+      with
+      | Ok _ -> ()
+      (* Load shedding is the cap doing its job, not a caller error:
+         the drop is counted in the summary's SLO block. *)
+      | Stdlib.Error (Shed _) -> ()
+      | Stdlib.Error err -> raise (Error err))
     trace;
   drain t
 

@@ -29,7 +29,27 @@
       per-device utilization/occupancy accounting and cache hit rates;
     - {b numeric execution}: {!execute} a forest of structures and read
       bitwise-exact per-request states back through the span tables
-      (also shape-cached; a hit is bitwise identical to a cold run). *)
+      (also shape-cached; a hit is bitwise identical to a cold run).
+
+    {b Fault tolerance.}  With a {!Fault.spec} installed the drain plays
+    its windows against an imperfect fleet: fail-stopped devices leave
+    the dispatch pool (in-flight windows abort at the instant of death
+    and {e fail over} to a survivor, re-binding through the shape cache
+    — never re-linearizing), transient kernel aborts are {e retried}
+    with capped exponential backoff until the retry budget runs out, and
+    stragglers are priced through
+    {!Cortex_backend.Backend.scale_latency}.  Under overload the engine
+    {e sheds} load at an optional queue cap (a typed {!Shed} rejection,
+    not an exception) and can {e degrade} its batching policy past a
+    queue-depth watermark.  Per-request deadlines feed an SLO block in
+    the summary: on-time counts, deadline misses and goodput (on-time
+    completions per second) next to raw throughput.
+
+    Installing a fault spec — even an empty one — puts the drain in
+    {e chaos mode}: the simulated clock charges zero linearization cost
+    instead of the measured host wall clock, making the whole summary a
+    pure function of (seed, spec, trace) so runs can be diffed
+    byte-for-byte in CI. *)
 
 module Linearizer = Cortex_linearizer.Linearizer
 module Runtime = Cortex_runtime.Runtime
@@ -65,6 +85,11 @@ type error =
           guard that keeps per-child traversal from revisiting nodes *)
   | Rejected of Linearizer.rejection
       (** fanout beyond the model's [max_children], mixed kinds, … *)
+  | Shed of { cap : int }
+      (** the queue was at its cap — load shedding, counted in the
+          summary's SLO block, not a caller error *)
+  | Unsorted_trace of { index : int; at_us : float; prev_us : float }
+      (** [run_trace] saw an event arriving before its predecessor *)
 
 exception Error of error
 
@@ -81,6 +106,12 @@ val create :
   ?dispatch:Dispatch.policy ->
   ?devices:Cortex_backend.Backend.t list ->
   ?cache_capacity:int ->
+  ?queue_cap:int ->
+  ?degrade_watermark:int ->
+  ?faults:Fault.spec ->
+  ?seed:int ->
+  ?retry:Fault.retry ->
+  ?params:(string -> Cortex_tensor.Tensor.t) ->
   model:Cortex_ra.Ra.t ->
   backend:Cortex_backend.Backend.t ->
   unit ->
@@ -95,7 +126,26 @@ val create :
     (default {!Dispatch.Round_robin}) picks which device a ready window
     lands on.  [backend] remains the single-request pricing device for
     {!run_one}.  [cache_capacity] bounds the shape-keyed linearization
-    cache ({!Shape_cache.create}); [0] disables it. *)
+    cache ({!Shape_cache.create}); [0] disables it.
+
+    Fault tolerance:
+    - [queue_cap]: {!submit} returns [Error (Shed _)] once this many
+      requests are queued (cap 0 sheds everything);
+    - [degrade_watermark]: a drain finding more than this many queued
+      requests halves [max_batch] and forces [By_size] bucketing for
+      that drain;
+    - [faults] installs a {!Fault.spec} (and switches the drain into
+      deterministic chaos mode — see the module docs); the spec is
+      validated against the device count here, not at the first drain;
+    - [seed] (default 0) seeds the fault injector's per-device rng
+      streams;
+    - [retry] (default {!Fault.default_retry}) bounds transient
+      re-executions and shapes their backoff;
+    - [params] installs a parameter resolver: each completed window is
+      then also executed numerically once and every member request's
+      root output lands in [summary.results] — retries and failovers
+      re-dispatch the same linearization, so the numbers are independent
+      of the fault history. *)
 
 val of_spec :
   ?policy:policy ->
@@ -104,6 +154,12 @@ val of_spec :
   ?dispatch:Dispatch.policy ->
   ?devices:Cortex_backend.Backend.t list ->
   ?cache_capacity:int ->
+  ?queue_cap:int ->
+  ?degrade_watermark:int ->
+  ?faults:Fault.spec ->
+  ?seed:int ->
+  ?retry:Fault.retry ->
+  ?params:(string -> Cortex_tensor.Tensor.t) ->
   M.t ->
   backend:Cortex_backend.Backend.t ->
   t
@@ -123,16 +179,28 @@ val cache_stats : t -> Shape_cache.stats
 val pending : t -> int
 (** Requests queued and not yet drained. *)
 
+val fault_spec : t -> Fault.spec option
+val seed : t -> int
+
 (** {2 Serving simulation} *)
 
 val submit :
-  t -> ?arrival_us:float -> Cortex_ds.Structure.t -> (int, error) result
+  t ->
+  ?arrival_us:float ->
+  ?deadline_us:float ->
+  Cortex_ds.Structure.t ->
+  (int, error) result
 (** Validate a request against the compiled model (kind, fanout) and
     enqueue it; returns its request id.  [arrival_us] (default 0)
-    stamps the simulated arrival clock. *)
+    stamps the simulated arrival clock; [deadline_us] is the {e
+    absolute} completion deadline on the same clock (default none — the
+    request can never miss).  The queue cap is checked {e before}
+    validation — an overloaded server drops before it parses — so a
+    shed invalid request counts as shed, not rejected. *)
 
-val submit_exn : t -> ?arrival_us:float -> Cortex_ds.Structure.t -> int
-(** {!submit}, raising {!Error} on rejection. *)
+val submit_exn :
+  t -> ?arrival_us:float -> ?deadline_us:float -> Cortex_ds.Structure.t -> int
+(** {!submit}, raising {!Error} on rejection (including {!Shed}). *)
 
 type request_report = {
   rr_id : int;
@@ -141,21 +209,27 @@ type request_report = {
   rr_window_size : int;  (** how many requests shared that window *)
   rr_device : int;  (** index of the device the window ran on *)
   rr_arrival_us : float;
+  rr_deadline_us : float;  (** absolute; [infinity] when none was set *)
   rr_queue_us : float;  (** arrival -> window dispatch *)
   rr_linearize_us : float;
       (** the window's measured linearization wall clock (a cache hit's
-          payload re-bind, or a miss's full inspector pass) *)
+          payload re-bind, or a miss's full inspector pass; 0 in chaos
+          mode) *)
   rr_device_us : float;  (** simulated device latency of the window *)
   rr_total_us : float;  (** arrival -> completion *)
+  rr_on_time : bool;  (** completed at or before its deadline *)
 }
 
 type window_report = {
   wr_index : int;
   wr_size : int;
   wr_nodes : int;
-  wr_device : int;  (** index of the device it ran on *)
+  wr_device : int;  (** index of the device it (finally) ran on *)
   wr_cache_hit : bool;
       (** whether the forest numbering came out of the shape cache *)
+  wr_attempts : int;
+      (** executions charged against the retry budget (1 = clean run;
+          failover re-dispatches after a fail-stop are not counted) *)
   wr_dispatch_us : float;
   wr_report : Runtime.report;  (** full backend report for the forest *)
 }
@@ -163,6 +237,7 @@ type window_report = {
 type device_report = {
   dr_index : int;
   dr_backend : Cortex_backend.Backend.t;
+  dr_failed : bool;  (** fail-stopped during this drain *)
   dr_windows : int;
   dr_requests : int;
   dr_nodes : int;
@@ -188,31 +263,63 @@ type aggregate = {
   makespan_us : float;
 }
 
+(** SLO accounting for one drain. *)
+type slo = {
+  slo_seed : int;  (** the engine's fault-injection seed, for the report *)
+  slo_chaos : bool;  (** a fault spec was installed (deterministic mode) *)
+  slo_degraded : bool;  (** the drain ran with the degraded policy *)
+  slo_completed : int;
+  slo_lost : int;
+      (** requests whose window exhausted retries or found no live
+          device *)
+  slo_shed : int;  (** submissions bounced off the queue cap *)
+  slo_rejected : int;  (** submissions that failed validation *)
+  slo_transients : int;  (** transient aborts observed *)
+  slo_retries : int;  (** re-executions after a transient abort *)
+  slo_failovers : int;  (** re-dispatches after an in-flight fail-stop *)
+  slo_deadline_misses : int;  (** completed, but after the deadline *)
+  slo_on_time : int;
+  slo_goodput_rps : float;
+      (** on-time completions per simulated second, against
+          [aggregate.throughput_rps]'s all-completions count *)
+}
+
 type summary = {
   aggregate : aggregate;
-  requests : request_report list;  (** by request id *)
+  requests : request_report list;  (** by request id; completed only *)
   windows : window_report list;
   device_reports : device_report list;  (** one per device, in index order *)
   cache : Shape_cache.stats;
       (** cumulative shape-cache counters at the end of this drain *)
+  slo : slo;
+  results : (int * Cortex_tensor.Tensor.t) list;
+      (** with [params]: each completed request's root output (first
+          declared model output at its structure's first root), by
+          request id *)
 }
 
 val drain : t -> summary
-(** Form windows over everything queued (per the engine's {!policy}),
-    linearize each window's forest exactly once through the shape cache
-    (timing that one run — a hit re-binds payloads, a miss runs the
-    inspector), and play the windows through the engine's simulated
-    devices in ready order: the {!Dispatch.policy} picks a device, the
-    window occupies it from [max(device free, ready)] to completion,
-    priced on that device's backend.  Device clocks are fresh per
+(** Form windows over everything queued (per the engine's {!policy},
+    degraded past the watermark), linearize each window's forest exactly
+    once through the shape cache (timing that one run — a hit re-binds
+    payloads, a miss runs the inspector), and play the windows through
+    the engine's simulated devices in ready order: the
+    {!Dispatch.policy} picks a live device, the window occupies it from
+    [max(device free, ready)] to completion, priced on that device's
+    backend through the fault model (stragglers scale the price,
+    transients abort-and-retry with backoff, fail-stops abort in flight
+    and fail over).  Device clocks and fault streams are fresh per
     drain; the shape cache persists across drains.  An explicit drain
     is a flush: the trailing partial window is ready at its last
-    member's arrival, not after the batching timer.  Empties the
-    queue. *)
+    member's arrival, not after the batching timer.  Empties the queue
+    and resets the shed/rejected counters into the summary. *)
 
 val run_trace : t -> Trace.t -> summary
-(** {!submit_exn} every event of the trace at its arrival time, then
-    {!drain}. *)
+(** {!submit} every event of the trace at its arrival time (with its
+    deadline), then {!drain}.  A {!Shed} result is tolerated and
+    counted; any other rejection raises {!Error}.  Raises
+    [Error (Unsorted_trace _)] if the trace is not sorted by arrival
+    time. *)
 
 val run_one : t -> Cortex_ds.Structure.t -> Runtime.report
 (** Single-request convenience: validate, linearize (timed) and price

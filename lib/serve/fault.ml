@@ -1,0 +1,172 @@
+module Rng = Cortex_util.Rng
+
+type fault =
+  | Fail_stop of { device : int; at_us : float }
+  | Transient of { device : int; prob : float; from_us : float; until_us : float }
+  | Straggler of { device : int; factor : float; from_us : float; until_us : float }
+
+type spec = fault list
+
+(* ---------- the spec grammar ---------- *)
+
+let device_to_string d = if d < 0 then "*" else string_of_int d
+
+let fault_to_string = function
+  | Fail_stop { device; at_us } ->
+    Printf.sprintf "failstop@%s:%g" (device_to_string device) at_us
+  | Transient { device; prob; from_us; until_us } ->
+    Printf.sprintf "transient@%s:%g,%g,%g" (device_to_string device) prob from_us
+      until_us
+  | Straggler { device; factor; from_us; until_us } ->
+    Printf.sprintf "straggler@%s:%g,%g,%g" (device_to_string device) factor from_us
+      until_us
+
+let to_string spec = String.concat ";" (List.map fault_to_string spec)
+
+let ( let* ) r f = Result.bind r f
+
+let parse_device s =
+  let s = String.trim s in
+  if s = "*" then Ok (-1)
+  else
+    match int_of_string_opt s with
+    | Some d when d >= 0 -> Ok d
+    | _ -> Error (Printf.sprintf "bad device %S (an index or *)" s)
+
+let parse_floats s =
+  let parts = String.split_on_char ',' s in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest -> (
+      match float_of_string_opt (String.trim p) with
+      | Some f -> go (f :: acc) rest
+      | None -> Error (Printf.sprintf "bad number %S" p))
+  in
+  go [] parts
+
+let parse_one str =
+  let* kind, rest =
+    match String.index_opt str '@' with
+    | Some i ->
+      Ok
+        ( String.trim (String.sub str 0 i),
+          String.sub str (i + 1) (String.length str - i - 1) )
+    | None -> Error (Printf.sprintf "fault %S: missing @device" str)
+  in
+  let* dev, args =
+    match String.index_opt rest ':' with
+    | Some i ->
+      Ok (String.sub rest 0 i, String.sub rest (i + 1) (String.length rest - i - 1))
+    | None -> Error (Printf.sprintf "fault %S: missing :args" str)
+  in
+  let* device = parse_device dev in
+  let* nums = parse_floats args in
+  match (kind, nums) with
+  | "failstop", [ at_us ] ->
+    if at_us >= 0.0 then Ok (Fail_stop { device; at_us })
+    else Error (Printf.sprintf "fault %S: fail time must be >= 0" str)
+  | "transient", [ prob; from_us; until_us ] ->
+    if not (prob > 0.0 && prob <= 1.0) then
+      Error (Printf.sprintf "fault %S: probability must be in (0, 1]" str)
+    else if from_us > until_us then Error (Printf.sprintf "fault %S: from > until" str)
+    else Ok (Transient { device; prob; from_us; until_us })
+  | "straggler", [ factor; from_us; until_us ] ->
+    if not (factor >= 1.0) then
+      Error (Printf.sprintf "fault %S: straggler factor must be >= 1" str)
+    else if from_us > until_us then Error (Printf.sprintf "fault %S: from > until" str)
+    else Ok (Straggler { device; factor; from_us; until_us })
+  | ("failstop" | "transient" | "straggler"), _ ->
+    Error (Printf.sprintf "fault %S: wrong number of arguments" str)
+  | _ -> Error (Printf.sprintf "fault %S: unknown kind %S" str kind)
+
+let parse s =
+  let parts =
+    List.filter
+      (fun p -> String.trim p <> "")
+      (String.split_on_char ';' s)
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest ->
+      let* f = parse_one (String.trim p) in
+      go (f :: acc) rest
+  in
+  go [] parts
+
+(* ---------- retry policy ---------- *)
+
+type retry = {
+  max_retries : int;
+  backoff_base_us : float;
+  backoff_cap_us : float;
+}
+
+let default_retry = { max_retries = 4; backoff_base_us = 50.0; backoff_cap_us = 800.0 }
+
+(* ---------- the injector ---------- *)
+
+type t = { spec : spec; inj_seed : int; streams : Rng.t array }
+
+let fault_device = function
+  | Fail_stop { device; _ } | Transient { device; _ } | Straggler { device; _ } ->
+    device
+
+let create ~seed ~devices spec =
+  List.iter
+    (fun f ->
+      let d = fault_device f in
+      if d >= devices then
+        invalid_arg
+          (Printf.sprintf "Fault.create: fault %s names device %d of %d"
+             (fault_to_string f) d devices))
+    spec;
+  let root = Rng.create seed in
+  (* One independent stream per device, split in index order: the draws
+     of device i never move device j's stream, so adding a fault on one
+     device cannot perturb another's decisions. *)
+  let streams = Array.make (max 1 devices) root in
+  for i = 0 to devices - 1 do
+    streams.(i) <- Rng.split root
+  done;
+  { spec; inj_seed = seed; streams }
+
+let seed t = t.inj_seed
+
+let matches device fault_dev = fault_dev < 0 || fault_dev = device
+
+let fail_at t device =
+  List.fold_left
+    (fun acc f ->
+      match f with
+      | Fail_stop { device = d; at_us } when matches device d -> Float.min acc at_us
+      | _ -> acc)
+    infinity t.spec
+
+let latency_factor t ~device ~at_us =
+  List.fold_left
+    (fun acc f ->
+      match f with
+      | Straggler { device = d; factor; from_us; until_us }
+        when matches device d && at_us >= from_us && at_us < until_us ->
+        acc *. factor
+      | _ -> acc)
+    1.0 t.spec
+
+let draw_transient t ~device ~at_us =
+  List.fold_left
+    (fun aborted f ->
+      match f with
+      | Transient { device = d; prob; from_us; until_us }
+        when matches device d && at_us >= from_us && at_us < until_us ->
+        (* Draw even when already aborted: the number of draws per
+           dispatch depends only on the spec and the dispatch time, so
+           the stream position stays aligned across runs. *)
+        let u = Rng.uniform t.streams.(device) in
+        aborted || u < prob
+      | _ -> aborted)
+    false t.spec
+
+let backoff_us t ~retry ~device ~attempt =
+  let expo = retry.backoff_base_us *. (2.0 ** float_of_int attempt) in
+  Float.min retry.backoff_cap_us expo
+  +. Rng.float t.streams.(device) retry.backoff_base_us

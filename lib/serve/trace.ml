@@ -1,24 +1,36 @@
 module Rng = Cortex_util.Rng
 module Structure = Cortex_ds.Structure
 
-type event = { at_us : float; structure : Structure.t }
+type event = { at_us : float; deadline_us : float option; structure : Structure.t }
 type t = event list
 
-let poisson rng ~rate_rps ~duration_ms ~gen =
+let check_deadline = function
+  | Some d when d <= 0.0 -> invalid_arg "Trace: deadline must be positive"
+  | _ -> ()
+
+let poisson ?deadline_us rng ~rate_rps ~duration_ms ~gen =
   if rate_rps <= 0.0 then invalid_arg "Trace.poisson: rate must be positive";
+  if duration_ms <= 0.0 then invalid_arg "Trace.poisson: duration must be positive";
+  check_deadline deadline_us;
   let rate_per_us = rate_rps /. 1.0e6 in
   let horizon_us = duration_ms *. 1000.0 in
   let rec go acc t =
     let dt = -.Float.log (1.0 -. Rng.uniform rng) /. rate_per_us in
     let t = t +. dt in
     if t >= horizon_us then List.rev acc
-    else go ({ at_us = t; structure = gen rng } :: acc) t
+    else
+      let deadline_us = Option.map (fun d -> t +. d) deadline_us in
+      go ({ at_us = t; deadline_us; structure = gen rng } :: acc) t
   in
   go [] 0.0
 
-let of_structures ?(spacing_us = 0.0) structures =
+let of_structures ?(spacing_us = 0.0) ?deadline_us structures =
+  if spacing_us < 0.0 then invalid_arg "Trace.of_structures: spacing must be >= 0";
+  check_deadline deadline_us;
   List.mapi
-    (fun i s -> { at_us = spacing_us *. float_of_int i; structure = s })
+    (fun i s ->
+      let at_us = spacing_us *. float_of_int i in
+      { at_us; deadline_us = Option.map (fun d -> at_us +. d) deadline_us; structure = s })
     structures
 
 let length = List.length

@@ -121,6 +121,83 @@ let test_checkpoint_roundtrip () =
         Alcotest.fail "corrupt checkpoint accepted"
       with Checkpoint.Corrupt _ -> ())
 
+(* Adversarial checkpoint headers: every length field is bounded against
+   the bytes actually in the file before any allocation, so a truncated
+   or bit-flipped checkpoint fails fast with [Corrupt] instead of
+   attempting a huge [Tensor.zeros] or running a million-iteration
+   loop over a hundred-byte file.  Byte offsets: magic [0,8), tensor
+   count [8,16), first tensor's name length [16,24). *)
+let test_checkpoint_adversarial_headers () =
+  let table = Checkpoint.of_spec (Models.Tree_gru.spec ~vocab:20 ~hidden:6 ()) ~seed:7 in
+  let bytes_of_table () =
+    let path = Filename.temp_file "cortex" ".ckpt" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        Checkpoint.save path table;
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic)))
+  in
+  let good = bytes_of_table () in
+  let load_bytes label s =
+    let path = Filename.temp_file "cortex" ".adv" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        let oc = open_out_bin path in
+        output_string oc s;
+        close_out oc;
+        try
+          ignore (Checkpoint.load path);
+          Alcotest.failf "%s accepted" label
+        with Checkpoint.Corrupt _ -> ())
+  in
+  let patch_i64 s pos v =
+    let b = Bytes.of_string s in
+    Bytes.set_int64_le b pos (Int64.of_int v);
+    Bytes.to_string b
+  in
+  (* truncation anywhere past the header *)
+  load_bytes "half a checkpoint" (String.sub good 0 (String.length good / 2));
+  load_bytes "payload cut mid-tensor" (String.sub good 0 (String.length good - 9));
+  (* a bit-flipped count past the static cap *)
+  load_bytes "count above the cap" (patch_i64 good 8 2_000_000);
+  (* a count under the static cap but far beyond the file's bytes *)
+  load_bytes "count beyond the file" (patch_i64 good 8 1_000_000);
+  (* a dim under the per-extent cap whose payload exceeds the file *)
+  let name_len = Int64.to_int (Bytes.get_int64_le (Bytes.of_string good) 16) in
+  let first_dim_pos = 16 + 8 + name_len + 8 in
+  load_bytes "extent beyond the file" (patch_i64 good first_dim_pos 10_000_000);
+  (* extents that individually pass the cap but whose product overflows *)
+  let overflow =
+    let buf = Buffer.create 128 in
+    Buffer.add_string buf (String.sub good 0 8);
+    let add_i64 v =
+      let b = Bytes.create 8 in
+      Bytes.set_int64_le b 0 (Int64.of_int v);
+      Buffer.add_bytes buf b
+    in
+    add_i64 1 (* count *);
+    add_i64 1 (* name_len *);
+    Buffer.add_char buf 'a';
+    add_i64 8 (* rank *);
+    for _ = 1 to 8 do add_i64 100_000_000 done;
+    Buffer.contents buf
+  in
+  load_bytes "overflowing extent product" overflow;
+  (* and the pristine bytes still load *)
+  let path = Filename.temp_file "cortex" ".ok" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc good;
+      close_out oc;
+      Alcotest.(check int) "pristine copy loads" (List.length table)
+        (List.length (Checkpoint.load path)))
+
 let test_bounds_clean () =
   (* The §A.2 bounds checker proves every access of the compiled
      programs in bounds for the concrete inputs. *)
@@ -301,6 +378,8 @@ let () =
           Alcotest.test_case "schedule-check" `Quick test_schedule_check_appd;
           Alcotest.test_case "tuner" `Quick test_tuner;
           Alcotest.test_case "checkpoint" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "checkpoint-adversarial" `Quick
+            test_checkpoint_adversarial_headers;
           Alcotest.test_case "bounds-clean" `Quick test_bounds_clean;
           Alcotest.test_case "device-memory" `Quick test_device_memory_positive;
         ] );

@@ -576,6 +576,52 @@ let test_device_scaling () =
     true
     (t4 > 2.5 *. t1)
 
+(* ---------- trace constructor validation ---------- *)
+
+let test_poisson_validates () =
+  let gen rng = Gen.sst_tree rng ~vocab:50 () in
+  let expect_invalid label f =
+    try
+      ignore (f ());
+      Alcotest.failf "%s accepted" label
+    with Invalid_argument _ -> ()
+  in
+  expect_invalid "zero rate" (fun () ->
+      Trace.poisson (Rng.create 1) ~rate_rps:0.0 ~duration_ms:10.0 ~gen);
+  expect_invalid "negative rate" (fun () ->
+      Trace.poisson (Rng.create 1) ~rate_rps:(-5.0) ~duration_ms:10.0 ~gen);
+  expect_invalid "zero duration" (fun () ->
+      Trace.poisson (Rng.create 1) ~rate_rps:100.0 ~duration_ms:0.0 ~gen);
+  expect_invalid "non-positive deadline" (fun () ->
+      Trace.poisson ~deadline_us:0.0 (Rng.create 1) ~rate_rps:100.0 ~duration_ms:10.0 ~gen);
+  (* and a valid call stamps absolute deadlines *)
+  let t = Trace.poisson ~deadline_us:500.0 (Rng.create 1) ~rate_rps:5000.0 ~duration_ms:10.0 ~gen in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.Trace.deadline_us with
+      | None -> Alcotest.fail "deadline dropped"
+      | Some d -> Alcotest.(check (float 1e-9)) "absolute deadline" (e.Trace.at_us +. 500.0) d)
+    t
+
+let test_of_structures_validates () =
+  let rng = Rng.create 2 in
+  let trees = [ Gen.sst_tree rng ~vocab:50 (); Gen.sst_tree rng ~vocab:50 () ] in
+  (try
+     ignore (Trace.of_structures ~spacing_us:(-1.0) trees);
+     Alcotest.fail "negative spacing accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Trace.of_structures ~deadline_us:(-10.0) trees);
+     Alcotest.fail "negative deadline accepted"
+   with Invalid_argument _ -> ());
+  let t = Trace.of_structures ~spacing_us:10.0 ~deadline_us:100.0 trees in
+  Alcotest.(check (list (float 1e-9))) "arrivals spaced" [ 0.0; 10.0 ]
+    (List.map (fun (e : Trace.event) -> e.Trace.at_us) t);
+  Alcotest.(check (list (float 1e-9))) "deadlines absolute" [ 100.0; 110.0 ]
+    (List.map
+       (fun (e : Trace.event) -> Option.get e.Trace.deadline_us)
+       t)
+
 (* ---------- the cross-request batching payoff ---------- *)
 
 let test_gpu_throughput_monotone_in_window () =
@@ -650,6 +696,11 @@ let () =
           Alcotest.test_case "least-loaded" `Quick test_dispatch_least_loaded;
           Alcotest.test_case "size-affinity" `Quick test_dispatch_size_affinity;
           Alcotest.test_case "scaling" `Quick test_device_scaling;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "poisson-validates" `Quick test_poisson_validates;
+          Alcotest.test_case "of-structures-validates" `Quick test_of_structures_validates;
         ] );
       ( "serving",
         [
