@@ -239,8 +239,23 @@ let serve_cmd =
          & info [ "degrade-watermark" ]
              ~doc:"Degrade the batching policy (halve max-batch, force by-size) past this queue depth")
   in
+  let profile_arg =
+    Arg.(value & opt (some string) None
+         & info [ "profile" ] ~docv:"FILE"
+             ~doc:"Record the run as a Chrome trace (open in chrome://tracing or Perfetto) and write it here")
+  in
+  let metrics_arg =
+    Arg.(value & flag & info [ "metrics" ] ~doc:"Print the drain's metrics snapshot (counters, gauges, histograms)")
+  in
+  let logical_clock_arg =
+    Arg.(value & flag
+         & info [ "logical-clock" ]
+             ~doc:"Timestamp wall-clock spans with a logical tick counter instead of real host time: \
+                   deterministic, byte-diffable traces (what CI compares)")
+  in
   let run name size seed backend options rps duration_ms max_batch max_wait_us bucketed
-      num_devices device_list dispatch faults deadline_us queue_cap degrade_watermark =
+      num_devices device_list dispatch faults deadline_us queue_cap degrade_watermark
+      profile metrics logical_clock =
     let spec = get_spec name size in
     let policy =
       {
@@ -256,9 +271,14 @@ let serve_cmd =
         if num_devices < 1 then invalid_arg "--devices must be >= 1";
         List.init num_devices (fun _ -> backend)
     in
+    let obs =
+      if profile <> None || metrics then
+        Some (Obs.create ~clock:(if logical_clock then Obs.Logical else Obs.Measured) ())
+      else None
+    in
     let engine =
       Engine.of_spec ~policy ~base:options ~dispatch ~devices ?queue_cap
-        ?degrade_watermark ?faults ~seed spec ~backend
+        ?degrade_watermark ?faults ~seed ?obs spec ~backend
     in
     let trace =
       Trace.poisson ?deadline_us (Rng.create seed) ~rate_rps:rps ~duration_ms
@@ -310,7 +330,27 @@ let serve_cmd =
           r.Engine.rr_id r.Engine.rr_nodes r.Engine.rr_window r.Engine.rr_window_size
           r.Engine.rr_device r.Engine.rr_queue_us r.Engine.rr_linearize_us
           r.Engine.rr_device_us r.Engine.rr_total_us)
-      sample
+      sample;
+    (if metrics then
+       match s.Engine.metrics with
+       | Some snap ->
+         print_string "  metrics:\n";
+         String.split_on_char '\n' (Metrics.render snap)
+         |> List.iter (fun line -> if line <> "" then Printf.printf "    %s\n" line)
+       | None -> ());
+    match (profile, obs) with
+    | Some path, Some o ->
+      let events = Obs.events o in
+      (* Validate before writing: a profile the checker rejects is an
+         exporter bug, and silently shipping it would defeat CI. *)
+      (match Obs_validate.check events with
+       | Ok () ->
+         Obs.write_json o path;
+         Printf.printf "  profile: %d events -> %s\n" (List.length events) path
+       | Error e ->
+         prerr_endline ("profile failed validation: " ^ Obs_validate.error_to_string e);
+         exit 1)
+    | _ -> ()
   in
   Cmd.v
     (Cmd.info "serve"
@@ -319,11 +359,37 @@ let serve_cmd =
       const run $ model_arg $ size_arg $ seed_arg $ backend_arg $ options_flags $ rps_arg
       $ duration_arg $ max_batch_arg $ max_wait_arg $ bucketed_arg $ devices_arg
       $ device_list_arg $ dispatch_arg $ faults_arg $ deadline_arg $ queue_cap_arg
-      $ watermark_arg)
+      $ watermark_arg $ profile_arg $ metrics_arg $ logical_clock_arg)
+
+let validate_trace_cmd =
+  let file_arg =
+    let doc = "Chrome trace-event JSON file to check." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file =
+    let ic = open_in_bin file in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Chrome_trace.parse text with
+    | Error reason ->
+      prerr_endline ("parse error: " ^ reason);
+      exit 1
+    | Ok events -> (
+      match Obs_validate.check events with
+      | Ok () -> Printf.printf "%s: OK (%d events)\n" file (List.length events)
+      | Error e ->
+        prerr_endline (file ^ ": " ^ Obs_validate.error_to_string e);
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "validate-trace"
+       ~doc:"Check a Chrome trace-event file against the profile invariants (monotone tracks, balanced nesting, drain containment)")
+    Term.(const run $ file_arg)
 
 let () =
   let info = Cmd.info "cortex" ~doc:"Cortex: a compiler for recursive deep learning models" in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; dump_ir_cmd; dump_c_cmd; simulate_cmd; run_cmd; linearize_cmd; serve_cmd ]))
+          [ list_cmd; dump_ir_cmd; dump_c_cmd; simulate_cmd; run_cmd; linearize_cmd; serve_cmd;
+            validate_trace_cmd ]))

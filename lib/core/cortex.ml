@@ -37,6 +37,10 @@ module Dispatch = Cortex_serve.Dispatch
 module Fault = Cortex_serve.Fault
 module Shape_cache = Cortex_serve.Shape_cache
 module Trace = Cortex_serve.Trace
+module Obs = Cortex_obs.Obs
+module Metrics = Cortex_obs.Metrics
+module Chrome_trace = Cortex_obs.Chrome_trace
+module Obs_validate = Cortex_obs.Validate
 module Workload = Cortex_baselines.Workload
 module Frameworks = Cortex_baselines.Frameworks
 module Models = struct

@@ -11,6 +11,7 @@ let ( * ) = Stdlib.( * )
 module Linearizer = Cortex_linearizer.Linearizer
 module Unrolling = Cortex_linearizer.Unrolling
 module Tensor = Cortex_tensor.Tensor
+module Obs = Cortex_obs.Obs
 
 exception Lowering_error of string
 
@@ -904,28 +905,33 @@ let assemble c =
 
 (* ---------- entry point ---------- *)
 
-let lower ?(options = default) (ra : Ra.t) =
-  Ra.validate ra;
-  let tree_like =
-    match ra.kind with
-    | Cortex_ds.Structure.Tree | Cortex_ds.Structure.Sequence -> true
-    | Cortex_ds.Structure.Dag -> false
-  in
-  if options.unroll then begin
-    if not tree_like then fail "unrolling is restricted to trees and sequences (%s)" ra.name;
-    if not (options.specialize && options.dynamic_batch && options.fuse) then
-      fail "unrolling requires specialization, dynamic batching and fusion"
-  end;
-  if options.block_local_unroll && not options.unroll then
-    fail "block_local_unroll requires unroll";
-  if options.refactor then begin
-    if not tree_like then fail "recursive refactoring is restricted to trees and sequences";
-    if num_phases ra.rec_ops < 2 then
-      fail "recursive refactoring needs a multi-phase recursive case";
-    List.iter
-      (fun name -> ignore (find_op ra.rec_ops name))
-      options.refactor_publish
-  end;
+let lower ?obs ?(options = default) (ra : Ra.t) =
+  let pass name f = Obs.wall_span obs ~track:"compile" name f in
+  pass "lower" @@ fun () ->
+  pass "validate" (fun () ->
+      Ra.validate ra;
+      let tree_like =
+        match ra.kind with
+        | Cortex_ds.Structure.Tree | Cortex_ds.Structure.Sequence -> true
+        | Cortex_ds.Structure.Dag -> false
+      in
+      if options.unroll then begin
+        if not tree_like then
+          fail "unrolling is restricted to trees and sequences (%s)" ra.name;
+        if not (options.specialize && options.dynamic_batch && options.fuse) then
+          fail "unrolling requires specialization, dynamic batching and fusion"
+      end;
+      if options.block_local_unroll && not options.unroll then
+        fail "block_local_unroll requires unroll";
+      if options.refactor then begin
+        if not tree_like then
+          fail "recursive refactoring is restricted to trees and sequences";
+        if num_phases ra.rec_ops < 2 then
+          fail "recursive refactoring needs a multi-phase recursive case";
+        List.iter
+          (fun name -> ignore (find_op ra.rec_ops name))
+          options.refactor_publish
+      end);
   let ufs = make_ufs () in
   let c =
     {
@@ -944,6 +950,7 @@ let lower ?(options = default) (ra : Ra.t) =
       fresh = 0;
     }
   in
+  pass "declare" (fun () ->
   List.iter
     (fun (p, dims) ->
       let t =
@@ -980,8 +987,8 @@ let lower ?(options = default) (ra : Ra.t) =
       let space = if options.fuse then Ir.Shared else Ir.Global in
       let t = record_temp c (Ir.tensor ~space ("cache_" ^ st) dims extents) in
       Hashtbl.replace c.caches st t)
-    (cached_states ra);
-  let kernels = assemble c in
+    (cached_states ra));
+  let kernels = pass "assemble" (fun () -> assemble c) in
   let state_tensors =
     List.map (fun st -> (st.st_name, Hashtbl.find c.states st.st_name)) ra.states
   in

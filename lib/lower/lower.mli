@@ -96,10 +96,14 @@ type compiled = {
 
 exception Lowering_error of string
 
-val lower : ?options:options -> Ra.t -> compiled
+val lower : ?obs:Cortex_obs.Obs.t -> ?options:options -> Ra.t -> compiled
 (** Validates the program and options (unrolling and refactoring only
     for trees and sequences; refactoring needs >= 2 phases; unrolling
-    requires specialization) and produces the compiled artifact. *)
+    requires specialization) and produces the compiled artifact.
+
+    [obs] records the passes (validate, declare, assemble, under an
+    enclosing [lower] span) as wall-clock spans on the ["compile"]
+    track; the default [None] records nothing. *)
 
 type bound = {
   ctx : Cortex_ilir.Interp.context;

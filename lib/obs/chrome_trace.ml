@@ -1,0 +1,306 @@
+type phase = Begin | End | Instant | Metadata
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ph : phase;
+  ev_ts_us : float;
+  ev_pid : int;
+  ev_tid : int;
+  ev_args : (string * value) list;
+}
+
+let event ?(cat = "") ?(args = []) ~name ~ph ~ts_us ~pid ~tid () =
+  { ev_name = name; ev_cat = cat; ev_ph = ph; ev_ts_us = ts_us; ev_pid = pid;
+    ev_tid = tid; ev_args = args }
+
+let process_name ~pid name =
+  event ~name:"process_name" ~ph:Metadata ~ts_us:0.0 ~pid ~tid:0
+    ~args:[ ("name", Str name) ] ()
+
+let thread_name ~pid ~tid name =
+  event ~name:"thread_name" ~ph:Metadata ~ts_us:0.0 ~pid ~tid
+    ~args:[ ("name", Str name) ] ()
+
+(* ---------- serialization ---------- *)
+
+let phase_to_string = function
+  | Begin -> "B"
+  | End -> "E"
+  | Instant -> "i"
+  | Metadata -> "M"
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* One fixed float format for every float in the file: plain decimal
+   (JSON has no infinities, and %h-style hex floats are not JSON), with
+   enough digits to round-trip the sub-microsecond part. *)
+let float_to_json v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.3f" v
+
+let value_to_json = function
+  | Int i -> string_of_int i
+  | Float f -> float_to_json f
+  | Str s -> "\"" ^ escape s ^ "\""
+  | Bool b -> if b then "true" else "false"
+
+let event_to_json e =
+  let args =
+    match e.ev_args with
+    | [] -> ""
+    | args ->
+      Printf.sprintf ",\"args\":{%s}"
+        (String.concat ","
+           (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" (escape k) (value_to_json v)) args))
+  in
+  Printf.sprintf
+    "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%s,\"pid\":%d,\"tid\":%d%s}"
+    (escape e.ev_name) (escape e.ev_cat) (phase_to_string e.ev_ph)
+    (float_to_json e.ev_ts_us) e.ev_pid e.ev_tid args
+
+let to_json events =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf (event_to_json e))
+    events;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf
+
+(* ---------- parsing ---------- *)
+
+(* A minimal recursive-descent JSON parser — just enough for trace-event
+   documents, so `cortex validate-trace` needs no external dependency. *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_arr of json list
+  | J_obj of (string * json) list
+
+exception Parse_error of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_literal lit v =
+    if !pos + String.length lit <= n && String.sub s !pos (String.length lit) = lit
+    then begin
+      pos := !pos + String.length lit;
+      v
+    end
+    else fail ("expected " ^ lit)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      if c = '"' then Buffer.contents buf
+      else if c = '\\' then begin
+        if !pos >= n then fail "unterminated escape";
+        let e = s.[!pos] in
+        advance ();
+        (match e with
+         | '"' -> Buffer.add_char buf '"'
+         | '\\' -> Buffer.add_char buf '\\'
+         | '/' -> Buffer.add_char buf '/'
+         | 'n' -> Buffer.add_char buf '\n'
+         | 't' -> Buffer.add_char buf '\t'
+         | 'r' -> Buffer.add_char buf '\r'
+         | 'b' -> Buffer.add_char buf '\b'
+         | 'f' -> Buffer.add_char buf '\012'
+         | 'u' ->
+           if !pos + 4 > n then fail "truncated \\u escape";
+           let hex = String.sub s !pos 4 in
+           pos := !pos + 4;
+           let code =
+             try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+           in
+           (* Keep it simple: non-ASCII escapes round-trip as '?'. *)
+           Buffer.add_char buf (if code < 0x80 then Char.chr code else '?')
+         | _ -> fail "unknown escape");
+        go ()
+      end
+      else begin
+        Buffer.add_char buf c;
+        go ()
+      end
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    match float_of_string_opt text with
+    | Some f -> f
+    | None -> fail ("bad number " ^ text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin advance (); J_obj [] end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); members ((k, v) :: acc)
+          | Some '}' -> advance (); J_obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin advance (); J_arr [] end
+      else begin
+        let rec elems acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); elems (v :: acc)
+          | Some ']' -> advance (); J_arr (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        elems []
+      end
+    | Some '"' -> J_str (parse_string ())
+    | Some 't' -> parse_literal "true" (J_bool true)
+    | Some 'f' -> parse_literal "false" (J_bool false)
+    | Some 'n' -> parse_literal "null" J_null
+    | Some _ -> J_num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let phase_of_string = function
+  | "B" -> Some Begin
+  | "E" -> Some End
+  | "i" | "I" -> Some Instant
+  | "M" -> Some Metadata
+  | _ -> None
+
+let event_of_json j =
+  match j with
+  | J_obj fields ->
+    let str k = match List.assoc_opt k fields with Some (J_str s) -> Some s | _ -> None in
+    let num k = match List.assoc_opt k fields with Some (J_num f) -> Some f | _ -> None in
+    let ph =
+      match str "ph" with
+      | None -> Error "event missing \"ph\""
+      | Some p -> (match phase_of_string p with Some ph -> Ok (Some ph) | None -> Ok None)
+    in
+    (match ph with
+     | Error e -> Error e
+     | Ok None -> Ok None (* unmodeled phase: skip *)
+     | Ok (Some ph) ->
+       (match str "name", num "ts" with
+        | None, _ -> Error "event missing \"name\""
+        | _, None -> Error "event missing \"ts\""
+        | Some name, Some ts ->
+          let args =
+            match List.assoc_opt "args" fields with
+            | Some (J_obj kvs) ->
+              List.filter_map
+                (fun (k, v) ->
+                  match v with
+                  | J_str s -> Some (k, Str s)
+                  | J_bool b -> Some (k, Bool b)
+                  | J_num f ->
+                    if Float.is_integer f && Float.abs f <= 1e15 then
+                      Some (k, Int (int_of_float f))
+                    else Some (k, Float f)
+                  | _ -> None)
+                kvs
+            | _ -> []
+          in
+          Ok
+            (Some
+               {
+                 ev_name = name;
+                 ev_cat = Option.value (str "cat") ~default:"";
+                 ev_ph = ph;
+                 ev_ts_us = ts;
+                 ev_pid = (match num "pid" with Some p -> int_of_float p | None -> 0);
+                 ev_tid = (match num "tid" with Some t -> int_of_float t | None -> 0);
+                 ev_args = args;
+               })))
+  | _ -> Error "trace event is not an object"
+
+let parse text =
+  let events_of items =
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | j :: rest -> (
+        match event_of_json j with
+        | Error e -> Error e
+        | Ok None -> go acc rest
+        | Ok (Some ev) -> go (ev :: acc) rest)
+    in
+    go [] items
+  in
+  match parse_json text with
+  | exception Parse_error msg -> Error msg
+  | J_arr items -> events_of items
+  | J_obj fields -> (
+    match List.assoc_opt "traceEvents" fields with
+    | Some (J_arr items) -> events_of items
+    | _ -> Error "no \"traceEvents\" array in trace object")
+  | _ -> Error "trace document is neither an array nor an object"

@@ -1,0 +1,92 @@
+module Stats = Cortex_util.Stats
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  series : (string, float list ref) Hashtbl.t;  (* reversed observation order *)
+}
+
+let create () =
+  { counters = Hashtbl.create 16; gauges = Hashtbl.create 16; series = Hashtbl.create 16 }
+
+let incr t ?(by = 1) name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.replace t.counters name (ref by)
+
+let set t name v =
+  match Hashtbl.find_opt t.gauges name with
+  | Some r -> r := v
+  | None -> Hashtbl.replace t.gauges name (ref v)
+
+let observe t name v =
+  match Hashtbl.find_opt t.series name with
+  | Some r -> r := v :: !r
+  | None -> Hashtbl.replace t.series name (ref [ v ])
+
+type hist_summary = {
+  hs_count : int;
+  hs_mean : float;
+  hs_p50 : float;
+  hs_p90 : float;
+  hs_p99 : float;
+  hs_max : float;
+  hs_hist : Stats.histogram;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * hist_summary) list;
+}
+
+let sorted_bindings tbl value =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, value v) :: acc) tbl [])
+
+let summarize xs =
+  let lo = List.fold_left Float.min infinity xs in
+  let hi = List.fold_left Float.max neg_infinity xs in
+  {
+    hs_count = List.length xs;
+    hs_mean = Stats.mean xs;
+    hs_p50 = Stats.p50 xs;
+    hs_p90 = Stats.p90 xs;
+    hs_p99 = Stats.p99 xs;
+    hs_max = hi;
+    hs_hist = Stats.histogram ~bins:8 ~lo ~hi xs;
+  }
+
+let snapshot (t : t) =
+  {
+    counters = sorted_bindings t.counters (fun r -> !r);
+    gauges = sorted_bindings t.gauges (fun r -> !r);
+    histograms = sorted_bindings t.series (fun r -> summarize (List.rev !r));
+  }
+
+let empty_snapshot = { counters = []; gauges = []; histograms = [] }
+
+let render s =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "counter %-28s %d\n" name v))
+    s.counters;
+  List.iter
+    (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "gauge   %-28s %.6g\n" name v))
+    s.gauges;
+  List.iter
+    (fun (name, h) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "hist    %-28s count %d mean %.6g p50 %.6g p90 %.6g p99 %.6g max %.6g\n"
+           name h.hs_count h.hs_mean h.hs_p50 h.hs_p90 h.hs_p99 h.hs_max);
+      Buffer.add_string buf
+        (Printf.sprintf "        %-28s %s\n" "" (Stats.histogram_to_string h.hs_hist)))
+    s.histograms;
+  Buffer.contents buf
+
+let reset (t : t) =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.gauges;
+  Hashtbl.reset t.series

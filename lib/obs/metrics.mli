@@ -1,0 +1,57 @@
+(** The metrics registry: named counters, gauges and histograms.
+
+    Counters accumulate integer increments (requests completed, cache
+    hits, retries), gauges hold the last written float (queue depth at
+    drain, per-device utilization) and histogram metrics accumulate
+    float observations (per-request latency, window sizes) that a
+    {!snapshot} folds into count/mean/p50/p90/p99/max plus a
+    fixed-bucket {!Cortex_util.Stats.histogram} fitted to the observed
+    range.
+
+    Snapshots are deterministic: every section is sorted by metric name
+    and the histogram statistics are pure functions of the observed
+    values, so two identical runs render byte-identical snapshots (the
+    property the serving determinism tests pin). *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> ?by:int -> string -> unit
+(** Bump a counter (creating it at 0), default [by] 1. *)
+
+val set : t -> string -> float -> unit
+(** Write a gauge (last write wins). *)
+
+val observe : t -> string -> float -> unit
+(** Append an observation to a histogram series. *)
+
+(** Folded view of one histogram series. *)
+type hist_summary = {
+  hs_count : int;
+  hs_mean : float;
+  hs_p50 : float;
+  hs_p90 : float;
+  hs_p99 : float;
+  hs_max : float;
+  hs_hist : Cortex_util.Stats.histogram;
+      (** 8 equal-width buckets fitted to the observed min..max *)
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * float) list;  (** sorted by name *)
+  histograms : (string * hist_summary) list;  (** sorted by name *)
+}
+
+val snapshot : t -> snapshot
+
+val empty_snapshot : snapshot
+
+val render : snapshot -> string
+(** A deterministic multi-line text block ([counter name value] lines
+    and so on) — what [cortex serve --metrics] prints and what the
+    byte-identity tests compare. *)
+
+val reset : t -> unit
+(** Drop every metric. *)

@@ -1,0 +1,118 @@
+module C = Chrome_trace
+
+type error =
+  | Non_monotone of { track : string; name : string; ts_us : float; prev_us : float }
+  | End_without_begin of { track : string; name : string; ts_us : float }
+  | Mismatched_end of { track : string; began : string; ended : string; ts_us : float }
+  | Unclosed_begin of { track : string; name : string; ts_us : float }
+  | Outside_drain of { track : string; name : string; ts_us : float; lo_us : float; hi_us : float }
+
+let error_to_string = function
+  | Non_monotone { track; name; ts_us; prev_us } ->
+    Printf.sprintf "track %S: event %S at %g us precedes the previous event at %g us"
+      track name ts_us prev_us
+  | End_without_begin { track; name; ts_us } ->
+    Printf.sprintf "track %S: end of %S at %g us with no open span" track name ts_us
+  | Mismatched_end { track; began; ended; ts_us } ->
+    Printf.sprintf "track %S: end of %S at %g us closes an open %S" track ended ts_us began
+  | Unclosed_begin { track; name; ts_us } ->
+    Printf.sprintf "track %S: span %S begun at %g us never ends" track name ts_us
+  | Outside_drain { track; name; ts_us; lo_us; hi_us } ->
+    Printf.sprintf
+      "track %S: simulated event %S at %g us outside the drain makespan [%g, %g]"
+      track name ts_us lo_us hi_us
+
+exception Fail of error
+
+(* Track display names from the thread_name metadata, "pid:tid"
+   otherwise. *)
+let track_names events =
+  let names = Hashtbl.create 8 in
+  List.iter
+    (fun (e : C.event) ->
+      if e.C.ev_ph = C.Metadata && e.C.ev_name = "thread_name" then
+        match List.assoc_opt "name" e.C.ev_args with
+        | Some (C.Str n) -> Hashtbl.replace names (e.C.ev_pid, e.C.ev_tid) n
+        | _ -> ())
+    events;
+  fun pid tid ->
+    match Hashtbl.find_opt names (pid, tid) with
+    | Some n -> n
+    | None -> Printf.sprintf "%d:%d" pid tid
+
+let check events =
+  let name_of = track_names events in
+  let body = List.filter (fun (e : C.event) -> e.C.ev_ph <> C.Metadata) events in
+  (* Group per (pid, tid), preserving file order within each track. *)
+  let tracks = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (e : C.event) ->
+      let key = (e.C.ev_pid, e.C.ev_tid) in
+      match Hashtbl.find_opt tracks key with
+      | Some r -> r := e :: !r
+      | None ->
+        Hashtbl.replace tracks key (ref [ e ]);
+        order := key :: !order)
+    body;
+  let check_track (pid, tid) (evs : C.event list) =
+    let track = name_of pid tid in
+    let prev = ref neg_infinity in
+    let stack = ref [] in
+    List.iter
+      (fun (e : C.event) ->
+        if e.C.ev_ts_us < !prev then
+          raise
+            (Fail (Non_monotone { track; name = e.C.ev_name; ts_us = e.C.ev_ts_us; prev_us = !prev }));
+        prev := e.C.ev_ts_us;
+        match e.C.ev_ph with
+        | C.Begin -> stack := (e.C.ev_name, e.C.ev_ts_us) :: !stack
+        | C.End -> (
+          match !stack with
+          | [] ->
+            raise (Fail (End_without_begin { track; name = e.C.ev_name; ts_us = e.C.ev_ts_us }))
+          | (began, _) :: rest ->
+            if began <> e.C.ev_name then
+              raise
+                (Fail (Mismatched_end { track; began; ended = e.C.ev_name; ts_us = e.C.ev_ts_us }));
+            stack := rest)
+        | C.Instant | C.Metadata -> ())
+      evs;
+    match !stack with
+    | (name, ts) :: _ -> raise (Fail (Unclosed_begin { track; name; ts_us = ts }))
+    | [] -> ()
+  in
+  let check_drain () =
+    (* Union of the drain spans' extents; every simulated-clock event
+       must land inside it. *)
+    let lo = ref infinity and hi = ref neg_infinity in
+    List.iter
+      (fun (e : C.event) ->
+        if e.C.ev_cat = "sim" && e.C.ev_name = "drain" then begin
+          lo := Float.min !lo e.C.ev_ts_us;
+          hi := Float.max !hi e.C.ev_ts_us
+        end)
+      body;
+    if !lo <= !hi then
+      List.iter
+        (fun (e : C.event) ->
+          if e.C.ev_cat = "sim" && (e.C.ev_ts_us < !lo || e.C.ev_ts_us > !hi) then
+            raise
+              (Fail
+                 (Outside_drain
+                    {
+                      track = name_of e.C.ev_pid e.C.ev_tid;
+                      name = e.C.ev_name;
+                      ts_us = e.C.ev_ts_us;
+                      lo_us = !lo;
+                      hi_us = !hi;
+                    })))
+        body
+  in
+  try
+    List.iter
+      (fun key -> check_track key (List.rev !(Hashtbl.find tracks key)))
+      (List.rev !order);
+    check_drain ();
+    Ok ()
+  with Fail e -> Error e

@@ -1,0 +1,39 @@
+(** Structural invariants of an exported trace, with typed rejections.
+
+    A healthy Cortex profile satisfies three invariants {e by
+    construction}, and this module re-checks them on the exported (or
+    re-parsed) event list so CI can reject a regression in the exporter
+    — or a hand-corrupted file — with a precise reason:
+
+    - {b per-track monotonicity}: on each (pid, tid) track, timestamps
+      never go backwards;
+    - {b balanced nesting}: every [E] closes the most recent open [B]
+      of the same name on its track, and every [B] is closed;
+    - {b drain containment}: when the trace records a serving drain
+      (the engine's enclosing ["drain"] span on its simulated-clock
+      track), every simulated-clock event lies inside the union of the
+      drain spans — window executions cannot leak past the drain's
+      makespan.
+
+    Both the test suite and [cortex validate-trace] (and therefore CI)
+    run this same checker. *)
+
+type error =
+  | Non_monotone of { track : string; name : string; ts_us : float; prev_us : float }
+      (** an event's timestamp precedes its predecessor's on the track *)
+  | End_without_begin of { track : string; name : string; ts_us : float }
+      (** an [E] with no open span on the track *)
+  | Mismatched_end of { track : string; began : string; ended : string; ts_us : float }
+      (** an [E] whose name differs from the innermost open [B] *)
+  | Unclosed_begin of { track : string; name : string; ts_us : float }
+      (** a [B] still open when the track ends *)
+  | Outside_drain of { track : string; name : string; ts_us : float; lo_us : float; hi_us : float }
+      (** a simulated-clock event outside the drain spans' union *)
+
+val check : Chrome_trace.event list -> (unit, error) result
+(** First violated invariant, or [Ok ()].  Metadata events are exempt
+    from the timestamp checks; the containment check only applies when
+    at least one ["drain"] span is present (a compile-only profile has
+    none). *)
+
+val error_to_string : error -> string

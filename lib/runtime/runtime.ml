@@ -8,7 +8,7 @@ module M = Cortex_models.Models_common
 
 type compiled = Lower.compiled
 
-let compile = Lower.lower
+let compile ?obs ?options ra = Lower.lower ?obs ?options ra
 
 let options_for ?(base = Lower.default) (spec : M.t) =
   {

@@ -14,7 +14,13 @@ module M = Cortex_models.Models_common
 
 type compiled = Cortex_lower.Lower.compiled
 
-val compile : ?options:Cortex_lower.Lower.options -> Cortex_ra.Ra.t -> compiled
+val compile :
+  ?obs:Cortex_obs.Obs.t ->
+  ?options:Cortex_lower.Lower.options ->
+  Cortex_ra.Ra.t ->
+  compiled
+(** [obs] profiles the lowering passes on the ["compile"] wall-clock
+    track ({!Cortex_lower.Lower.lower}). *)
 
 val options_for :
   ?base:Cortex_lower.Lower.options -> M.t -> Cortex_lower.Lower.options

@@ -8,6 +8,9 @@ module Runtime = Cortex_runtime.Runtime
 module Stats = Cortex_util.Stats
 module Tensor = Cortex_tensor.Tensor
 module M = Cortex_models.Models_common
+module Obs = Cortex_obs.Obs
+module Metrics = Cortex_obs.Metrics
+module CT = Cortex_obs.Chrome_trace
 
 (* ---------- policies ---------- *)
 
@@ -69,6 +72,7 @@ type t = {
   eng_seed : int;
   eng_retry : Fault.retry;
   eng_params : (string -> Tensor.t) option;
+  eng_obs : Obs.t option;
   mutable next_id : int;
   mutable queue : pending list;  (* newest first *)
   mutable queued : int;
@@ -79,7 +83,7 @@ type t = {
 let create ?(policy = default_policy) ?options ?(lock_free = false)
     ?(dispatch = Dispatch.Round_robin) ?devices ?cache_capacity ?queue_cap
     ?degrade_watermark ?faults ?(seed = 0) ?(retry = Fault.default_retry) ?params
-    ~model ~backend () =
+    ?obs ~model ~backend () =
   if policy.max_batch < 1 then invalid_arg "Engine.create: max_batch must be >= 1";
   if policy.max_wait_us < 0.0 then invalid_arg "Engine.create: max_wait_us must be >= 0";
   (match queue_cap with
@@ -103,7 +107,7 @@ let create ?(policy = default_policy) ?options ?(lock_free = false)
     eng_backend = backend;
     eng_policy = policy;
     lock_free;
-    eng_compiled = Runtime.compile ?options model;
+    eng_compiled = Runtime.compile ?obs ?options model;
     eng_dispatch = dispatch;
     eng_devices = devices;
     eng_cache = Shape_cache.create ?capacity:cache_capacity ();
@@ -113,6 +117,7 @@ let create ?(policy = default_policy) ?options ?(lock_free = false)
     eng_seed = seed;
     eng_retry = retry;
     eng_params = params;
+    eng_obs = obs;
     next_id = 0;
     queue = [];
     queued = 0;
@@ -121,10 +126,10 @@ let create ?(policy = default_policy) ?options ?(lock_free = false)
   }
 
 let of_spec ?policy ?base ?lock_free ?dispatch ?devices ?cache_capacity ?queue_cap
-    ?degrade_watermark ?faults ?seed ?retry ?params (spec : M.t) ~backend =
+    ?degrade_watermark ?faults ?seed ?retry ?params ?obs (spec : M.t) ~backend =
   create ?policy ~options:(Runtime.options_for ?base spec) ?lock_free ?dispatch
     ?devices ?cache_capacity ?queue_cap ?degrade_watermark ?faults ?seed ?retry
-    ?params ~model:spec.M.program ~backend ()
+    ?params ?obs ~model:spec.M.program ~backend ()
 
 let compiled t = t.eng_compiled
 let backend t = t.eng_backend
@@ -136,6 +141,7 @@ let cache_stats t = Shape_cache.stats t.eng_cache
 let pending t = t.queued
 let fault_spec t = t.eng_faults
 let seed t = t.eng_seed
+let obs t = t.eng_obs
 
 (* ---------- validation ---------- *)
 
@@ -276,6 +282,7 @@ type summary = {
   cache : Shape_cache.stats;
   slo : slo;
   results : (int * Tensor.t) list;
+  metrics : Metrics.snapshot option;
 }
 
 (* Cut an arrival-ordered run of requests into windows: a window closes
@@ -416,6 +423,20 @@ let drain t =
   let windows =
     List.stable_sort (fun (ra, _) (rb, _) -> compare ra rb) windows
   in
+  (* Observability is read-only: every span and metric below copies a
+     value the simulation already computed.  The [None] path allocates
+     nothing (the guards keep even the args lists unbuilt). *)
+  let obs = t.eng_obs in
+  let device_track d = Printf.sprintf "device %d" d in
+  (match obs with
+   | None -> ()
+   | Some _ ->
+     List.iter
+       (fun p ->
+         Obs.sim_instant obs ~track:"requests" ~name:"arrival"
+           ~args:[ ("id", CT.Int p.p_id); ("nodes", CT.Int p.p_nodes) ]
+           ~ts_us:p.p_arrival ())
+       pendings);
   let disp = Dispatch.create ~policy:t.eng_dispatch t.eng_devices in
   (* Chaos mode: with a fault spec installed (even an empty one), the
      simulated clock charges a zero linearization cost instead of the
@@ -457,7 +478,7 @@ let drain t =
          wall clock charged (chaos mode charges zero; see above). *)
       let (fl, hit), lin_wall =
         Stats.time_us (fun () ->
-            Shape_cache.find_or_linearize t.eng_cache
+            Shape_cache.find_or_linearize ?obs t.eng_cache
               ~max_children:t.model.Ra.max_children structures)
       in
       let lin_us = if chaos then 0.0 else lin_wall in
@@ -509,6 +530,14 @@ let drain t =
                 ~requests:0 ~nodes:0 ~occupancy:report.Runtime.occupancy;
               Dispatch.fail dev;
               incr failovers;
+              (match obs with
+               | None -> ()
+               | Some _ ->
+                 Obs.sim_span obs ~track:(device_track dev.Dispatch.dev_index)
+                   ~name:"abort"
+                   ~args:[ ("fault", CT.Str "failstop"); ("size", CT.Int size);
+                           ("nodes", CT.Int nodes) ]
+                   ~start_us:dispatch ~end_us:ft ());
               attempt n ft
             end
             else begin
@@ -526,6 +555,14 @@ let drain t =
                 incr transients;
                 Dispatch.commit dev ~dispatch_us:dispatch ~completion_us:completion
                   ~requests:0 ~nodes ~occupancy:report.Runtime.occupancy;
+                (match obs with
+                 | None -> ()
+                 | Some _ ->
+                   Obs.sim_span obs ~track:(device_track dev.Dispatch.dev_index)
+                     ~name:"transient"
+                     ~args:[ ("attempt", CT.Int (n + 1)); ("size", CT.Int size);
+                             ("nodes", CT.Int nodes) ]
+                     ~start_us:dispatch ~end_us:completion ());
                 if n >= t.eng_retry.Fault.max_retries then Lost_window
                 else begin
                   incr retries;
@@ -559,6 +596,15 @@ let drain t =
         let i = !windex in
         incr windex;
         let device_us = report.Runtime.latency.Backend.total_us in
+        (match obs with
+         | None -> ()
+         | Some _ ->
+           Obs.sim_span obs ~track:(device_track dev.Dispatch.dev_index)
+             ~name:"window"
+             ~args:[ ("index", CT.Int i); ("size", CT.Int size);
+                     ("nodes", CT.Int nodes); ("hit", CT.Bool hit);
+                     ("attempts", CT.Int attempts) ]
+             ~start_us:dispatch ~end_us:completion ());
         wreports :=
           {
             wr_index = i;
@@ -658,6 +704,46 @@ let drain t =
          else 0.0);
     }
   in
+  (* Metrics and the enclosing drain span, recorded last so the span
+     covers everything (lost-window activity included — [sim_bounds] is
+     the recorded extent, not the completed makespan). *)
+  (match obs with
+   | None -> ()
+   | Some o ->
+     Obs.incr obs ~by:aggregate.num_requests "requests.completed";
+     Obs.incr obs ~by:!lost "requests.lost";
+     Obs.incr obs ~by:shed "requests.shed";
+     Obs.incr obs ~by:rejected "requests.rejected";
+     Obs.incr obs ~by:!transients "faults.transients";
+     Obs.incr obs ~by:!retries "faults.retries";
+     Obs.incr obs ~by:!failovers "faults.failovers";
+     Obs.incr obs ~by:(List.length windows) "windows.formed";
+     Obs.set_gauge obs "queue.depth" (float_of_int depth);
+     Obs.set_gauge obs "drain.degraded" (if degraded then 1.0 else 0.0);
+     Obs.set_gauge obs "cache.hit_rate"
+       (Shape_cache.hit_rate (Shape_cache.stats t.eng_cache));
+     List.iter
+       (fun d ->
+         Obs.set_gauge obs
+           (Printf.sprintf "device%d.utilization" d.dr_index)
+           d.dr_utilization)
+       device_reports;
+     List.iter
+       (fun r ->
+         Obs.observe obs "latency.total_us" r.rr_total_us;
+         Obs.observe obs "latency.queue_us" r.rr_queue_us)
+       requests;
+     List.iter
+       (fun w -> Obs.observe obs "window.size" (float_of_int w.wr_size))
+       windows;
+     (match Obs.sim_bounds o with
+      | Some (lo, hi) ->
+        Obs.sim_span obs ~track:"engine" ~name:"drain"
+          ~args:[ ("requests", CT.Int aggregate.num_requests);
+                  ("windows", CT.Int (List.length windows));
+                  ("lost", CT.Int !lost) ]
+          ~start_us:lo ~end_us:hi ()
+      | None -> ()));
   {
     aggregate;
     requests;
@@ -666,6 +752,7 @@ let drain t =
     cache = Shape_cache.stats t.eng_cache;
     slo;
     results = List.sort (fun (a, _) (b, _) -> compare a b) !results;
+    metrics = Obs.snapshot obs;
   }
 
 let run_trace t trace =
@@ -717,7 +804,7 @@ let execute t ~params structures =
   let forest =
     try
       fst
-        (Shape_cache.find_or_linearize t.eng_cache
+        (Shape_cache.find_or_linearize ?obs:t.eng_obs t.eng_cache
            ~max_children:t.model.Ra.max_children structures)
     with Linearizer.Rejected r -> raise (Error (Rejected r))
   in

@@ -112,6 +112,7 @@ val create :
   ?seed:int ->
   ?retry:Fault.retry ->
   ?params:(string -> Cortex_tensor.Tensor.t) ->
+  ?obs:Cortex_obs.Obs.t ->
   model:Cortex_ra.Ra.t ->
   backend:Cortex_backend.Backend.t ->
   unit ->
@@ -145,7 +146,16 @@ val create :
       then also executed numerically once and every member request's
       root output lands in [summary.results] — retries and failovers
       re-dispatch the same linearization, so the numbers are independent
-      of the fault history. *)
+      of the fault history.
+
+    [obs] installs an observability handle ({!Cortex_obs.Obs}): the
+    compile records its lowering passes as wall-clock spans, each drain
+    records arrivals, device busy windows, aborts and retries as
+    simulated-clock spans plus a metrics snapshot in the summary.
+    Recording is read-only — an observed drain produces bitwise-identical
+    results to an unobserved one (the zero-interference property test
+    pins this).  One handle records one drain; {!Cortex_obs.Obs.reset}
+    it between profiled drains. *)
 
 val of_spec :
   ?policy:policy ->
@@ -160,6 +170,7 @@ val of_spec :
   ?seed:int ->
   ?retry:Fault.retry ->
   ?params:(string -> Cortex_tensor.Tensor.t) ->
+  ?obs:Cortex_obs.Obs.t ->
   M.t ->
   backend:Cortex_backend.Backend.t ->
   t
@@ -181,6 +192,9 @@ val pending : t -> int
 
 val fault_spec : t -> Fault.spec option
 val seed : t -> int
+
+val obs : t -> Cortex_obs.Obs.t option
+(** The observability handle installed at {!create}, if any. *)
 
 (** {2 Serving simulation} *)
 
@@ -296,6 +310,11 @@ type summary = {
       (** with [params]: each completed request's root output (first
           declared model output at its structure's first root), by
           request id *)
+  metrics : Cortex_obs.Metrics.snapshot option;
+      (** with [obs]: the metrics registry at the end of this drain —
+          request/fault counters, queue and utilization gauges, latency
+          and window-size histograms; [None] when no handle is
+          installed *)
 }
 
 val drain : t -> summary

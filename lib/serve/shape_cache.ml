@@ -1,5 +1,7 @@
 module Structure = Cortex_ds.Structure
 module Linearizer = Cortex_linearizer.Linearizer
+module Obs = Cortex_obs.Obs
+module Chrome_trace = Cortex_obs.Chrome_trace
 
 type stats = { hits : int; misses : int; entries : int }
 
@@ -14,17 +16,30 @@ let create ?(capacity = 1024) () =
   if capacity < 0 then invalid_arg "Shape_cache.create: capacity must be >= 0";
   { capacity; table = Hashtbl.create (min 64 (max 1 capacity)); hits = 0; misses = 0 }
 
-let find_or_linearize t ~max_children structures =
+let find_or_linearize ?obs t ~max_children structures =
+  (* The inspector track: a hit's payload re-bind and a miss's full
+     linearizer pass both appear as wall-clock spans, with the request
+     count and node total as args.  Recording only reads values — the
+     measured charge the engine bills stays its own [Stats.time_us]
+     measurement, so the observed and unobserved drains price
+     identically (chaos mode charges zero either way). *)
+  let span name f =
+    Obs.wall_span obs ~track:"inspector"
+      ~args:[ ("requests", Chrome_trace.Int (List.length structures)) ]
+      name f
+  in
   let key = Linearizer.shape_key structures in
   match Hashtbl.find_opt t.table key with
   | Some cached ->
     t.hits <- t.hits + 1;
-    (Linearizer.rebind_forest cached structures, true)
+    Obs.incr obs "cache.hits";
+    (span "rebind" (fun () -> Linearizer.rebind_forest cached structures), true)
   | None ->
-    let f = Linearizer.run_forest ~max_children structures in
+    let f = span "linearize" (fun () -> Linearizer.run_forest ~max_children structures) in
     (* Count the miss only after a successful linearization: a rejected
        request is not inspector work the cache could have saved. *)
     t.misses <- t.misses + 1;
+    Obs.incr obs "cache.misses";
     if t.capacity > 0 then begin
       (* Epoch eviction: when the table fills, drop it wholesale.  The
          serving workloads this cache targets have a few hot shapes that

@@ -31,6 +31,7 @@ val create : ?capacity:int -> unit -> t
     by the benches' cold-path comparisons). *)
 
 val find_or_linearize :
+  ?obs:Cortex_obs.Obs.t ->
   t ->
   max_children:int ->
   Cortex_ds.Structure.t list ->
@@ -40,7 +41,11 @@ val find_or_linearize :
     {!Linearizer.run_forest}[ ~max_children] and caches the result; on a
     hit, re-binds the requests' payloads into the cached numbering.
     Raises {!Linearizer.Rejected} exactly as [run_forest] would (a
-    rejection counts as neither hit nor miss). *)
+    rejection counts as neither hit nor miss).
+
+    [obs] records the inspector work as a wall-clock span on the
+    ["inspector"] track ([linearize] for a miss, [rebind] for a hit)
+    and bumps the [cache.hits]/[cache.misses] counters. *)
 
 val stats : t -> stats
 (** Cumulative hit/miss counters and current entry count. *)

@@ -31,7 +31,65 @@ let percentile p = function
     a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
 
 let p50 xs = percentile 50.0 xs
+let p90 xs = percentile 90.0 xs
 let p99 xs = percentile 99.0 xs
+
+type histogram = {
+  h_lo : float;
+  h_hi : float;
+  h_counts : int array;
+  h_underflow : int;
+  h_overflow : int;
+  h_total : int;
+}
+
+let histogram ?(bins = 10) ~lo ~hi xs =
+  if bins < 1 then invalid_arg "Stats.histogram: bins must be >= 1";
+  if Float.is_nan lo || Float.is_nan hi || lo > hi then
+    invalid_arg "Stats.histogram: need lo <= hi";
+  let counts = Array.make bins 0 in
+  let underflow = ref 0 and overflow = ref 0 in
+  let width = (hi -. lo) /. float_of_int bins in
+  List.iter
+    (fun v ->
+      if Float.is_nan v || v < lo then incr underflow
+      else if v > hi then incr overflow
+      else begin
+        (* v = hi (and every value when lo = hi) lands in the last
+           bucket: the range is closed on the right so the maximum of a
+           min..max-fitted histogram is counted, not dropped. *)
+        let i =
+          if width > 0.0 then
+            min (bins - 1) (int_of_float ((v -. lo) /. width))
+          else 0
+        in
+        counts.(i) <- counts.(i) + 1
+      end)
+    xs;
+  {
+    h_lo = lo;
+    h_hi = hi;
+    h_counts = counts;
+    h_underflow = !underflow;
+    h_overflow = !overflow;
+    h_total = List.length xs;
+  }
+
+let histogram_to_string h =
+  let bins = Array.length h.h_counts in
+  let width = (h.h_hi -. h.h_lo) /. float_of_int bins in
+  let buf = Buffer.create 128 in
+  if h.h_underflow > 0 then
+    Buffer.add_string buf (Printf.sprintf "(-inf, %g): %d  " h.h_lo h.h_underflow);
+  Array.iteri
+    (fun i c ->
+      let lo = h.h_lo +. (width *. float_of_int i) in
+      let hi = if i = bins - 1 then h.h_hi else lo +. width in
+      Buffer.add_string buf (Printf.sprintf "[%g, %g%s: %d  " lo hi (if i = bins - 1 then "]" else ")") c))
+    h.h_counts;
+  if h.h_overflow > 0 then
+    Buffer.add_string buf (Printf.sprintf "(%g, inf): %d  " h.h_hi h.h_overflow);
+  String.trim (Buffer.contents buf)
 
 let clamp ~lo ~hi v = Float.max lo (Float.min hi v)
 let clamp_int ~lo ~hi v = max lo (min hi v)

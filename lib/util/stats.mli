@@ -14,9 +14,34 @@ val percentile : float -> float list -> float
     [p] outside [0, 100]. *)
 
 val p50 : float list -> float
+val p90 : float list -> float
 val p99 : float list -> float
-(** Tail-latency shorthands for [percentile 50.0] / [percentile 99.0],
-    used by the serving engine's aggregate reports. *)
+(** Tail-latency shorthands for [percentile 50.0] / [percentile 90.0] /
+    [percentile 99.0], used by the serving engine's aggregate reports
+    and the observability metrics registry. *)
+
+(** A fixed-bucket histogram over a closed range. *)
+type histogram = {
+  h_lo : float;
+  h_hi : float;
+  h_counts : int array;  (** one count per bucket, low range first *)
+  h_underflow : int;  (** values below [h_lo] (NaN counts here too) *)
+  h_overflow : int;  (** values above [h_hi] *)
+  h_total : int;  (** all values seen, including under/overflow *)
+}
+
+val histogram : ?bins:int -> lo:float -> hi:float -> float list -> histogram
+(** [histogram ~bins ~lo ~hi xs] buckets [xs] into [bins] (default 10)
+    equal-width buckets over [[lo, hi]].  The range is closed on the
+    right: [hi] lands in the last bucket, so a histogram fitted to
+    min..max counts its maximum.  [lo = hi] is allowed (everything equal
+    to it lands in bucket 0) — the degenerate all-equal case the metrics
+    registry hits when a series never varies.  An empty input gives
+    all-zero counts.  Raises [Invalid_argument] if [bins < 1] or
+    [lo > hi]. *)
+
+val histogram_to_string : histogram -> string
+(** One-line bucket rendering, for metric snapshots and debugging. *)
 
 val clamp : lo:float -> hi:float -> float -> float
 val clamp_int : lo:int -> hi:int -> int -> int

@@ -453,6 +453,69 @@ let test_cache_hit_bitwise_equivalence () =
         spec.M.program.Ra.states)
     batch
 
+(* Edge coverage at the capacity boundaries: 0 (disabled), 1 (every new
+   shape flushes the last) and the epoch-flush threshold (the table may
+   sit exactly at capacity until the next new shape). *)
+
+let shape height seed = [ Gen.perfect_tree (Rng.create seed) ~vocab:50 ~height () ]
+
+let lookup cache s = snd (Shape_cache.find_or_linearize cache ~max_children:2 s)
+
+let test_cache_unit_capacity_zero () =
+  let cache = Shape_cache.create ~capacity:0 () in
+  Alcotest.(check bool) "first lookup misses" false (lookup cache (shape 3 1));
+  Alcotest.(check bool) "same shape misses again" false (lookup cache (shape 3 2));
+  let st = Shape_cache.stats cache in
+  Alcotest.(check int) "no hits" 0 st.Shape_cache.hits;
+  Alcotest.(check int) "two misses" 2 st.Shape_cache.misses;
+  Alcotest.(check int) "nothing stored" 0 st.Shape_cache.entries;
+  Alcotest.(check (float 1e-9)) "hit rate 0" 0.0 (Shape_cache.hit_rate st)
+
+let test_cache_unit_capacity_one () =
+  let cache = Shape_cache.create ~capacity:1 () in
+  Alcotest.(check bool) "A cold" false (lookup cache (shape 3 1));
+  Alcotest.(check bool) "A hits" true (lookup cache (shape 3 2));
+  (* A new shape flushes the single slot and takes it. *)
+  Alcotest.(check bool) "B cold" false (lookup cache (shape 4 1));
+  Alcotest.(check int) "still one entry" 1 (Shape_cache.stats cache).Shape_cache.entries;
+  Alcotest.(check bool) "B hits" true (lookup cache (shape 4 2));
+  Alcotest.(check bool) "A was flushed" false (lookup cache (shape 3 3));
+  let st = Shape_cache.stats cache in
+  Alcotest.(check int) "hits" 2 st.Shape_cache.hits;
+  Alcotest.(check int) "misses" 3 st.Shape_cache.misses;
+  Alcotest.(check (float 1e-9)) "hit rate 2/5" 0.4 (Shape_cache.hit_rate st)
+
+let test_cache_unit_epoch_flush_boundary () =
+  let cache = Shape_cache.create ~capacity:3 () in
+  (* Fill to exactly capacity: no flush yet — length = capacity is the
+     boundary, the flush happens on the next new shape. *)
+  List.iter (fun h -> ignore (lookup cache (shape h 1))) [ 2; 3; 4 ];
+  Alcotest.(check int) "sits at capacity" 3 (Shape_cache.stats cache).Shape_cache.entries;
+  List.iter
+    (fun h -> Alcotest.(check bool) "resident shape hits" true (lookup cache (shape h 2)))
+    [ 2; 3; 4 ];
+  (* The fourth shape triggers the epoch flush and enters alone. *)
+  Alcotest.(check bool) "fourth shape cold" false (lookup cache (shape 5 1));
+  Alcotest.(check int) "table dropped wholesale" 1
+    (Shape_cache.stats cache).Shape_cache.entries;
+  Alcotest.(check bool) "survivor hits" true (lookup cache (shape 5 2));
+  Alcotest.(check bool) "flushed shape re-misses" false (lookup cache (shape 2 3))
+
+let test_cache_unit_clear () =
+  let cache = Shape_cache.create ~capacity:8 () in
+  ignore (lookup cache (shape 3 1));
+  ignore (lookup cache (shape 3 2));
+  Alcotest.(check bool) "warm before clear" true
+    ((Shape_cache.stats cache).Shape_cache.hits > 0);
+  Shape_cache.clear cache;
+  let st = Shape_cache.stats cache in
+  Alcotest.(check int) "hits zeroed" 0 st.Shape_cache.hits;
+  Alcotest.(check int) "misses zeroed" 0 st.Shape_cache.misses;
+  Alcotest.(check int) "entries dropped" 0 st.Shape_cache.entries;
+  Alcotest.(check (float 1e-9)) "hit rate well-defined after clear" 0.0
+    (Shape_cache.hit_rate st);
+  Alcotest.(check bool) "post-clear lookup is cold" false (lookup cache (shape 3 3))
+
 (* ---------- multi-device sharding ---------- *)
 
 let test_device_reports_accounting () =
@@ -688,6 +751,10 @@ let () =
           Alcotest.test_case "drain-hits" `Quick test_cache_hits_in_drain;
           Alcotest.test_case "disabled" `Quick test_cache_disabled;
           Alcotest.test_case "bitwise-equivalence" `Quick test_cache_hit_bitwise_equivalence;
+          Alcotest.test_case "capacity-zero" `Quick test_cache_unit_capacity_zero;
+          Alcotest.test_case "capacity-one" `Quick test_cache_unit_capacity_one;
+          Alcotest.test_case "epoch-flush-boundary" `Quick test_cache_unit_epoch_flush_boundary;
+          Alcotest.test_case "clear" `Quick test_cache_unit_clear;
         ] );
       ( "devices",
         [

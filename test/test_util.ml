@@ -106,6 +106,64 @@ let test_percentile_bounds =
       let lo = List.fold_left min infinity xs and hi = List.fold_left max neg_infinity xs in
       v >= lo -. 1e-9 && v <= hi +. 1e-9)
 
+let test_p90 () =
+  (* Type-7 on 1..100: rank = 0.9 * 99 = 89.1. *)
+  let hundred = List.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 1e-9)) "p90 of 1..100" 90.1 (Stats.p90 hundred);
+  Alcotest.(check (float 1e-9)) "singleton" 7.0 (Stats.p90 [ 7.0 ]);
+  Alcotest.(check (float 1e-9)) "all equal" 3.0 (Stats.p90 [ 3.0; 3.0; 3.0 ]);
+  (* p50 <= p90 <= p99 on anything. *)
+  let xs = [ 5.0; 1.0; 9.0; 2.0; 8.0; 3.0 ] in
+  Alcotest.(check bool) "ordered with p50/p99" true
+    (Stats.p50 xs <= Stats.p90 xs && Stats.p90 xs <= Stats.p99 xs);
+  Alcotest.check_raises "empty input" (Invalid_argument "Stats.percentile: empty")
+    (fun () -> ignore (Stats.p90 []))
+
+let test_histogram () =
+  (* Four equal-width buckets over [0, 8]: closed on the right, so 8
+     lands in the last bucket, not in overflow. *)
+  let h = Stats.histogram ~bins:4 ~lo:0.0 ~hi:8.0 [ 0.0; 1.0; 2.0; 3.9; 4.0; 7.9; 8.0 ] in
+  Alcotest.(check (array int)) "counts" [| 2; 2; 1; 2 |] h.Stats.h_counts;
+  Alcotest.(check int) "no underflow" 0 h.Stats.h_underflow;
+  Alcotest.(check int) "no overflow" 0 h.Stats.h_overflow;
+  Alcotest.(check int) "total" 7 h.Stats.h_total;
+  (* Out-of-range values land in the under/overflow bins, NaN under. *)
+  let h = Stats.histogram ~bins:2 ~lo:0.0 ~hi:1.0 [ -1.0; 0.5; 2.0; Float.nan ] in
+  Alcotest.(check int) "underflow counts NaN too" 2 h.Stats.h_underflow;
+  Alcotest.(check int) "overflow" 1 h.Stats.h_overflow;
+  Alcotest.(check int) "total counts everything" 4 h.Stats.h_total;
+  (* Empty input: all-zero counts, the range intact. *)
+  let h = Stats.histogram ~bins:3 ~lo:0.0 ~hi:3.0 [] in
+  Alcotest.(check (array int)) "empty counts" [| 0; 0; 0 |] h.Stats.h_counts;
+  Alcotest.(check int) "empty total" 0 h.Stats.h_total;
+  (* Singleton. *)
+  let h = Stats.histogram ~bins:2 ~lo:5.0 ~hi:5.0 [ 5.0 ] in
+  Alcotest.(check (array int)) "singleton in bucket 0" [| 1; 0 |] h.Stats.h_counts;
+  (* All equal, degenerate lo = hi: everything equal to it in bucket 0. *)
+  let h = Stats.histogram ~bins:4 ~lo:2.0 ~hi:2.0 [ 2.0; 2.0; 2.0 ] in
+  Alcotest.(check (array int)) "all-equal in bucket 0" [| 3; 0; 0; 0 |] h.Stats.h_counts;
+  Alcotest.(check int) "all-equal total" 3 h.Stats.h_total;
+  (* Invalid shapes. *)
+  Alcotest.check_raises "bins < 1" (Invalid_argument "Stats.histogram: bins must be >= 1")
+    (fun () -> ignore (Stats.histogram ~bins:0 ~lo:0.0 ~hi:1.0 []));
+  Alcotest.check_raises "lo > hi" (Invalid_argument "Stats.histogram: need lo <= hi")
+    (fun () -> ignore (Stats.histogram ~lo:2.0 ~hi:1.0 []));
+  (* The rendering mentions every bucket boundary. *)
+  let h = Stats.histogram ~bins:2 ~lo:0.0 ~hi:4.0 [ 1.0; 3.0 ] in
+  let s = Stats.histogram_to_string h in
+  Alcotest.(check bool) "rendering has the buckets" true
+    (String.length s > 0 && String.contains s '[')
+
+let test_histogram_conserves =
+  QCheck.Test.make ~name:"histogram counts every observation" ~count:300
+    QCheck.(pair (int_range 1 8) (list_of_size (QCheck.Gen.int_range 0 50) (float_range (-50.0) 50.0)))
+    (fun (bins, xs) ->
+      let lo = List.fold_left min 0.0 xs and hi = List.fold_left max 0.0 xs in
+      let h = Stats.histogram ~bins ~lo ~hi xs in
+      Array.fold_left ( + ) 0 h.Stats.h_counts + h.Stats.h_underflow + h.Stats.h_overflow
+      = List.length xs
+      && h.Stats.h_total = List.length xs)
+
 let test_time_us () =
   let (), us = Stats.time_us (fun () -> ignore (Sys.opaque_identity (Array.make 1000 0))) in
   Alcotest.(check bool) "non-negative" true (us >= 0.0)
@@ -129,6 +187,9 @@ let () =
           Alcotest.test_case "stats" `Quick test_stats;
           Alcotest.test_case "percentiles" `Quick test_percentiles;
           QCheck_alcotest.to_alcotest test_percentile_bounds;
+          Alcotest.test_case "p90" `Quick test_p90;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          QCheck_alcotest.to_alcotest test_histogram_conserves;
           Alcotest.test_case "time_us" `Quick test_time_us;
         ] );
     ]
