@@ -187,6 +187,58 @@ let linearize_cmd =
     (Cmd.info "linearize" ~doc:"Linearize the standard datasets and report stats + wall time")
     Term.(const run $ batch_arg $ seed_arg)
 
+let tune_cmd =
+  let budget_arg =
+    Arg.(value & opt int 16 & info [ "budget" ] ~doc:"Loop-plan candidates evaluated per options point (a count, so tuning is deterministic)")
+  in
+  let top_arg = Arg.(value & opt int 8 & info [ "top" ] ~doc:"How many ranked candidates to print") in
+  let run name size batch seed backend budget top =
+    let spec = get_spec name size in
+    let structure = spec.M.dataset (Rng.create seed) ~batch in
+    let ranked, wall_us =
+      Stats.time_us (fun () -> Tuner.tune2 ~plan_budget:budget spec ~backend structure)
+    in
+    (match ranked with
+     | [] ->
+       prerr_endline "no feasible schedule";
+       exit 1
+     | best :: _ ->
+       Printf.printf "%s on %s, batch %d: %d candidates in %.0f ms\n" name
+         backend.Backend.short batch (List.length ranked) (wall_us /. 1000.0);
+       List.iteri
+         (fun i c ->
+           if i < top then
+             Printf.printf "  %2d. %9.1f us  %s\n" (i + 1)
+               c.Tuner.pc_report.Runtime.latency.Backend.total_us
+               (Tuner.pc_full_label c))
+         ranked;
+       (* The default schedule at the same options point, for the
+          headline speedup. *)
+       let default_us =
+         match List.find_opt (fun c -> c.Tuner.pc_options = best.Tuner.pc_options && c.Tuner.pc_plan = []) ranked with
+         | Some c -> c.Tuner.pc_report.Runtime.latency.Backend.total_us
+         | None -> best.Tuner.pc_report.Runtime.latency.Backend.total_us
+       in
+       let tuned_us = best.Tuner.pc_report.Runtime.latency.Backend.total_us in
+       Printf.printf "best: %s\n" (Tuner.pc_full_label best);
+       Printf.printf "default %.1f us -> tuned %.1f us (%.1f%% faster)\n" default_us
+         tuned_us
+         (100.0 *. (default_us -. tuned_us) /. Float.max default_us 1e-9);
+       (* Re-apply the winning plan from scratch and re-assert both
+          feasibility checks (App. D registers + on-chip capacity) —
+          what CI greps for. *)
+       let compiled = Runtime.compile ~options:best.Tuner.pc_options spec.M.program in
+       let applied = Lower.apply_plan best.Tuner.pc_plan compiled in
+       let report = Runtime.simulate applied ~backend structure in
+       let ok = Tuner.plan_feasible ~backend applied report in
+       Printf.printf "feasible: %s\n" (if ok then "yes" else "no");
+       if not ok then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:"Two-level schedule search (recursion options x loop plans) for a model on a backend; prints the ranked plans and re-asserts the winner's feasibility")
+    Term.(const run $ model_arg $ size_arg $ batch_arg $ seed_arg $ backend_arg $ budget_arg $ top_arg)
+
 let serve_cmd =
   let rps_arg = Arg.(value & opt float 2000.0 & info [ "rps" ] ~doc:"Offered load, requests per second") in
   let duration_arg = Arg.(value & opt float 50.0 & info [ "duration-ms" ] ~doc:"Simulated trace duration") in
@@ -253,9 +305,19 @@ let serve_cmd =
              ~doc:"Timestamp wall-clock spans with a logical tick counter instead of real host time: \
                    deterministic, byte-diffable traces (what CI compares)")
   in
+  let autotune_arg =
+    Arg.(value & flag
+         & info [ "autotune" ]
+             ~doc:"Tune a loop-schedule plan per (device backend, size-class) on first contact and reuse it; \
+                   the plan report below is a pure function of (seed, trace)")
+  in
+  let tune_budget_arg =
+    Arg.(value & opt int 16
+         & info [ "tune-budget" ] ~doc:"Candidate plans evaluated per size-class (a count, not wall time)")
+  in
   let run name size seed backend options rps duration_ms max_batch max_wait_us bucketed
       num_devices device_list dispatch faults deadline_us queue_cap degrade_watermark
-      profile metrics logical_clock =
+      profile metrics logical_clock autotune tune_budget =
     let spec = get_spec name size in
     let policy =
       {
@@ -278,7 +340,7 @@ let serve_cmd =
     in
     let engine =
       Engine.of_spec ~policy ~base:options ~dispatch ~devices ?queue_cap
-        ?degrade_watermark ?faults ~seed ?obs spec ~backend
+        ?degrade_watermark ?faults ~seed ?obs ~autotune ~tune_budget spec ~backend
     in
     let trace =
       Trace.poisson ?deadline_us (Rng.create seed) ~rate_rps:rps ~duration_ms
@@ -301,6 +363,25 @@ let serve_cmd =
       c.Shape_cache.hits c.Shape_cache.misses
       (100.0 *. Shape_cache.hit_rate c)
       c.Shape_cache.entries;
+    (* Plan-cache report: every number below comes from the simulated
+       clock or a counter, never the tuning wall time, so two seeded
+       runs print byte-identical lines (what CI diffs). *)
+    (match s.Engine.plan_cache with
+     | None -> ()
+     | Some pc ->
+       Printf.printf "  plan cache: %d classes, %d hits / %d misses (%.0f%% hit rate)\n"
+         pc.Plan_cache.pc_entries pc.Plan_cache.pc_hits pc.Plan_cache.pc_misses
+         (100.0 *. Plan_cache.hit_rate pc);
+       List.iter
+         (fun (p : Engine.plan_report) ->
+           Printf.printf
+             "  plan %-5s class %d: default %8.1f us -> tuned %8.1f us (%4.1f%% faster)  %s\n"
+             p.Engine.pr_backend p.Engine.pr_bucket p.Engine.pr_default_us
+             p.Engine.pr_tuned_us
+             (100.0 *. (p.Engine.pr_default_us -. p.Engine.pr_tuned_us)
+              /. Float.max p.Engine.pr_default_us 1e-9)
+             p.Engine.pr_plan)
+         s.Engine.plans);
     let slo = s.Engine.slo in
     Printf.printf "  slo: seed %d%s%s, completed %d, lost %d, shed %d, rejected %d\n"
       slo.Engine.slo_seed
@@ -359,7 +440,8 @@ let serve_cmd =
       const run $ model_arg $ size_arg $ seed_arg $ backend_arg $ options_flags $ rps_arg
       $ duration_arg $ max_batch_arg $ max_wait_arg $ bucketed_arg $ devices_arg
       $ device_list_arg $ dispatch_arg $ faults_arg $ deadline_arg $ queue_cap_arg
-      $ watermark_arg $ profile_arg $ metrics_arg $ logical_clock_arg)
+      $ watermark_arg $ profile_arg $ metrics_arg $ logical_clock_arg $ autotune_arg
+      $ tune_budget_arg)
 
 let validate_trace_cmd =
   let file_arg =
@@ -391,5 +473,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; dump_ir_cmd; dump_c_cmd; simulate_cmd; run_cmd; linearize_cmd; serve_cmd;
-            validate_trace_cmd ]))
+          [ list_cmd; dump_ir_cmd; dump_c_cmd; simulate_cmd; run_cmd; linearize_cmd; tune_cmd;
+            serve_cmd; validate_trace_cmd ]))

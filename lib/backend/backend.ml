@@ -25,6 +25,8 @@ type t = {
   framework_overhead_scale : float;
   persist_budget_bytes : float;
   persist_tensor_cap_bytes : float;
+  onchip_capacity_bytes : float;
+  serial_issue_factor : float;
 }
 
 let gpu =
@@ -57,6 +59,13 @@ let gpu =
     framework_overhead_scale = 1.0;
     persist_budget_bytes = 16.0e6;
     persist_tensor_cap_bytes = 4.0e6;
+    (* 80 SMs x 96KB shared + register files x persistent occupancy. *)
+    onchip_capacity_bytes = 2.4e7;
+    (* A CUDA core retires a dependent-FMA chain at well under peak
+       issue rate: 4-cycle latency with no independent work to fill the
+       pipeline.  Vendor GEMMs avoid this by blocking; generated serial
+       reductions do not until the schedule binds them onto lanes. *)
+    serial_issue_factor = 0.7;
   }
 
 let intel =
@@ -87,6 +96,10 @@ let intel =
     framework_overhead_scale = 1.0;
     persist_budget_bytes = 1.2e7;
     persist_tensor_cap_bytes = 2.0e6;
+    (* L2 slices that behave like scratch under blocking. *)
+    onchip_capacity_bytes = 1.6e7;
+    (* OoO cores hide most of the FMA latency of a serial reduction. *)
+    serial_issue_factor = 0.85;
   }
 
 let arm =
@@ -118,6 +131,10 @@ let arm =
     framework_overhead_scale = 2.0;
     persist_budget_bytes = 4.0e6;
     persist_tensor_cap_bytes = 1.0e6;
+    (* 8 x 1MB L2 on Graviton2. *)
+    onchip_capacity_bytes = 8.0e6;
+    (* Neoverse N1 reorders less aggressively than CascadeLake. *)
+    serial_issue_factor = 0.8;
   }
 
 let all = [ gpu; intel; arm ]
@@ -146,11 +163,13 @@ let persisted_bytes be (cost : Cost.t) =
 
 (* Setup/precompute/hoist kernels are dense batched GEMMs over all
    nodes at once; everything else is the fused irregular cell code. *)
-let kernel_efficiency be (k : Cost.kernel_cost) =
+let is_gemm_kernel (k : Cost.kernel_cost) =
   let is_prefix p = String.length k.Cost.kname >= String.length p
                     && String.sub k.Cost.kname 0 (String.length p) = p in
-  if is_prefix "setup" || is_prefix "pre_" || is_prefix "hoist_" then be.gemm_efficiency
-  else be.roofline_efficiency
+  is_prefix "setup" || is_prefix "pre_" || is_prefix "hoist_"
+
+let kernel_efficiency be (k : Cost.kernel_cost) =
+  if is_gemm_kernel k then be.gemm_efficiency else be.roofline_efficiency
 
 (* Flop-weighted mean of the per-segment lane occupancy the latency
    model prices — how full the machine's lanes are where the work
@@ -187,6 +206,7 @@ let simulate be ~persist ~lock_free (cost : Cost.t) =
     (fun (k : Cost.kernel_cost) ->
       launches := !launches + k.Cost.launches;
       let eff = kernel_efficiency be k in
+      let gemm = is_gemm_kernel k in
       List.iter
         (fun (s : Cost.segment) ->
           let param_bytes =
@@ -210,7 +230,16 @@ let simulate be ~persist ~lock_free (cost : Cost.t) =
           let lanes = Float.max s.Cost.lanes be.min_lanes in
           let occupancy = Float.min 1.0 (lanes /. be.width) in
           let occupancy = Float.max (occupancy ** be.occupancy_exponent) 1e-3 in
-          let flops_t = s.Cost.flops /. (be.peak_flops *. eff *. occupancy) in
+          (* Dependency-chained reduction FLOPs issue at the serial
+             rate; vendor GEMM efficiency already reflects blocked
+             schedules, so GEMM kernels are exempt. *)
+          let issued_flops =
+            if gemm then s.Cost.flops
+            else
+              s.Cost.flops -. s.Cost.dep_flops
+              +. (s.Cost.dep_flops /. be.serial_issue_factor)
+          in
+          let flops_t = issued_flops /. (be.peak_flops *. eff *. occupancy) in
           let mem_t = global /. be.mem_bw in
           let onchip_t = onchip /. be.onchip_bw in
           (* On-chip traffic overlaps with compute; off-chip traffic in

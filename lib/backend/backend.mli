@@ -65,6 +65,17 @@ type t = {
           staging copies, dispatch) — > 1 on weaker host cores *)
   persist_budget_bytes : float;  (** on-chip storage for persisted weights *)
   persist_tensor_cap_bytes : float;  (** per-tensor persistence cap *)
+  onchip_capacity_bytes : float;
+      (** total on-chip storage (shared memory / scratch-usable cache):
+          persisted weights plus staged regions plus Shared/Register
+          temporaries must fit for a schedule to be feasible *)
+  serial_issue_factor : float;
+      (** fraction of peak issue rate achieved by a loop-carried
+          dependency chain (a serial reduction's FMA waits on the
+          previous one).  [Cost.dep_flops] is divided by this in
+          non-GEMM kernels; binding the reduction loop onto lanes
+          reclassifies the work to full throughput, which is the main
+          lever the loop-schedule tuner exploits *)
 }
 
 val gpu : t

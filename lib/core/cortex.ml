@@ -36,6 +36,7 @@ module Engine = Cortex_serve.Engine
 module Dispatch = Cortex_serve.Dispatch
 module Fault = Cortex_serve.Fault
 module Shape_cache = Cortex_serve.Shape_cache
+module Plan_cache = Cortex_serve.Plan_cache
 module Trace = Cortex_serve.Trace
 module Obs = Cortex_obs.Obs
 module Metrics = Cortex_obs.Metrics

@@ -6,6 +6,11 @@ let bytes_per_elem = 4
 
 type segment = {
   flops : float;
+  dep_flops : float;
+      (* subset of [flops] issued on a loop-carried dependency chain: a
+         reduction accumulating into a Register temporary under a Serial
+         loop.  Backends price these at their serial issue rate unless a
+         schedule binds the loop onto lanes. *)
   reads : float array;
   writes : float array;
   lanes : float;
@@ -21,11 +26,13 @@ type t = {
   param_total_bytes : float;
   param_sizes : (int * float) list;  (* bytes per Param tensor id *)
   barrier_count : int;
+  onchip_peak_bytes : float;  (* Shared/Register temporary footprint *)
 }
 
 (* Mutable accumulator for the segment being built. *)
 type acc = {
   mutable a_flops : float;
+  mutable a_dep : float;
   a_reads : float array;
   a_writes : float array;
   mutable a_lanes : float;
@@ -36,6 +43,7 @@ type acc = {
 let fresh_acc () =
   {
     a_flops = 0.0;
+    a_dep = 0.0;
     a_reads = Array.make 4 0.0;
     a_writes = Array.make 4 0.0;
     a_lanes = 1.0;
@@ -68,6 +76,7 @@ let close_segment st =
     st.segs_rev <-
       {
         flops = a.a_flops;
+        dep_flops = a.a_dep;
         reads = Array.copy a.a_reads;
         writes = Array.copy a.a_writes;
         lanes = a.a_lanes;
@@ -173,7 +182,15 @@ let rec multipliable = function
    block's worth of threads; parallel (node) lanes do not. *)
 let vec_lane_cap = 512.0
 
-let rec count_stmt st env mult (par, vec) s =
+(* [ser] tracks whether the *innermost* enclosing loop is Serial: a
+   reduction accumulating into a Register temporary inside such a loop
+   runs on a loop-carried dependency chain (each FMA waits on the
+   previous one), so its FLOPs are additionally recorded as
+   [dep_flops].  The innermost loop is the chain carrier — outer loops
+   re-initialize the accumulator per iteration — so binding just the
+   reduction loop onto lanes (or unrolling it into distinct
+   accumulators) lifts the classification. *)
+let rec count_stmt st env mult (par, vec) ser s =
   st.current.a_lanes <- Float.max st.current.a_lanes (par *. vec);
   let lanes = (par, vec) in
   match s with
@@ -181,24 +198,27 @@ let rec count_stmt st env mult (par, vec) s =
   | Barrier ->
     close_segment st;
     st.barriers <- st.barriers + 1
-  | Seq ss -> List.iter (count_stmt st env mult lanes) ss
+  | Seq ss -> List.iter (count_stmt st env mult lanes ser) ss
   | Let (v, e, body) ->
     (* Bound values are integer node ids; evaluate them when control
        flow below may need them, otherwise a dummy binding suffices for
        multiplicative counting. *)
     let value = try eval_int st env e with Failure _ -> 0 in
     count_expr st mult lanes e;
-    count_stmt st ((v.Var.vid, value) :: env) mult lanes body
+    count_stmt st ((v.Var.vid, value) :: env) mult lanes ser body
   | Store (t, idx, value) ->
     let sp = Interp.space_index t.space in
     st.current.a_writes.(sp) <-
       st.current.a_writes.(sp) +. (mult *. float_of_int bytes_per_elem);
     List.iter (count_expr st mult lanes) idx;
-    count_expr st mult lanes value
+    let before = st.current.a_flops in
+    count_expr st mult lanes value;
+    if ser && t.space = Register then
+      st.current.a_dep <- st.current.a_dep +. (st.current.a_flops -. before)
   | If (c, a, b) ->
     count_expr st mult lanes c;
-    if eval_int st env c <> 0 then count_stmt st env mult lanes a
-    else (match b with Some b -> count_stmt st env mult lanes b | None -> ())
+    if eval_int st env c <> 0 then count_stmt st env mult lanes ser a
+    else (match b with Some b -> count_stmt st env mult lanes ser b | None -> ())
   | For { v; extent; kind; body; _ } ->
     let n = eval_int st env extent in
     if n <= 0 then ()
@@ -209,11 +229,12 @@ let rec count_stmt st env mult (par, vec) s =
         | Vectorized -> (par, Float.min vec_lane_cap (vec *. float_of_int n))
         | Serial | Unrolled -> lanes
       in
+      let ser' = kind = Serial in
       if multipliable body then
-        count_stmt st ((v.Var.vid, 0) :: env) (mult *. float_of_int n) lanes' body
+        count_stmt st ((v.Var.vid, 0) :: env) (mult *. float_of_int n) lanes' ser' body
       else
         for i = 0 to n - 1 do
-          count_stmt st ((v.Var.vid, i) :: env) mult lanes' body
+          count_stmt st ((v.Var.vid, i) :: env) mult lanes' ser' body
         done
     end
 
@@ -239,12 +260,12 @@ let analyze ~uf ~num_internal_batches (p : program) =
         let launches =
           match k.launch with
           | Once ->
-            count_stmt st [] 1.0 (1.0, 1.0) k.body;
+            count_stmt st [] 1.0 (1.0, 1.0) false k.body;
             close_segment st;
             1
           | PerInternalBatch bvar ->
             for b = 0 to num_internal_batches - 1 do
-              count_stmt st [ (bvar.Var.vid, b) ] 1.0 (1.0, 1.0) k.body;
+              count_stmt st [ (bvar.Var.vid, b) ] 1.0 (1.0, 1.0) false k.body;
               close_segment st
             done;
             num_internal_batches
@@ -254,7 +275,35 @@ let analyze ~uf ~num_internal_batches (p : program) =
       p.kernels
   in
   let param_sizes = Hashtbl.fold (fun tid b acc -> (tid, b) :: acc) param_sizes [] in
-  { kernels; param_total_bytes = !total_params; param_sizes; barrier_count = dummy_state.barriers }
+  (* Resident on-chip footprint: constant-extent Shared/Register
+     temporaries (staging buffers, caches of fixed shape, accumulators,
+     unroll-local state) are live for a whole launch and must fit
+     capacity together.  Scratch sized by the linearized input
+     (UF-valued extents) is processed in flight — it is priced through
+     on-chip bandwidth, not held resident — so it does not count. *)
+  let onchip_peak_bytes =
+    List.fold_left
+      (fun acc t ->
+        match t.space with
+        | Shared | Register ->
+          let elems =
+            List.fold_left
+              (fun n e -> match (n, e) with Some n, Int k -> Some (n * k) | _ -> None)
+              (Some 1) t.extents
+          in
+          (match elems with
+           | Some elems -> acc +. float_of_int (elems * bytes_per_elem)
+           | None -> acc)
+        | Param | Global -> acc)
+      0.0 p.temporaries
+  in
+  {
+    kernels;
+    param_total_bytes = !total_params;
+    param_sizes;
+    barrier_count = dummy_state.barriers;
+    onchip_peak_bytes;
+  }
 
 let total_flops t =
   List.fold_left

@@ -15,6 +15,14 @@
 
 type segment = {
   flops : float;
+  dep_flops : float;
+      (** subset of [flops] issued on a loop-carried dependency chain:
+          reductions accumulating into a Register temporary whose
+          innermost enclosing loop is Serial.  Each FMA waits on the
+          previous one, so backends price these at their serial issue
+          rate; a schedule that binds the reduction loop onto lanes (or
+          unrolls it into distinct accumulators) moves the work back to
+          full throughput *)
   reads : float array;  (** bytes read per [Interp.space_index] *)
   writes : float array;  (** bytes written per space *)
   lanes : float;  (** max concurrent lanes while this segment ran *)
@@ -33,6 +41,13 @@ type t = {
   param_total_bytes : float;  (** distinct Param bytes across the program *)
   param_sizes : (int * float) list;  (** bytes per Param tensor id *)
   barrier_count : int;  (** total global barriers executed *)
+  onchip_peak_bytes : float;
+      (** resident footprint of constant-extent Shared/Register
+          temporaries (staging buffers, fixed-shape caches,
+          accumulators) — checked against the backend's on-chip
+          capacity for schedule feasibility.  Scratch whose extent
+          depends on the linearized input is streamed, not resident,
+          and is priced through on-chip bandwidth instead *)
 }
 
 val bytes_per_elem : int

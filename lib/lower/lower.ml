@@ -1013,6 +1013,9 @@ let lower ?obs ?(options = default) (ra : Ra.t) =
       kernels;
     }
   in
+  (* Canonical loop names: unique across the whole program, so
+     serialized schedule plans address loops unambiguously. *)
+  let prog = Schedule.canonicalize prog in
   {
     ra;
     options;
@@ -1023,6 +1026,61 @@ let lower ?obs ?(options = default) (ra : Ra.t) =
     aliases;
     phases = num_phases ra.rec_ops;
   }
+
+(* ---------- post-lowering schedule plans ---------- *)
+
+let apply_plan (plan : Schedule.plan) compiled =
+  match plan with
+  | [] -> compiled
+  | _ ->
+    let prog = compiled.prog in
+    let kernels = Array.of_list prog.Ir.kernels in
+    let modified = Array.make (Array.length kernels) false in
+    let staged = ref [] in
+    List.iter
+      (fun d ->
+        let target =
+          match Schedule.directive_loops d with
+          | [] -> raise (Schedule.Schedule_error "apply_plan: directive names no loop")
+          | n :: _ -> n
+        in
+        let holders = ref [] in
+        Array.iteri
+          (fun i k ->
+            if List.mem target (Schedule.loop_names k.Ir.body) then holders := i :: !holders)
+          kernels;
+        match !holders with
+        | [ i ] ->
+          let body', ts = Schedule.apply_directive d kernels.(i).Ir.body in
+          staged := !staged @ ts;
+          modified.(i) <- true;
+          kernels.(i) <- { (kernels.(i)) with Ir.body = body' }
+        | [] ->
+          raise
+            (Schedule.Schedule_error
+               (Printf.sprintf "apply_plan: no kernel contains loop %s" target))
+        | hs ->
+          raise
+            (Schedule.Schedule_error
+               (Printf.sprintf "apply_plan: loop %s appears in %d kernels" target
+                  (List.length hs))))
+      plan;
+    (* Re-simplify only the kernels a directive touched, so rebased
+       indices fold back into the form the cost model counts
+       multiplicatively. *)
+    Array.iteri
+      (fun i k ->
+        if modified.(i) then kernels.(i) <- { k with Ir.body = Simplify.stmt k.Ir.body })
+      kernels;
+    {
+      compiled with
+      prog =
+        {
+          prog with
+          Ir.kernels = Array.to_list kernels;
+          Ir.temporaries = prog.Ir.temporaries @ !staged;
+        };
+    }
 
 (* ---------- runtime binding ---------- *)
 

@@ -103,7 +103,21 @@ val lower : ?obs:Cortex_obs.Obs.t -> ?options:options -> Ra.t -> compiled
 
     [obs] records the passes (validate, declare, assemble, under an
     enclosing [lower] span) as wall-clock spans on the ["compile"]
-    track; the default [None] records nothing. *)
+    track; the default [None] records nothing.
+
+    Loop names in the produced program are canonical
+    ({!Schedule.canonicalize}): unique across the whole program and
+    stable for a given (model, options), so schedule plans can address
+    them. *)
+
+val apply_plan : Schedule.plan -> compiled -> compiled
+(** Apply a loop-schedule plan to a compiled model: each directive is
+    routed to the unique kernel containing its (canonical) target loop,
+    staging tensors are added to the program's temporaries, and touched
+    kernels are re-simplified.  The empty plan returns the artifact
+    unchanged.  Raises {!Schedule.Schedule_error} when a directive's
+    loop is missing/ambiguous or its legality checks fail — the tuner
+    treats that as an infeasible candidate. *)
 
 type bound = {
   ctx : Cortex_ilir.Interp.context;

@@ -45,3 +45,9 @@ let asymptotic_dynet ~b ~n0 =
   fi b *. fi n0 /. ((5.0 *. fi b) +. (8.0 *. (log (fi n0) /. log 2.0)))
 
 let asymptotic_pytorch () = 0.5
+
+(* Machine-level lower bound used by the tuner to prune schedule
+   candidates: no schedule can beat peak compute or the demanded
+   off-chip traffic at full bandwidth. *)
+let lower_bound_us ~flops ~bytes ~peak_flops ~mem_bw =
+  Float.max (flops /. peak_flops) (bytes /. mem_bw)

@@ -36,3 +36,10 @@ val asymptotic_dynet : b:int -> n0:int -> float
 
 val asymptotic_pytorch : unit -> float
 (** [~ 0.5]. *)
+
+val lower_bound_us :
+  flops:float -> bytes:float -> peak_flops:float -> mem_bw:float -> float
+(** [max(flops / peak_flops, bytes / mem_bw)]: the latency floor any
+    schedule of a program with these counts must respect on a machine
+    with these peaks.  The two-level tuner prunes a schedule family
+    when even this bound cannot beat the best latency found so far. *)

@@ -121,6 +121,20 @@ module Schedule_check = struct
         else Valid
       end
     end
+
+  (* On-chip capacity feasibility: persisted weights plus every
+     Shared/Register temporary (caches, staging buffers, accumulators)
+     must fit the backend's on-chip storage. *)
+  let check_capacity ~backend (options : Lower.options) ~(cost : Cost.t) =
+    let persisted =
+      if options.Lower.persist then Backend.persisted_bytes backend cost else 0.0
+    in
+    let demand = persisted +. cost.Cost.onchip_peak_bytes in
+    if demand > backend.Backend.onchip_capacity_bytes then
+      Invalid
+        (Printf.sprintf "on-chip demand %.0f bytes exceeds capacity %.0f bytes"
+           demand backend.Backend.onchip_capacity_bytes)
+    else Valid
 end
 
 let grid_search ~candidates ~eval =

@@ -124,6 +124,17 @@ module Schedule_check : sig
   val peeling : Cortex_lower.Lower.options -> bool
   (** Whether the schedule's variable-bound loops are peeled (we peel by
       default whenever dynamic batching is on). *)
+
+  val check_capacity :
+    backend:Cortex_backend.Backend.t ->
+    Cortex_lower.Lower.options ->
+    cost:Cost.t ->
+    verdict
+  (** On-chip capacity feasibility of a (possibly plan-scheduled)
+      program: persisted weights plus the Shared/Register temporary
+      footprint ([Cost.onchip_peak_bytes], which includes staging
+      buffers added by [Lower.apply_plan]) must fit the backend's
+      [onchip_capacity_bytes]. *)
 end
 
 val grid_search :

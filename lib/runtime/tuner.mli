@@ -31,3 +31,90 @@ val best :
   backend:Cortex_backend.Backend.t ->
   Cortex_ds.Structure.t ->
   candidate
+
+(** {2 Level 2: loop-schedule parameters}
+
+    The second search level sweeps loop-level schedule parameters —
+    lane bindings, on-chip staging per parameter tensor, power-of-two
+    tile sizes — as serializable {!Cortex_ilir.Schedule.plan}s applied
+    post-lowering via [Lower.apply_plan].  Candidates are pruned by a
+    static on-chip-capacity check before they are even applied, and by
+    the {!Cortex_roofline.Roofline.lower_bound_us} bound before a whole
+    plan sweep starts. *)
+
+val bind_targets : Cortex_ilir.Ir.program -> string list
+(** Serial constant-extent loops (canonical names) that are lane-bind
+    candidates. *)
+
+val tile_targets : Cortex_ilir.Ir.program -> (string * string * int * int) list
+(** Directly nested constant-extent loop pairs
+    [(outer, inner, extent_outer, extent_inner)]. *)
+
+val stage_targets : Cortex_ilir.Ir.program -> (string * string * float) list
+(** [(outermost loop, parameter tensor, on-chip bytes)] staging
+    candidates. *)
+
+val loop_plans :
+  ?max_binds:int ->
+  ?max_stages:int ->
+  ?stage_cap_bytes:float ->
+  Cortex_lower.Lower.compiled ->
+  Cortex_ilir.Schedule.plan list
+(** The plan lattice for one compiled artifact, most promising first
+    and starting with the empty plan; a tuning budget truncates the
+    tail.  Staging candidates above [stage_cap_bytes] (default 8 MB)
+    are dropped up front — they cannot fit any backend's on-chip
+    storage next to the persisted weights. *)
+
+val tune_loops :
+  ?budget:int ->
+  ?linearize_us:float ->
+  Cortex_lower.Lower.compiled ->
+  backend:Cortex_backend.Backend.t ->
+  Cortex_linearizer.Linearizer.t ->
+  (Cortex_ilir.Schedule.plan * Runtime.report) list
+(** Evaluate up to [budget] (default 16) plans against an
+    already-linearized input, keeping only feasible ones (register
+    pressure + on-chip capacity), fastest first.  The empty plan (the
+    artifact as compiled) is always included and wins ties, so the
+    result is never empty — this is what the serving engine's plan
+    cache runs on a class miss.  The budget counts candidate plans, not
+    wall time, so tuning is deterministic. *)
+
+type plan_candidate = {
+  pc_options : Cortex_lower.Lower.options;
+  pc_label : string;  (** options label, e.g. "fuse+spec+batch+persist" *)
+  pc_plan : Cortex_ilir.Schedule.plan;
+  pc_report : Runtime.report;
+}
+
+val pc_full_label : plan_candidate -> string
+(** ["<options label> | <plan>"]. *)
+
+val tune2 :
+  ?plan_budget:int ->
+  Cortex_models.Models_common.t ->
+  backend:Cortex_backend.Backend.t ->
+  Cortex_ds.Structure.t ->
+  plan_candidate list
+(** Two-level search: every structurally valid options point crossed
+    with up to [plan_budget] loop plans, pruned by the App. D register
+    check, the on-chip capacity check and the roofline bound; all
+    feasible candidates ranked fastest first. *)
+
+val best2 :
+  ?plan_budget:int ->
+  Cortex_models.Models_common.t ->
+  backend:Cortex_backend.Backend.t ->
+  Cortex_ds.Structure.t ->
+  plan_candidate
+
+val plan_feasible :
+  backend:Cortex_backend.Backend.t ->
+  Cortex_lower.Lower.compiled ->
+  Runtime.report ->
+  bool
+(** Both feasibility checks — App. D register pressure and on-chip
+    capacity — against a (possibly plan-applied) compiled artifact and
+    its costed report.  [tune_loops]/[tune2] apply this internally;
+    exposed so callers (the CLI, CI) can re-assert a winning plan. *)

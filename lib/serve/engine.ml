@@ -73,6 +73,7 @@ type t = {
   eng_retry : Fault.retry;
   eng_params : (string -> Tensor.t) option;
   eng_obs : Obs.t option;
+  eng_plans : Plan_cache.t option;  (* Some = autotune on *)
   mutable next_id : int;
   mutable queue : pending list;  (* newest first *)
   mutable queued : int;
@@ -83,7 +84,7 @@ type t = {
 let create ?(policy = default_policy) ?options ?(lock_free = false)
     ?(dispatch = Dispatch.Round_robin) ?devices ?cache_capacity ?queue_cap
     ?degrade_watermark ?faults ?(seed = 0) ?(retry = Fault.default_retry) ?params
-    ?obs ~model ~backend () =
+    ?obs ?(autotune = false) ?tune_budget ~model ~backend () =
   if policy.max_batch < 1 then invalid_arg "Engine.create: max_batch must be >= 1";
   if policy.max_wait_us < 0.0 then invalid_arg "Engine.create: max_wait_us must be >= 0";
   (match queue_cap with
@@ -118,6 +119,8 @@ let create ?(policy = default_policy) ?options ?(lock_free = false)
     eng_retry = retry;
     eng_params = params;
     eng_obs = obs;
+    eng_plans =
+      (if autotune then Some (Plan_cache.create ?budget:tune_budget ()) else None);
     next_id = 0;
     queue = [];
     queued = 0;
@@ -126,10 +129,11 @@ let create ?(policy = default_policy) ?options ?(lock_free = false)
   }
 
 let of_spec ?policy ?base ?lock_free ?dispatch ?devices ?cache_capacity ?queue_cap
-    ?degrade_watermark ?faults ?seed ?retry ?params ?obs (spec : M.t) ~backend =
+    ?degrade_watermark ?faults ?seed ?retry ?params ?obs ?autotune ?tune_budget
+    (spec : M.t) ~backend =
   create ?policy ~options:(Runtime.options_for ?base spec) ?lock_free ?dispatch
     ?devices ?cache_capacity ?queue_cap ?degrade_watermark ?faults ?seed ?retry
-    ?params ?obs ~model:spec.M.program ~backend ()
+    ?params ?obs ?autotune ?tune_budget ~model:spec.M.program ~backend ()
 
 let compiled t = t.eng_compiled
 let backend t = t.eng_backend
@@ -142,6 +146,8 @@ let pending t = t.queued
 let fault_spec t = t.eng_faults
 let seed t = t.eng_seed
 let obs t = t.eng_obs
+let autotune t = t.eng_plans <> None
+let plan_cache_stats t = Option.map Plan_cache.stats t.eng_plans
 
 (* ---------- validation ---------- *)
 
@@ -274,6 +280,14 @@ type slo = {
   slo_goodput_rps : float;
 }
 
+type plan_report = {
+  pr_backend : string;
+  pr_bucket : int;
+  pr_plan : string;  (* serialized; "default" when the empty plan won *)
+  pr_default_us : float;
+  pr_tuned_us : float;
+}
+
 type summary = {
   aggregate : aggregate;
   requests : request_report list;
@@ -283,6 +297,8 @@ type summary = {
   slo : slo;
   results : (int * Tensor.t) list;
   metrics : Metrics.snapshot option;
+  plans : plan_report list;  (* per (backend, size-class), autotune only *)
+  plan_cache : Plan_cache.stats option;
 }
 
 (* Cut an arrival-ordered run of requests into windows: a window closes
@@ -379,6 +395,7 @@ type attempt_outcome =
       ao_completion : float;
       ao_report : Runtime.report;
       ao_attempts : int;
+      ao_compiled : Lower.compiled;  (* what actually ran (tuned or not) *)
     }
   | Lost_window
 
@@ -504,9 +521,25 @@ let drain t =
             attempt n ready
           end
           else begin
+            (* With autotune on, the window runs the plan tuned for this
+               device's (backend, size-class); the first window of a
+               class pays the (host-side) search.  The plan preserves
+               semantics bitwise, so retries and failovers across
+               differently-tuned devices cannot change results. *)
+            let compiled =
+              match t.eng_plans with
+              | None -> t.eng_compiled
+              | Some pc ->
+                let entry, _hit =
+                  Plan_cache.find_or_tune ?obs:t.eng_obs pc
+                    ~compiled:t.eng_compiled ~backend:dev.Dispatch.dev_backend
+                    ~lin:fl.Linearizer.lin ~nodes
+                in
+                entry.Plan_cache.pe_compiled
+            in
             let report =
               Runtime.simulate_lin ~lock_free:t.lock_free ~linearize_us:lin_us
-                t.eng_compiled ~backend:dev.Dispatch.dev_backend fl.Linearizer.lin
+                compiled ~backend:dev.Dispatch.dev_backend fl.Linearizer.lin
             in
             let factor =
               match inj with
@@ -583,6 +616,7 @@ let drain t =
                     ao_completion = completion;
                     ao_report = report;
                     ao_attempts = n + 1;
+                    ao_compiled = compiled;
                   }
               end
             end
@@ -592,7 +626,8 @@ let drain t =
       match attempt 0 ready with
       | Lost_window -> lost := !lost + size
       | Completed { ao_dev = dev; ao_dispatch = dispatch; ao_completion = completion;
-                    ao_report = report; ao_attempts = attempts } ->
+                    ao_report = report; ao_attempts = attempts;
+                    ao_compiled = ran_compiled } ->
         let i = !windex in
         incr windex;
         let device_us = report.Runtime.latency.Backend.total_us in
@@ -624,7 +659,7 @@ let drain t =
            the chaos tests pin bitwise). *)
         (match t.eng_params with
          | Some params ->
-           let ex = Runtime.execute_lin t.eng_compiled ~params fl.Linearizer.lin in
+           let ex = Runtime.execute_lin ran_compiled ~params fl.Linearizer.lin in
            let out = List.hd t.model.Ra.outputs in
            List.iteri
              (fun k p ->
@@ -744,6 +779,27 @@ let drain t =
                   ("lost", CT.Int !lost) ]
           ~start_us:lo ~end_us:hi ()
       | None -> ()));
+  let plans =
+    match t.eng_plans with
+    | None -> []
+    | Some pc ->
+      List.map
+        (fun (e : Plan_cache.entry) ->
+          {
+            pr_backend = e.Plan_cache.pe_backend;
+            pr_bucket = e.Plan_cache.pe_bucket;
+            pr_plan = Cortex_ilir.Schedule.plan_to_string e.Plan_cache.pe_plan;
+            pr_default_us = e.Plan_cache.pe_default_us;
+            pr_tuned_us = e.Plan_cache.pe_tuned_us;
+          })
+        (Plan_cache.entries pc)
+  in
+  let plan_cache = Option.map Plan_cache.stats t.eng_plans in
+  (match plan_cache with
+   | None -> ()
+   | Some s ->
+     Obs.set_gauge obs "plan_cache.hit_rate" (Plan_cache.hit_rate s);
+     Obs.set_gauge obs "plan_cache.entries" (float_of_int s.Plan_cache.pc_entries));
   {
     aggregate;
     requests;
@@ -753,6 +809,8 @@ let drain t =
     slo;
     results = List.sort (fun (a, _) (b, _) -> compare a b) !results;
     metrics = Obs.snapshot obs;
+    plans;
+    plan_cache;
   }
 
 let run_trace t trace =

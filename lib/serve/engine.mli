@@ -113,6 +113,8 @@ val create :
   ?retry:Fault.retry ->
   ?params:(string -> Cortex_tensor.Tensor.t) ->
   ?obs:Cortex_obs.Obs.t ->
+  ?autotune:bool ->
+  ?tune_budget:int ->
   model:Cortex_ra.Ra.t ->
   backend:Cortex_backend.Backend.t ->
   unit ->
@@ -155,7 +157,15 @@ val create :
     Recording is read-only — an observed drain produces bitwise-identical
     results to an unobserved one (the zero-interference property test
     pins this).  One handle records one drain; {!Cortex_obs.Obs.reset}
-    it between profiled drains. *)
+    it between profiled drains.
+
+    [autotune] (default false) stands up a {!Plan_cache}: the first
+    window of each (device backend, size-class) runs a loop-schedule
+    search under [tune_budget] candidates (default 16, a count — not
+    wall time — so serving stays deterministic) and later windows of
+    the class reuse the tuned artifact.  Tuned plans preserve results
+    bitwise; the search's host wall time appears in the summary's
+    plan-cache stats, never on the simulated clock. *)
 
 val of_spec :
   ?policy:policy ->
@@ -171,6 +181,8 @@ val of_spec :
   ?retry:Fault.retry ->
   ?params:(string -> Cortex_tensor.Tensor.t) ->
   ?obs:Cortex_obs.Obs.t ->
+  ?autotune:bool ->
+  ?tune_budget:int ->
   M.t ->
   backend:Cortex_backend.Backend.t ->
   t
@@ -195,6 +207,10 @@ val seed : t -> int
 
 val obs : t -> Cortex_obs.Obs.t option
 (** The observability handle installed at {!create}, if any. *)
+
+val autotune : t -> bool
+val plan_cache_stats : t -> Plan_cache.stats option
+(** Cumulative plan-cache counters when [autotune] is on. *)
 
 (** {2 Serving simulation} *)
 
@@ -298,6 +314,14 @@ type slo = {
           [aggregate.throughput_rps]'s all-completions count *)
 }
 
+type plan_report = {
+  pr_backend : string;  (** [Backend.short] *)
+  pr_bucket : int;  (** {!Dispatch.size_bucket} shape class *)
+  pr_plan : string;  (** serialized plan; ["default"] if the empty plan won *)
+  pr_default_us : float;  (** simulated latency of the default schedule *)
+  pr_tuned_us : float;  (** simulated latency under the winning plan *)
+}
+
 type summary = {
   aggregate : aggregate;
   requests : request_report list;  (** by request id; completed only *)
@@ -315,6 +339,12 @@ type summary = {
           request/fault counters, queue and utilization gauges, latency
           and window-size histograms; [None] when no handle is
           installed *)
+  plans : plan_report list;
+      (** with [autotune]: one line per tuned (backend, size-class),
+          sorted, with default-vs-tuned simulated latency *)
+  plan_cache : Plan_cache.stats option;
+      (** with [autotune]: cumulative hit/miss counters and the host
+          wall time spent tuning *)
 }
 
 val drain : t -> summary

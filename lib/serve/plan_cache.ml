@@ -1,0 +1,117 @@
+module Backend = Cortex_backend.Backend
+module Lower = Cortex_lower.Lower
+module Runtime = Cortex_runtime.Runtime
+module Tuner = Cortex_runtime.Tuner
+module Linearizer = Cortex_linearizer.Linearizer
+module Schedule = Cortex_ilir.Schedule
+module Stats = Cortex_util.Stats
+module Obs = Cortex_obs.Obs
+
+(* A per-shape-class cache of tuned loop-schedule plans.
+
+   The serving engine compiles a model once, but the best loop schedule
+   depends on the backend it lands on and on how much parallelism the
+   linearized batch exposes — a size-class worth of shape information.
+   The first window of a class pays for a loop-schedule search
+   (Tuner.tune_loops, a candidate-count budget, so the search is a
+   deterministic function of the compiled artifact and the
+   linearization); every later window of the class reuses the applied
+   artifact.  The tuning wall clock is host time spent once per class at
+   first contact — the moral equivalent of a JIT warmup — and is
+   recorded in the stats and through Obs, never charged to the
+   simulated device clock (which must stay a pure function of the trace
+   for the chaos tests' determinism). *)
+
+type entry = {
+  pe_backend : string;  (* Backend.short *)
+  pe_bucket : int;  (* Dispatch.size_bucket of the window's node count *)
+  pe_plan : Schedule.plan;
+  pe_compiled : Lower.compiled;  (* the plan applied to the engine's artifact *)
+  pe_default_us : float;
+  pe_tuned_us : float;
+  pe_tune_ms : float;  (* host wall time of the search *)
+}
+
+type stats = {
+  pc_entries : int;
+  pc_hits : int;
+  pc_misses : int;
+  pc_tune_ms : float;
+}
+
+type t = {
+  budget : int;
+  table : (string * int, entry) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable tune_ms : float;
+}
+
+let create ?(budget = 16) () =
+  if budget < 1 then invalid_arg "Plan_cache.create: budget must be >= 1";
+  { budget; table = Hashtbl.create 8; hits = 0; misses = 0; tune_ms = 0.0 }
+
+let budget t = t.budget
+
+let find_or_tune ?obs t ~(compiled : Lower.compiled) ~(backend : Backend.t)
+    ~(lin : Linearizer.t) ~nodes =
+  let bucket = Dispatch.size_bucket nodes in
+  let key = (backend.Backend.short, bucket) in
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+    t.hits <- t.hits + 1;
+    Obs.incr obs "plan_cache.hits";
+    (e, true)
+  | None ->
+    t.misses <- t.misses + 1;
+    let ranked, wall_us =
+      Stats.time_us (fun () -> Tuner.tune_loops ~budget:t.budget compiled ~backend lin)
+    in
+    (* tune_loops always includes the empty plan, so both the winner and
+       the default baseline are present. *)
+    let best_plan, best_report = List.hd ranked in
+    let _, default_report = List.find (fun (p, _) -> p = []) ranked in
+    let applied =
+      if best_plan = [] then compiled else Lower.apply_plan best_plan compiled
+    in
+    let tune_ms = wall_us /. 1000.0 in
+    let e =
+      {
+        pe_backend = backend.Backend.short;
+        pe_bucket = bucket;
+        pe_plan = best_plan;
+        pe_compiled = applied;
+        pe_default_us =
+          default_report.Runtime.latency.Backend.total_us;
+        pe_tuned_us = best_report.Runtime.latency.Backend.total_us;
+        pe_tune_ms = tune_ms;
+      }
+    in
+    Hashtbl.replace t.table key e;
+    t.tune_ms <- t.tune_ms +. tune_ms;
+    Obs.incr obs "plan_cache.misses";
+    Obs.observe obs "plan_cache.tune_ms" tune_ms;
+    (e, false)
+
+let stats t =
+  {
+    pc_entries = Hashtbl.length t.table;
+    pc_hits = t.hits;
+    pc_misses = t.misses;
+    pc_tune_ms = t.tune_ms;
+  }
+
+let hit_rate s =
+  let total = s.pc_hits + s.pc_misses in
+  if total = 0 then 0.0 else float_of_int s.pc_hits /. float_of_int total
+
+let entries t =
+  List.sort
+    (fun a b -> compare (a.pe_backend, a.pe_bucket) (b.pe_backend, b.pe_bucket))
+    (Hashtbl.fold (fun _ e acc -> e :: acc) t.table [])
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.tune_ms <- 0.0

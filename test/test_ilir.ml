@@ -179,6 +179,231 @@ let test_schedule_errors () =
    with Schedule.Schedule_error _ -> ());
   Alcotest.(check int) "loop_names" 2 (List.length (Schedule.loop_names body))
 
+let string_contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec scan i = i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1)) in
+  scan 0
+
+(* An 8x8 variant whose extents tile evenly. *)
+let make_prog8 () =
+  let d = Ir.Dim.fresh "d" in
+  let t = Ir.tensor "out8" [ d; d ] [ Ir.Int 8; Ir.Int 8 ] in
+  let i = Ir.Var.fresh "i" and j = Ir.Var.fresh "j" in
+  let body =
+    Ir.for_ i (Ir.Int 8)
+      (Ir.for_ j (Ir.Int 8)
+         (Ir.Store
+            ( t,
+              [ Ir.Var i; Ir.Var j ],
+              Ir.Binop (Ir.Add, Ir.Binop (Ir.Mul, Ir.Var i, Ir.Int 16), Ir.Var j) )))
+  in
+  (t, body, Ir.Var.name i, Ir.Var.name j)
+
+let check_transform8 name transform =
+  let t, body, _, _ = make_prog8 () in
+  let want = run_body t body in
+  let t2, body2, i2, j2 = make_prog8 () in
+  let got = run_body t2 (transform ~i:i2 ~j:j2 body2) in
+  if not (Tensor.approx_equal want got) then Alcotest.failf "%s changed semantics" name
+
+let test_schedule_tile () =
+  check_transform8 "tile 4x4" (fun ~i ~j s ->
+      Schedule.tile ~outer:i ~inner:j ~factor_outer:4 ~factor_inner:4 s);
+  check_transform8 "tile 2x8" (fun ~i ~j s ->
+      Schedule.tile ~outer:i ~inner:j ~factor_outer:2 ~factor_inner:8 s);
+  let _, body, i, j = make_prog8 () in
+  try
+    ignore (Schedule.tile ~outer:i ~inner:j ~factor_outer:3 ~factor_inner:4 body);
+    Alcotest.fail "non-dividing tile factor accepted"
+  with Schedule.Schedule_error _ -> ()
+
+let test_schedule_bind () =
+  check_transform "bind vec" (fun ~i:_ ~j s -> Schedule.bind ~name:j Ir.Vectorized s);
+  check_transform "bind par" (fun ~i ~j:_ s -> Schedule.bind ~name:i Ir.Parallel s);
+  (* the kind actually lands on the loop *)
+  let _, body, _, jname = make_prog () in
+  let s = Schedule.bind ~name:jname Ir.Vectorized body in
+  let rec kinds acc = function
+    | Ir.For r ->
+      kinds ((Ir.Var.name r.v, r.kind) :: acc) r.body
+    | Ir.Seq ss -> List.fold_left kinds acc ss
+    | Ir.Let (_, _, b) -> kinds acc b
+    | Ir.If (_, a, b) -> (
+      let acc = kinds acc a in
+      match b with Some b -> kinds acc b | None -> acc)
+    | Ir.Store _ | Ir.Barrier | Ir.Nop -> acc
+  in
+  Alcotest.(check bool) "loop vectorized" true
+    (List.mem_assoc jname (kinds [] s) && List.assoc jname (kinds [] s) = Ir.Vectorized);
+  (* binding onto a sequential kind is meaningless and rejected *)
+  let _, body, iname, _ = make_prog () in
+  try
+    ignore (Schedule.bind ~name:iname Ir.Serial body);
+    Alcotest.fail "bind to Serial accepted"
+  with Schedule.Schedule_error _ -> ()
+
+let test_schedule_stage () =
+  (* out[i,j] = w[i,j] + j with w initialized by a preceding loop nest;
+     staging w on-chip under the compute loop must not change out. *)
+  let d = Ir.Dim.fresh "d" in
+  let w = Ir.tensor ~space:Ir.Global "w" [ d; d ] [ Ir.Int 6; Ir.Int 5 ] in
+  let out = Ir.tensor "out" [ d; d ] [ Ir.Int 6; Ir.Int 5 ] in
+  let mk () =
+    let a = Ir.Var.fresh "a" and b = Ir.Var.fresh "b" in
+    let i = Ir.Var.fresh "i" and j = Ir.Var.fresh "j" in
+    let init =
+      Ir.for_ a (Ir.Int 6)
+        (Ir.for_ b (Ir.Int 5)
+           (Ir.Store
+              ( w,
+                [ Ir.Var a; Ir.Var b ],
+                Ir.Binop (Ir.Add, Ir.Var a, Ir.Binop (Ir.Mul, Ir.Var b, Ir.Int 7)) )))
+    in
+    let compute =
+      Ir.for_ i (Ir.Int 6)
+        (Ir.for_ j (Ir.Int 5)
+           (Ir.Store
+              ( out,
+                [ Ir.Var i; Ir.Var j ],
+                Ir.Binop (Ir.Add, Ir.Load (w, [ Ir.Var i; Ir.Var j ]), Ir.Var j) )))
+    in
+    (Ir.Seq [ init; compute ], Ir.Var.name i)
+  in
+  let body, _ = mk () in
+  let want = run_body out body in
+  let body2, iname = mk () in
+  let staged, buf = Schedule.stage ~loop:iname ~tensor:"w" body2 in
+  let got = run_body out staged in
+  Alcotest.(check bool) "stage preserves values" true (Tensor.approx_equal want got);
+  Alcotest.(check bool) "staging buffer is on-chip" true
+    (buf.Ir.space = Ir.Shared || buf.Ir.space = Ir.Register);
+  (* staging a tensor written inside the loop is rejected *)
+  let body3, iname3 = mk () in
+  try
+    ignore (Schedule.stage ~loop:iname3 ~tensor:"out" body3);
+    Alcotest.fail "staged a written tensor"
+  with Schedule.Schedule_error _ -> ()
+
+let test_schedule_fuse () =
+  let d = Ir.Dim.fresh "d" in
+  let t1 = Ir.tensor "f1" [ d ] [ Ir.Int 6 ] in
+  let t2 = Ir.tensor "f2" [ d ] [ Ir.Int 6 ] in
+  let mk () =
+    let a = Ir.Var.fresh "a" and b = Ir.Var.fresh "b" in
+    ( Ir.Seq
+        [
+          Ir.for_ a (Ir.Int 6)
+            (Ir.Store (t1, [ Ir.Var a ], Ir.Binop (Ir.Mul, Ir.Var a, Ir.Int 3)));
+          Ir.for_ b (Ir.Int 6)
+            (Ir.Store (t2, [ Ir.Var b ], Ir.Binop (Ir.Add, Ir.Var b, Ir.Int 1)));
+        ],
+      Ir.Var.name a,
+      Ir.Var.name b )
+  in
+  let run body =
+    let ctx = Interp.create ~num_internal_batches:0 () in
+    Interp.run_stmt ctx [] body;
+    (Interp.get_tensor ctx t1, Interp.get_tensor ctx t2)
+  in
+  let body, _, _ = mk () in
+  let w1, w2 = run body in
+  let body2, a2, b2 = mk () in
+  let fused = Schedule.fuse_loops ~first:a2 ~second:b2 body2 in
+  (match fused with
+   | Ir.Seq [ Ir.For _ ] -> ()
+   | s -> Alcotest.failf "loops not fused into one:\n%s" (Ir.stmt_to_string s));
+  let g1, g2 = run fused in
+  Alcotest.(check bool) "first body preserved" true (Tensor.approx_equal w1 g1);
+  Alcotest.(check bool) "second body preserved" true (Tensor.approx_equal w2 g2);
+  (* fusing loops whose bodies communicate would reorder the accesses *)
+  let c = Ir.Var.fresh "c" and e = Ir.Var.fresh "e" in
+  let dep =
+    Ir.Seq
+      [
+        Ir.for_ c (Ir.Int 6) (Ir.Store (t1, [ Ir.Var c ], Ir.Flt 1.0));
+        Ir.for_ e (Ir.Int 6)
+          (Ir.Store (t2, [ Ir.Var e ], Ir.Load (t1, [ Ir.Binop (Ir.Sub, Ir.Int 5, Ir.Var e) ])));
+      ]
+  in
+  try
+    ignore (Schedule.fuse_loops ~first:(Ir.Var.name c) ~second:(Ir.Var.name e) dep);
+    Alcotest.fail "dependent loops fused"
+  with Schedule.Schedule_error _ -> ()
+
+let test_schedule_peel_keeps_kind () =
+  (* split_peeled on a Parallel loop: both the chunk loop and the peeled
+     tail must stay Parallel, or the tail would silently serialize. *)
+  let d = Ir.Dim.fresh "d" in
+  let t = Ir.tensor "pk" [ d ] [ Ir.Int 6 ] in
+  let i = Ir.Var.fresh "i" in
+  let body = Ir.for_ ~kind:Ir.Parallel i (Ir.Int 6) (Ir.Store (t, [ Ir.Var i ], Ir.Var i)) in
+  let s = Schedule.split_peeled ~name:(Ir.Var.name i) ~factor:4 body in
+  let rec fors acc = function
+    | Ir.For r -> fors ((Simplify.expr r.extent, r.kind) :: acc) r.body
+    | Ir.Seq ss -> List.fold_left fors acc ss
+    | Ir.Let (_, _, b) -> fors acc b
+    | Ir.If (_, a, b) -> (
+      let acc = fors acc a in
+      match b with Some b -> fors acc b | None -> acc)
+    | Ir.Store _ | Ir.Barrier | Ir.Nop -> acc
+  in
+  let tail_kinds =
+    List.filter_map (fun (e, k) -> if e = Ir.Int 2 then Some k else None) (fors [] s)
+  in
+  Alcotest.(check bool) "peeled tail present" true (tail_kinds <> []);
+  List.iter
+    (fun k -> Alcotest.(check bool) "tail keeps original kind" true (k = Ir.Parallel))
+    tail_kinds;
+  (* numeric equivalence of the parallel peel, for good measure *)
+  let t2, body2, iname2, _ = make_prog () in
+  let want = run_body t2 body2 in
+  let t3, body3, iname3, _ = make_prog () in
+  ignore iname2;
+  let got = run_body t3 (Schedule.split_peeled ~name:iname3 ~factor:4 body3) in
+  Alcotest.(check bool) "peel preserves values" true (Tensor.approx_equal want got)
+
+let test_schedule_loop_names_order () =
+  (* loop_names: duplicate-free, in program order; addressing a
+     duplicated name reports every site. *)
+  let d = Ir.Dim.fresh "d" in
+  let t = Ir.tensor "ln" [ d ] [ Ir.Int 4 ] in
+  let z1 = Ir.Var.fresh "z" and a = Ir.Var.fresh "a" and z2 = Ir.Var.fresh "z" in
+  let loop v = Ir.for_ v (Ir.Int 4) (Ir.Store (t, [ Ir.Var v ], Ir.Var v)) in
+  let body = Ir.Seq [ loop z1; loop a; loop z2 ] in
+  Alcotest.(check (list string)) "deduped, program order" [ "z"; "a" ]
+    (Schedule.loop_names body);
+  try
+    ignore (Schedule.split ~name:"z" ~factor:2 body);
+    Alcotest.fail "ambiguous loop accepted"
+  with Schedule.Schedule_error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "error lists duplicate sites: %s" msg)
+      true
+      (string_contains msg "2 sites")
+
+let test_plan_roundtrip () =
+  let plan =
+    [
+      Schedule.Split { loop = "a"; factor = 4 };
+      Schedule.Split_peeled { loop = "b"; factor = 8 };
+      Schedule.Unroll { loop = "c" };
+      Schedule.Reorder { outer = "d"; inner = "e" };
+      Schedule.Tile { outer = "f"; inner = "g"; factor_outer = 8; factor_inner = 16 };
+      Schedule.Bind { loop = "h_j"; kind = Ir.Vectorized };
+      Schedule.Bind { loop = "n"; kind = Ir.Parallel };
+      Schedule.Stage { loop = "b2"; tensor = "W_f" };
+      Schedule.Fuse { first = "p"; second = "q" };
+    ]
+  in
+  let s = Schedule.plan_to_string plan in
+  Alcotest.(check bool) "roundtrip" true (Schedule.plan_of_string s = plan);
+  Alcotest.(check string) "empty plan prints default" "default" (Schedule.plan_to_string []);
+  Alcotest.(check bool) "default parses to empty" true (Schedule.plan_of_string "default" = []);
+  try
+    ignore (Schedule.plan_of_string "warp(x,3)");
+    Alcotest.fail "malformed plan accepted"
+  with Schedule.Schedule_error _ -> ()
+
 (* ---------- barrier insertion ---------- *)
 
 (* Build the shape of a lowered batch loop: a serial loop whose body
@@ -326,6 +551,13 @@ let () =
           Alcotest.test_case "unroll" `Quick test_schedule_unroll;
           Alcotest.test_case "reorder" `Quick test_schedule_reorder;
           Alcotest.test_case "errors" `Quick test_schedule_errors;
+          Alcotest.test_case "tile" `Quick test_schedule_tile;
+          Alcotest.test_case "bind" `Quick test_schedule_bind;
+          Alcotest.test_case "stage" `Quick test_schedule_stage;
+          Alcotest.test_case "fuse" `Quick test_schedule_fuse;
+          Alcotest.test_case "peel-keeps-kind" `Quick test_schedule_peel_keeps_kind;
+          Alcotest.test_case "loop-names" `Quick test_schedule_loop_names_order;
+          Alcotest.test_case "plan-roundtrip" `Quick test_plan_roundtrip;
         ] );
       ( "barrier",
         [
