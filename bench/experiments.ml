@@ -14,7 +14,7 @@ let dataset (spec : M.t) ~batch = spec.M.dataset (Rng.create (seed + batch)) ~ba
    single-request path: one compiled model per (spec, options, backend),
    the same pricing the serving sweeps use. *)
 let engine_for ?lock_free ?(base = L.default) (spec : M.t) backend =
-  Engine.of_spec ~base ?lock_free spec ~backend
+  Engine.of_spec ~config:(Engine.Config.make ~options:base ?lock_free ()) spec ~backend
 
 let cortex_report ?lock_free ?base (spec : M.t) backend structure =
   Engine.run_one (engine_for ?lock_free ?base spec backend) structure
@@ -656,6 +656,99 @@ let autotune () =
     "Lane-binding the serial reduction loops is the consistent win: the fused cell's\n\
      FMA chains run at the backend's serial issue rate until bound.  Wrote BENCH_autotune.json.\n"
 
+(* ---------- extra: AOT bundles (lib/bundle) ---------- *)
+
+(* Not a paper table: cold-start latency of a serving process with and
+   without an ahead-of-time bundle, plus the memory planner's
+   planned-vs-worst on-chip footprint per model.  "Without" runs the
+   full lowering pipeline ([Runtime.compile]); "with" loads, validates
+   (digest) and unmarshals a prebuilt artifact.  Parameter I/O is
+   excluded from both sides — a fresh server reads a checkpoint either
+   way — so the bundles here carry no weights section.  Writes
+   BENCH_bundle.json. *)
+let bundle () =
+  let json_escape s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  let records = ref [] in
+  let header =
+    [ "Model"; "compile ms"; "load ms"; "cold-start"; "planned KB"; "worst KB"; "arena saving" ]
+  in
+  let rows =
+    List.map
+      (fun name ->
+        let spec = Models.Catalog.get name Models.Catalog.Small in
+        let options = Runtime.options_for spec in
+        let compile_us =
+          Stats.min_time_us ~repeats:5 (fun () ->
+              ignore (Runtime.compile ~options spec.M.program))
+        in
+        let compiled = Runtime.compile ~options spec.M.program in
+        let b =
+          Bundle.create ~model:name ~size:"small" ~backend:Backend.gpu.Backend.short
+            compiled
+        in
+        let path = Filename.temp_file "cortex_bundle" ".cbz" in
+        Bundle.save path b;
+        let load_us =
+          Stats.min_time_us ~repeats:5 (fun () -> ignore (Bundle.load path))
+        in
+        Sys.remove path;
+        (* The planner's concrete numbers need UF extents resolved
+           against a linearized input (batch sizes, node counts). *)
+        let bound = Lower.bind compiled (Linearizer.run (dataset spec ~batch:10)) in
+        let mp =
+          Mem_plan.plan ~uf:bound.Lower.uf_resolver
+            ~spaces:[ Ir.Shared; Ir.Register ] compiled.Lower.prog
+        in
+        let planned = mp.Mem_plan.arena_bytes and worst = mp.Mem_plan.worst_bytes in
+        let saving =
+          if worst = 0 then 0.0
+          else 100.0 *. float_of_int (worst - planned) /. float_of_int worst
+        in
+        records :=
+          Printf.sprintf
+            "  {\"model\": \"%s\", \"compile_us\": %.1f, \"bundle_load_us\": %.1f, \
+             \"cold_start_speedup\": %.2f, \"planned_onchip_bytes\": %d, \
+             \"worst_onchip_bytes\": %d, \"arena_saving_pct\": %.1f}"
+            (json_escape name) compile_us load_us
+            (compile_us /. Float.max load_us 1e-9)
+            planned worst saving
+          :: !records;
+        [
+          name;
+          Table.fms (compile_us /. 1000.0);
+          Table.fms (load_us /. 1000.0);
+          Table.fx (compile_us /. Float.max load_us 1e-9);
+          Printf.sprintf "%.0f" (float_of_int planned /. 1024.0);
+          Printf.sprintf "%.0f" (float_of_int worst /. 1024.0);
+          Printf.sprintf "%.0f%%" saving;
+        ])
+      [ "TreeFC"; "DAG-RNN"; "TreeGRU"; "TreeLSTM"; "MV-RNN" ]
+  in
+  Table.print
+    ~title:
+      "AOT bundles — cold start (compile vs load) and the liveness planner's arena (h_s, batch 10)"
+    ~header rows;
+  let oc = open_out "BENCH_bundle.json" in
+  output_string oc "[\n";
+  output_string oc (String.concat ",\n" (List.rev !records));
+  output_string oc "\n]\n";
+  close_out oc;
+  print_endline
+    "Serving from a bundle replaces the lowering pipeline with one validated read, and\n\
+     liveness packing shares arena space between the cell's phase-disjoint staging\n\
+     buffers.  Wrote BENCH_bundle.json.\n"
+
 (* ---------- extra: cross-request serving (lib/serve) ---------- *)
 
 (* Not a paper table: the paper batches one multi-tree input per call.
@@ -679,7 +772,7 @@ let serving () =
         List.map
           (fun w ->
             let policy = { Engine.max_batch = w; max_wait_us = 0.0; bucketing = Engine.Fifo } in
-            let engine = Engine.of_spec ~policy spec ~backend in
+            let engine = Engine.of_spec ~config:(Engine.Config.make ~policy ()) spec ~backend in
             let s = Engine.run_trace engine trace in
             let a = s.Engine.aggregate in
             [
@@ -710,7 +803,7 @@ let serving () =
     List.map
       (fun (label, bucketing) ->
         let policy = { Engine.max_batch = 8; max_wait_us = 300.0; bucketing } in
-        let engine = Engine.of_spec ~policy spec ~backend:Backend.gpu in
+        let engine = Engine.of_spec ~config:(Engine.Config.make ~policy ()) spec ~backend:Backend.gpu in
         let s = Engine.run_trace engine ptrace in
         let a = s.Engine.aggregate in
         [
@@ -746,7 +839,7 @@ let serving () =
           (fun n ->
             let devices = List.init n (fun _ -> Backend.gpu) in
             let policy = { Engine.max_batch = 8; max_wait_us = 300.0; bucketing = Engine.Fifo } in
-            let engine = Engine.of_spec ~policy ~dispatch ~devices spec ~backend:Backend.gpu in
+            let engine = Engine.of_spec ~config:(Engine.Config.make ~policy ~dispatch ~devices ()) spec ~backend:Backend.gpu in
             let s = Engine.run_trace engine strace in
             let a = s.Engine.aggregate in
             let max_util =
@@ -798,7 +891,7 @@ let serving () =
       (fun (label, cache_capacity) ->
         let policy = { Engine.max_batch = 1; max_wait_us = 0.0; bucketing = Engine.Fifo } in
         let engine =
-          Engine.of_spec ~policy ~cache_capacity spec ~backend:Backend.gpu
+          Engine.of_spec ~config:(Engine.Config.make ~policy ~cache_capacity ()) spec ~backend:Backend.gpu
         in
         let s = Engine.run_trace engine ctrace in
         let a = s.Engine.aggregate in
@@ -847,8 +940,11 @@ let chaos () =
   let run ?queue_cap ?rate_rps ~devices ~faults () =
     let devs = List.init devices (fun _ -> Backend.gpu) in
     let engine =
-      Engine.of_spec ~policy ~dispatch:Dispatch.Least_loaded ~devices:devs
-        ?queue_cap ~faults ~seed:42 spec ~backend:Backend.gpu
+      Engine.of_spec
+        ~config:
+          (Engine.Config.make ~policy ~dispatch:Dispatch.Least_loaded ~devices:devs
+             ?queue_cap ~faults ~seed:42 ())
+        spec ~backend:Backend.gpu
     in
     Engine.run_trace engine (trace ~deadline_us:4000.0 ?rate_rps ())
   in
@@ -969,9 +1065,11 @@ let observability () =
   let run ?obs () =
     let policy = { Engine.max_batch = 8; max_wait_us = 300.0; bucketing = Engine.Fifo } in
     let engine =
-      Engine.of_spec ~policy ~dispatch:Dispatch.Least_loaded
-        ~devices:[ Backend.gpu; Backend.gpu ] ~faults ~seed:42 ?obs spec
-        ~backend:Backend.gpu
+      Engine.of_spec
+        ~config:
+          (Engine.Config.make ~policy ~dispatch:Dispatch.Least_loaded
+             ~devices:[ Backend.gpu; Backend.gpu ] ~faults ~seed:42 ?obs ())
+        spec ~backend:Backend.gpu
     in
     Engine.run_trace engine trace
   in
@@ -1065,5 +1163,6 @@ let all =
     ("observability", observability);
     ("tuning", tuning);
     ("autotune", autotune);
+    ("bundle", bundle);
     ("breakdown", debug);
   ]

@@ -95,6 +95,26 @@ let get_spec ?hidden name size =
 let hidden_arg =
   Arg.(value & opt (some int) None & info [ "hidden" ] ~doc:"Override the hidden size")
 
+let config_file_arg =
+  Arg.(value & opt (some file) None
+       & info [ "config" ] ~docv:"FILE"
+           ~doc:"Engine configuration file: Engine.Config key=value lines \
+                 (# comments and blank lines ignored)")
+
+let load_config = function
+  | None -> None
+  | Some path ->
+    let ic = open_in_bin path in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    (match Engine.Config.of_string text with
+     | Ok c -> Some c
+     | Error e ->
+       prerr_endline ("config " ^ path ^ ": " ^ e);
+       exit 1)
+
+let size_name = function Models.Catalog.Small -> "small" | Models.Catalog.Large -> "large"
+
 let dump_ir_cmd =
   let run name size hidden options =
     let spec = get_spec ?hidden name size in
@@ -239,14 +259,134 @@ let tune_cmd =
        ~doc:"Two-level schedule search (recursion options x loop plans) for a model on a backend; prints the ranked plans and re-asserts the winner's feasibility")
     Term.(const run $ model_arg $ size_arg $ batch_arg $ seed_arg $ backend_arg $ budget_arg $ top_arg)
 
+let build_cmd =
+  let out_arg =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Where to write the bundle")
+  in
+  let tune_flag =
+    Arg.(value & flag
+         & info [ "tune" ]
+             ~doc:"Run the loop-schedule search on a sample linearization and bundle the \
+                   winning plan, so serving's first window of that size-class is a cache hit")
+  in
+  let tune_budget_arg =
+    Arg.(value & opt int 16
+         & info [ "tune-budget" ]
+             ~doc:"Candidate plans evaluated when --tune is set (a count, so builds are \
+                   reproducible)")
+  in
+  let run name size batch seed hidden backend options out tune tune_budget config_file =
+    let spec = get_spec ?hidden name size in
+    let options = Runtime.options_for ~base:options spec in
+    let compiled = Runtime.compile ~options spec.M.program in
+    let structure = spec.M.dataset (Rng.create seed) ~batch in
+    let lin = Linearizer.run structure in
+    let plans =
+      if not tune then []
+      else
+        match Tuner.tune_loops ~budget:tune_budget compiled ~backend lin with
+        | [] -> []
+        | ((best_plan, best_report) :: _) as ranked ->
+          let us (r : Runtime.report) = r.Runtime.latency.Backend.total_us in
+          let default_us =
+            match List.find_opt (fun (p, _) -> p = []) ranked with
+            | Some (_, r) -> us r
+            | None -> us best_report
+          in
+          [
+            {
+              Bundle.bp_backend = backend.Backend.short;
+              bp_bucket = Dispatch.size_bucket lin.Linearizer.num_nodes;
+              bp_plan = best_plan;
+              bp_default_us = default_us;
+              bp_tuned_us = us best_report;
+            };
+          ]
+    in
+    let weights = Checkpoint.of_spec spec ~seed in
+    let config =
+      match load_config config_file with
+      | None -> ""
+      | Some c -> Engine.Config.to_string c
+    in
+    let b =
+      Bundle.create ~config ~plans ~weights ~model:name ~size:(size_name size)
+        ~backend:backend.Backend.short compiled
+    in
+    (* The bundle's own manifest numbers are static (compile-time
+       constant extents only); the sample linearization's UF resolver
+       also gives the concrete planned-vs-worst footprint, recorded as
+       extra manifest entries. *)
+    let bound = Lower.bind compiled lin in
+    let mp =
+      Mem_plan.plan ~uf:bound.Lower.uf_resolver
+        ~spaces:[ Ir.Shared; Ir.Register ] compiled.Lower.prog
+    in
+    let b =
+      Bundle.with_manifest b
+        [
+          ("sample_nodes", string_of_int lin.Linearizer.num_nodes);
+          ("resolved_planned_onchip_bytes", string_of_int mp.Mem_plan.arena_bytes);
+          ("resolved_worst_onchip_bytes", string_of_int mp.Mem_plan.worst_bytes);
+        ]
+    in
+    Bundle.save out b;
+    Printf.printf "%s: %s/%s for %s, %d bytes, digest %s\n" out name (size_name size)
+      backend.Backend.short
+      (String.length (Bundle.encode b))
+      b.Bundle.b_digest;
+    Printf.printf "  plans: %d, weights: %d tensors\n" (List.length plans)
+      (List.length weights);
+    Printf.printf
+      "  on-chip: planned %d / worst %d bytes static, %d / %d resolved on %d sample nodes\n"
+      b.Bundle.b_planned_onchip_bytes b.Bundle.b_worst_onchip_bytes mp.Mem_plan.arena_bytes
+      mp.Mem_plan.worst_bytes lin.Linearizer.num_nodes
+  in
+  Cmd.v
+    (Cmd.info "build"
+       ~doc:"Ahead-of-time compile a model into a serving bundle: the lowered program, \
+             optionally a tuned loop plan, and the seeded parameter table")
+    Term.(
+      const run $ model_arg $ size_arg $ batch_arg $ seed_arg $ hidden_arg $ backend_arg
+      $ options_flags $ out_arg $ tune_flag $ tune_budget_arg $ config_file_arg)
+
+let inspect_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Bundle file to inspect.")
+  in
+  let run file =
+    match Bundle.inspect file with
+    | info -> print_string (Bundle.info_to_string info)
+    | exception Bundle.Error e ->
+      prerr_endline (file ^ ": " ^ Bundle.error_to_string e);
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:"Validate a bundle's header bounds and content digest and print its manifest, \
+             sections, tuned plans and weight shapes — without unmarshalling the program")
+    Term.(const run $ file_arg)
+
 let serve_cmd =
   let rps_arg = Arg.(value & opt float 2000.0 & info [ "rps" ] ~doc:"Offered load, requests per second") in
   let duration_arg = Arg.(value & opt float 50.0 & info [ "duration-ms" ] ~doc:"Simulated trace duration") in
-  let max_batch_arg = Arg.(value & opt int 8 & info [ "max-batch" ] ~doc:"Close a batch window at this many requests") in
-  let max_wait_arg = Arg.(value & opt float 200.0 & info [ "max-wait-us" ] ~doc:"Close a partial window after this wait") in
+  let max_batch_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-batch" ] ~doc:"Close a batch window at this many requests (default 8)")
+  in
+  let max_wait_arg =
+    Arg.(value & opt (some float) None
+         & info [ "max-wait-us" ] ~doc:"Close a partial window after this wait (default 200)")
+  in
   let bucketed_arg = Arg.(value & flag & info [ "bucketed" ] ~doc:"Bucket windows by request size (power-of-two node counts) instead of FIFO") in
   let devices_arg =
-    Arg.(value & opt int 1 & info [ "devices" ] ~doc:"Shard the engine across this many copies of --backend")
+    Arg.(value & opt (some int) None
+         & info [ "devices" ] ~doc:"Shard the engine across this many copies of --backend (default 1)")
+  in
+  let serve_seed_arg =
+    Arg.(value & opt (some int) None
+         & info [ "seed" ] ~doc:"Trace/fault/parameter seed (default 2021)")
   in
   let device_list_arg =
     Arg.(value & opt (some string) None
@@ -260,8 +400,8 @@ let serve_cmd =
       | None -> Error (`Msg ("unknown dispatch policy " ^ s))
     in
     let print fmt p = Format.pp_print_string fmt (Dispatch.policy_to_string p) in
-    Arg.(value & opt (conv (parse, print)) Dispatch.Round_robin
-         & info [ "dispatch" ] ~doc:"round-robin | least-loaded | size-affinity")
+    Arg.(value & opt (some (conv (parse, print))) None
+         & info [ "dispatch" ] ~doc:"round-robin | least-loaded | size-affinity (default round-robin)")
   in
   let backend_of_name s =
     match String.lowercase_ascii (String.trim s) with
@@ -312,35 +452,79 @@ let serve_cmd =
                    the plan report below is a pure function of (seed, trace)")
   in
   let tune_budget_arg =
-    Arg.(value & opt int 16
-         & info [ "tune-budget" ] ~doc:"Candidate plans evaluated per size-class (a count, not wall time)")
+    Arg.(value & opt (some int) None
+         & info [ "tune-budget" ]
+             ~doc:"Candidate plans evaluated per size-class (a count, not wall time; default 16)")
+  in
+  let bundle_arg =
+    Arg.(value & opt (some file) None
+         & info [ "bundle" ] ~docv:"FILE"
+             ~doc:"Serve from an ahead-of-time bundle (`cortex build') instead of compiling: \
+                   the artifact is installed as-is and zero lowering passes run")
   in
   let run name size seed backend options rps duration_ms max_batch max_wait_us bucketed
       num_devices device_list dispatch faults deadline_us queue_cap degrade_watermark
-      profile metrics logical_clock autotune tune_budget =
+      profile metrics logical_clock autotune tune_budget bundle config_file =
     let spec = get_spec name size in
+    (* Precedence: an explicit CLI flag > the --config file > the
+       built-in default.  Flags that used to carry eager defaults are
+       optional here so leaving them off genuinely defers to the file
+       (with no file, [Config.default] restores the historical
+       behaviour). *)
+    let file_cfg = load_config config_file in
+    let base = Option.value file_cfg ~default:Engine.Config.default in
+    let base_batching = base.Engine.Config.dispatch.Engine.Config.batching in
     let policy =
       {
-        Engine.max_batch;
-        max_wait_us;
-        bucketing = (if bucketed then Engine.By_size else Engine.Fifo);
+        Engine.max_batch = Option.value max_batch ~default:base_batching.Engine.max_batch;
+        max_wait_us = Option.value max_wait_us ~default:base_batching.Engine.max_wait_us;
+        bucketing = (if bucketed then Engine.By_size else base_batching.Engine.bucketing);
       }
     in
-    let devices =
-      match device_list with
-      | Some list -> List.map backend_of_name (String.split_on_char ',' list)
+    let seed =
+      match seed with
+      | Some s -> s
       | None ->
-        if num_devices < 1 then invalid_arg "--devices must be >= 1";
-        List.init num_devices (fun _ -> backend)
+        (match file_cfg with
+         | Some c -> c.Engine.Config.reliability.Engine.Config.seed
+         | None -> 2021)
     in
+    let dispatch =
+      Option.value dispatch ~default:base.Engine.Config.dispatch.Engine.Config.selection
+    in
+    let devices =
+      match (device_list, num_devices) with
+      | Some list, _ -> List.map backend_of_name (String.split_on_char ',' list)
+      | None, Some n ->
+        if n < 1 then invalid_arg "--devices must be >= 1";
+        List.init n (fun _ -> backend)
+      | None, None ->
+        (match base.Engine.Config.dispatch.Engine.Config.devices with
+         | Some ds -> ds
+         | None -> [ backend ])
+    in
+    (* The option flags build a record from [Lower.default]; if none was
+       given, defer to the file's [compile.options]. *)
+    let options = if options = Lower.default then None else Some options in
     let obs =
       if profile <> None || metrics then
         Some (Obs.create ~clock:(if logical_clock then Obs.Logical else Obs.Measured) ())
       else None
     in
+    let config =
+      Engine.Config.make ~base ~policy ?options ~dispatch ~devices ?queue_cap
+        ?degrade_watermark ?faults ~seed ?obs
+        ~autotune:(autotune || base.Engine.Config.tuning.Engine.Config.autotune)
+        ?tune_budget ()
+    in
     let engine =
-      Engine.of_spec ~policy ~base:options ~dispatch ~devices ?queue_cap
-        ?degrade_watermark ?faults ~seed ?obs ~autotune ~tune_budget spec ~backend
+      try
+        match bundle with
+        | Some file -> Engine.of_bundle ~config ~expect_model:name (Bundle.load file) ~backend
+        | None -> Engine.of_spec ~config spec ~backend
+      with Bundle.Error e ->
+        prerr_endline ("bundle: " ^ Bundle.error_to_string e);
+        exit 1
     in
     let trace =
       Trace.poisson ?deadline_us (Rng.create seed) ~rate_rps:rps ~duration_ms
@@ -352,7 +536,8 @@ let serve_cmd =
       name
       (String.concat "+" (List.map (fun (b : Backend.t) -> b.Backend.short) devices))
       a.Engine.num_requests (Trace.num_nodes trace) duration_ms
-      max_batch max_wait_us (if bucketed then "by-size" else "fifo");
+      policy.Engine.max_batch policy.Engine.max_wait_us
+      (match policy.Engine.bucketing with Engine.By_size -> "by-size" | Engine.Fifo -> "fifo");
     Printf.printf "  %d windows (mean %.1f req/window), throughput %.0f req/s, dispatch %s\n"
       a.Engine.num_windows a.Engine.mean_window a.Engine.throughput_rps
       (Dispatch.policy_to_string dispatch);
@@ -437,11 +622,11 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Replay a synthetic Poisson trace through the (optionally sharded) serving engine and report latency/throughput")
     Term.(
-      const run $ model_arg $ size_arg $ seed_arg $ backend_arg $ options_flags $ rps_arg
+      const run $ model_arg $ size_arg $ serve_seed_arg $ backend_arg $ options_flags $ rps_arg
       $ duration_arg $ max_batch_arg $ max_wait_arg $ bucketed_arg $ devices_arg
       $ device_list_arg $ dispatch_arg $ faults_arg $ deadline_arg $ queue_cap_arg
       $ watermark_arg $ profile_arg $ metrics_arg $ logical_clock_arg $ autotune_arg
-      $ tune_budget_arg)
+      $ tune_budget_arg $ bundle_arg $ config_file_arg)
 
 let validate_trace_cmd =
   let file_arg =
@@ -474,4 +659,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; dump_ir_cmd; dump_c_cmd; simulate_cmd; run_cmd; linearize_cmd; tune_cmd;
-            serve_cmd; validate_trace_cmd ]))
+            build_cmd; inspect_cmd; serve_cmd; validate_trace_cmd ]))

@@ -73,7 +73,7 @@ let () =
      schedules. *)
   let reference = Ra_eval.run model ~params structure in
   let check options label =
-    let engine = Engine.create ~options ~model ~backend:Backend.gpu () in
+    let engine = Engine.create ~config:(Engine.Config.make ~options ()) ~model ~backend:Backend.gpu () in
     let fx = Engine.execute_one engine ~params structure in
     let worst =
       List.fold_left
@@ -102,7 +102,7 @@ let () =
     ]
   in
   let eval options =
-    let engine = Engine.create ~options ~model ~backend:Backend.gpu () in
+    let engine = Engine.create ~config:(Engine.Config.make ~options ()) ~model ~backend:Backend.gpu () in
     Runtime.total_ms (Engine.run_one engine structure)
   in
   let best, best_ms = Runtime.grid_search ~candidates ~eval in

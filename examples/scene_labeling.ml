@@ -60,7 +60,7 @@ let () =
 
   (* Specialization is a no-op for DAGs with one leaf (§7.3): *)
   let ms base =
-    Runtime.total_ms (Engine.run_one (Engine.of_spec ~base spec ~backend:Backend.gpu) grid)
+    Runtime.total_ms (Engine.run_one (Engine.of_spec ~config:(Engine.Config.make ~options:base ()) spec ~backend:Backend.gpu) grid)
   in
   Printf.printf "simulated V100: specialized %.3f ms vs unspecialized %.3f ms (expected ~equal)\n"
     (ms Lower.default)

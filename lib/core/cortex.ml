@@ -24,6 +24,7 @@ module Races = Cortex_ilir.Races
 module Emit_c = Cortex_ilir.Emit_c
 module Interp = Cortex_ilir.Interp
 module Cost = Cortex_ilir.Cost
+module Mem_plan = Cortex_ilir.Mem_plan
 module Ra = Cortex_ra.Ra
 module Ra_eval = Cortex_ra.Ra_eval
 module Ra_simplify = Cortex_ra.Ra_simplify
@@ -32,6 +33,7 @@ module Backend = Cortex_backend.Backend
 module Runtime = Cortex_runtime.Runtime
 module Tuner = Cortex_runtime.Tuner
 module Checkpoint = Cortex_runtime.Checkpoint
+module Bundle = Cortex_bundle.Bundle
 module Engine = Cortex_serve.Engine
 module Dispatch = Cortex_serve.Dispatch
 module Fault = Cortex_serve.Fault

@@ -27,6 +27,7 @@ type t = {
   param_sizes : (int * float) list;  (* bytes per Param tensor id *)
   barrier_count : int;
   onchip_peak_bytes : float;  (* Shared/Register temporary footprint *)
+  onchip_planned_bytes : float;  (* same buffers, liveness-packed (Mem_plan) *)
 }
 
 (* Mutable accumulator for the segment being built. *)
@@ -297,12 +298,22 @@ let analyze ~uf ~num_internal_batches (p : program) =
         | Param | Global -> acc)
       0.0 p.temporaries
   in
+  (* The same buffers, liveness-packed: temporaries whose live ranges
+     never intersect share arena space, so the planned footprint is
+     what must actually be resident together.  Always <= the worst
+     case above, so switching the capacity check to it only admits
+     schedules. *)
+  let onchip_planned_bytes =
+    float_of_int
+      (Mem_plan.plan ~bytes_per_elem ~spaces:[ Shared; Register ] p).Mem_plan.arena_bytes
+  in
   {
     kernels;
     param_total_bytes = !total_params;
     param_sizes;
     barrier_count = dummy_state.barriers;
     onchip_peak_bytes;
+    onchip_planned_bytes;
   }
 
 let total_flops t =

@@ -48,6 +48,13 @@ type t = {
           capacity for schedule feasibility.  Scratch whose extent
           depends on the linearized input is streamed, not resident,
           and is priced through on-chip bandwidth instead *)
+  onchip_planned_bytes : float;
+      (** the same buffers after static memory planning
+          ({!Mem_plan.plan}): temporaries whose live ranges never
+          intersect share arena space, so this is the footprint that
+          must actually be resident together.  Always
+          [<= onchip_peak_bytes]; capacity feasibility checks use
+          this *)
 }
 
 val bytes_per_elem : int

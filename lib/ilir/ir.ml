@@ -216,6 +216,47 @@ let subst_var v replacement =
 let subst_var_stmt v replacement s =
   map_stmt ~expr:(function Var v' when Var.equal v v' -> Some replacement | _ -> None) s
 
+(* A program read back from a bundle carries the dim/var/uf/tensor ids
+   it was compiled with.  Advance the global counters past every id it
+   uses, or the next [fresh] in this process (a staging tensor added by
+   [Lower.apply_plan], a split loop's new var) could collide with an
+   unmarshalled id and alias a distinct object in every id-keyed
+   table. *)
+let claim_ids (p : program) =
+  let claim r id = if id > !r then r := id in
+  let claim_dim (d : Dim.t) = claim Dim.counter d.Dim.did in
+  let claim_var (v : Var.t) = claim Var.counter v.Var.vid in
+  let claim_uf (u : Uf.t) = claim Uf.counter u.Uf.uid in
+  let rec claim_tensor t =
+    claim tensor_counter t.tid;
+    List.iter claim_dim t.dims;
+    List.iter (fold_expr claim_expr ()) t.extents
+  and claim_expr () e =
+    match e with
+    | Var v -> claim_var v
+    | Load (t, _) -> claim_tensor t
+    | UfCall (u, _) -> claim_uf u
+    | _ -> ()
+  in
+  let claim_stmt () s =
+    match s with
+    | For { v; dim; _ } ->
+      claim_var v;
+      Option.iter claim_dim dim
+    | Let (v, _, _) -> claim_var v
+    | Store (t, _, _) -> claim_tensor t
+    | _ -> ()
+  in
+  List.iter claim_tensor p.params;
+  List.iter claim_tensor p.inputs;
+  List.iter claim_tensor p.temporaries;
+  List.iter claim_tensor p.outputs;
+  List.iter
+    (fun k ->
+      (match k.launch with PerInternalBatch v -> claim_var v | Once -> ());
+      fold_stmt ~expr:claim_expr ~stmt:claim_stmt () k.body)
+    p.kernels
+
 (* ---------- pretty printing ---------- *)
 
 let binop_name = function

@@ -147,6 +147,13 @@ val map_stmt :
 val subst_var : Var.t -> expr -> expr -> expr
 val subst_var_stmt : Var.t -> expr -> stmt -> stmt
 
+val claim_ids : program -> unit
+(** Advance the global dim/var/uf/tensor id counters past every id the
+    program uses.  Call after deserializing a program (bundle load): the
+    next [fresh] in this process must not collide with an id baked into
+    the deserialized program, or two distinct objects would alias in the
+    id-keyed tables the interpreter and schedulers build. *)
+
 (** {2 Printing} *)
 
 val binop_name : binop -> string

@@ -47,6 +47,93 @@ let default =
 let baseline =
   { default with specialize = false; fuse = false; persist = false }
 
+(* Canonical textual form for options, round-tripping through bundle
+   manifests and engine config files.  Comma-joined tokens: a flag name
+   present means the boolean is on; [publish=a|b] carries the
+   refactoring publication list; [keep_barrier] and
+   [barrier=conservative] mark the non-default barrier settings.  The
+   empty token list (printed ["none"]) is all-off; [default] names
+   {!default}. *)
+let options_to_string o =
+  if o = default then "default"
+  else begin
+    let toks = ref [] in
+    let add tok = toks := tok :: !toks in
+    if o.dynamic_batch then add "dynamic_batch";
+    if o.specialize then add "specialize";
+    if o.fuse then add "fuse";
+    if o.persist then add "persist";
+    if o.unroll then add "unroll";
+    if o.block_local_unroll then add "block_local_unroll";
+    if o.refactor then add "refactor";
+    if o.refactor_publish <> [] then
+      add ("publish=" ^ String.concat "|" o.refactor_publish);
+    if not o.refactor_removes_barrier then add "keep_barrier";
+    if o.barrier_mode = Barrier.Conservative then add "barrier=conservative";
+    match List.rev !toks with [] -> "none" | toks -> String.concat "," toks
+  end
+
+let options_of_string s =
+  let s = String.trim s in
+  if s = "default" then Some default
+  else if s = "none" || s = "" then
+    Some
+      {
+        dynamic_batch = false;
+        specialize = false;
+        fuse = false;
+        persist = false;
+        unroll = false;
+        block_local_unroll = false;
+        refactor = false;
+        refactor_publish = [];
+        refactor_removes_barrier = true;
+        barrier_mode = Barrier.Carrier;
+      }
+  else begin
+    let o =
+      ref
+        {
+          dynamic_batch = false;
+          specialize = false;
+          fuse = false;
+          persist = false;
+          unroll = false;
+          block_local_unroll = false;
+          refactor = false;
+          refactor_publish = [];
+          refactor_removes_barrier = true;
+          barrier_mode = Barrier.Carrier;
+        }
+    in
+    let ok = ref true in
+    List.iter
+      (fun tok ->
+        match String.trim tok with
+        | "" -> ()
+        | "dynamic_batch" -> o := { !o with dynamic_batch = true }
+        | "specialize" -> o := { !o with specialize = true }
+        | "fuse" -> o := { !o with fuse = true }
+        | "persist" -> o := { !o with persist = true }
+        | "unroll" -> o := { !o with unroll = true }
+        | "block_local_unroll" -> o := { !o with block_local_unroll = true }
+        | "refactor" -> o := { !o with refactor = true }
+        | "keep_barrier" -> o := { !o with refactor_removes_barrier = false }
+        | "barrier=conservative" -> o := { !o with barrier_mode = Barrier.Conservative }
+        | "barrier=carrier" -> o := { !o with barrier_mode = Barrier.Carrier }
+        | tok when String.length tok > 8 && String.sub tok 0 8 = "publish=" ->
+          let names = String.sub tok 8 (String.length tok - 8) in
+          o :=
+            {
+              !o with
+              refactor_publish =
+                String.split_on_char '|' names |> List.filter (fun n -> n <> "");
+            }
+        | _ -> ok := false)
+      (String.split_on_char ',' s);
+    if !ok then Some !o else None
+  end
+
 type ufs = {
   u_num_nodes : Ir.Uf.t;
   u_num_leaves : Ir.Uf.t;

@@ -63,6 +63,18 @@ val baseline : options
 (** Everything off except dynamic batching — the leftmost bar of
     Fig. 10a. *)
 
+val options_to_string : options -> string
+(** Canonical textual form: comma-joined flag tokens
+    (e.g. ["dynamic_batch,specialize,fuse,persist"]), plus
+    [publish=a|b], [keep_barrier] and [barrier=conservative] for the
+    non-default settings.  {!default} prints as ["default"], the
+    all-off record as ["none"].  Round-trips through
+    {!options_of_string}; bundle manifests and [Engine.Config] files
+    store this form. *)
+
+val options_of_string : string -> options option
+(** Inverse of {!options_to_string}; [None] on an unknown token. *)
+
 type ufs = {
   u_num_nodes : Ir.Uf.t;
   u_num_leaves : Ir.Uf.t;

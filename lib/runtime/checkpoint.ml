@@ -2,77 +2,133 @@ module Tensor = Cortex_tensor.Tensor
 module M = Cortex_models.Models_common
 
 type t = (string * Tensor.t) list
+type manifest = (string * int array) list
 
 exception Corrupt of string
 
 let magic = "CORTEXP1"
 
-let write_i64 oc v =
+(* ---------- writing ---------- *)
+
+let buf_i64 buf v =
   let b = Bytes.create 8 in
   Bytes.set_int64_le b 0 (Int64.of_int v);
-  output_bytes oc b
+  Buffer.add_bytes buf b
 
-let write_f64 oc v =
+let buf_f64 buf v =
   let b = Bytes.create 8 in
   Bytes.set_int64_le b 0 (Int64.bits_of_float v);
-  output_bytes oc b
+  Buffer.add_bytes buf b
 
-let read_exactly ic n =
-  let b = Bytes.create n in
-  (try really_input ic b 0 n with End_of_file -> raise (Corrupt "truncated checkpoint"));
-  b
-
-let read_i64 ic = Int64.to_int (Bytes.get_int64_le (read_exactly ic 8) 0)
-let read_f64 ic = Int64.float_of_bits (Bytes.get_int64_le (read_exactly ic 8) 0)
-
-let write oc (table : t) =
-  output_string oc magic;
-  write_i64 oc (List.length table);
+let add_to_buffer buf (table : t) =
+  Buffer.add_string buf magic;
+  buf_i64 buf (List.length table);
   List.iter
     (fun (name, tensor) ->
-      write_i64 oc (String.length name);
-      output_string oc name;
+      buf_i64 buf (String.length name);
+      Buffer.add_string buf name;
       let shape = (tensor : Tensor.t).Tensor.shape in
-      write_i64 oc (Array.length shape);
-      Array.iter (write_i64 oc) shape;
+      buf_i64 buf (Array.length shape);
+      Array.iter (buf_i64 buf) shape;
       for i = 0 to Tensor.numel tensor - 1 do
-        write_f64 oc (Tensor.get_flat tensor i)
+        buf_f64 buf (Tensor.get_flat tensor i)
       done)
     table
 
-(* Bytes left in the channel, when it is seekable (a pipe or socket is
-   not — there we fall back to the static caps and let [read_exactly]
-   catch the truncation).  Every count read from the header is bounded
-   against this before any allocation: a bit-flipped count or extent
-   must not drive a gigabyte [Tensor.zeros] or a 10^6-iteration loop
-   over a 100-byte file. *)
-let remaining ic =
-  try Some (in_channel_length ic - pos_in ic) with Sys_error _ -> None
+let to_string table =
+  let buf = Buffer.create 4096 in
+  add_to_buffer buf table;
+  Buffer.contents buf
 
-let check_remaining ic ~need what =
-  match remaining ic with
+let write oc (table : t) =
+  let buf = Buffer.create 4096 in
+  add_to_buffer buf table;
+  Buffer.output_buffer oc buf
+
+(* ---------- reading ---------- *)
+
+(* One reader over two byte sources (a channel and an in-memory string
+   — bundles embed checkpoints as a section).  [src_remaining] is the
+   hardening hook: every count read from the header is bounded against
+   the bytes actually left before any allocation, so a bit-flipped
+   count or extent fails fast with {!Corrupt} instead of driving a
+   gigabyte [Tensor.zeros] or a 10^6-iteration loop over a 100-byte
+   file.  A non-seekable channel reports [None] and falls back to the
+   static caps plus [read_exactly]'s truncation check. *)
+type src = {
+  src_read : int -> Bytes.t;
+  src_remaining : unit -> int option;
+  src_skip : int -> unit;
+}
+
+let src_of_channel ic =
+  let read n =
+    let b = Bytes.create n in
+    (try really_input ic b 0 n
+     with End_of_file -> raise (Corrupt "truncated checkpoint"));
+    b
+  in
+  {
+    src_read = read;
+    src_remaining =
+      (fun () -> try Some (in_channel_length ic - pos_in ic) with Sys_error _ -> None);
+    src_skip =
+      (fun n ->
+        try seek_in ic (pos_in ic + n)
+        with Sys_error _ -> ignore (read n));
+  }
+
+let src_of_string s =
+  let pos = ref 0 in
+  let need n =
+    if n < 0 || !pos + n > String.length s then raise (Corrupt "truncated checkpoint")
+  in
+  {
+    src_read =
+      (fun n ->
+        need n;
+        let b = Bytes.of_string (String.sub s !pos n) in
+        pos := !pos + n;
+        b);
+    src_remaining = (fun () -> Some (String.length s - !pos));
+    src_skip =
+      (fun n ->
+        need n;
+        pos := !pos + n);
+  }
+
+let read_i64 src = Int64.to_int (Bytes.get_int64_le (src.src_read 8) 0)
+let read_f64 src = Int64.float_of_bits (Bytes.get_int64_le (src.src_read 8) 0)
+
+let check_remaining src ~need what =
+  match src.src_remaining () with
   | Some left when need > left ->
     raise
       (Corrupt
          (Printf.sprintf "%s: %d bytes claimed, %d left in the file" what need left))
   | _ -> ()
 
-let read ic =
-  let m = Bytes.to_string (read_exactly ic (String.length magic)) in
+(* The shared walk.  [payload] decides whether the float data is
+   materialized ([read]) or skipped in place ([read_manifest] — names
+   and shapes only, no copy of the tensor payloads). *)
+let parse ~payload src =
+  let m = Bytes.to_string (src.src_read (String.length magic)) in
   if m <> magic then raise (Corrupt ("bad magic " ^ m));
-  let count = read_i64 ic in
+  let count = read_i64 src in
   if count < 0 || count > 1_000_000 then raise (Corrupt "implausible tensor count");
   (* Each tensor needs at least name_len + rank + one payload word. *)
-  check_remaining ic ~need:(count * 24) "tensor count";
+  check_remaining src ~need:(count * 24) "tensor count";
   List.init count (fun _ ->
-      let name_len = read_i64 ic in
+      let name_len = read_i64 src in
       if name_len < 0 || name_len > 4096 then raise (Corrupt "implausible name length");
-      check_remaining ic ~need:name_len "name length";
-      let name = Bytes.to_string (read_exactly ic name_len) in
-      let rank = read_i64 ic in
+      check_remaining src ~need:name_len "name length";
+      let name = Bytes.to_string (src.src_read name_len) in
+      let rank = read_i64 src in
       if rank < 0 || rank > 8 then raise (Corrupt "implausible rank");
-      let shape = Array.init rank (fun _ -> read_i64 ic) in
-      Array.iter (fun d -> if d <= 0 || d > 100_000_000 then raise (Corrupt "bad extent")) shape;
+      let shape = Array.init rank (fun _ -> read_i64 src) in
+      Array.iter
+        (fun d -> if d <= 0 || d > 100_000_000 then raise (Corrupt "bad extent"))
+        shape;
       let numel =
         Array.fold_left
           (fun acc d ->
@@ -80,12 +136,35 @@ let read ic =
             acc * d)
           1 shape
       in
-      check_remaining ic ~need:(numel * 8) "tensor payload";
-      let tensor = Tensor.zeros shape in
-      for i = 0 to numel - 1 do
-        Tensor.set_flat tensor i (read_f64 ic)
-      done;
-      (name, tensor))
+      check_remaining src ~need:(numel * 8) "tensor payload";
+      if payload then begin
+        let tensor = Tensor.zeros shape in
+        for i = 0 to numel - 1 do
+          Tensor.set_flat tensor i (read_f64 src)
+        done;
+        (name, shape, Some tensor)
+      end
+      else begin
+        src.src_skip (numel * 8);
+        (name, shape, None)
+      end)
+
+let table_of_parse entries =
+  List.map
+    (fun (name, _, tensor) ->
+      match tensor with
+      | Some t -> (name, t)
+      | None -> raise (Corrupt "missing payload"))
+    entries
+
+let manifest_of_parse entries = List.map (fun (name, shape, _) -> (name, shape)) entries
+
+let read ic = table_of_parse (parse ~payload:true (src_of_channel ic))
+let read_manifest ic = manifest_of_parse (parse ~payload:false (src_of_channel ic))
+let of_string s = table_of_parse (parse ~payload:true (src_of_string s))
+
+let manifest_of_string s =
+  manifest_of_parse (parse ~payload:false (src_of_string s))
 
 let save path table =
   let oc = open_out_bin path in

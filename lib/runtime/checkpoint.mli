@@ -7,13 +7,24 @@
     be shipped with an application.  Format: a magic string, a tensor
     count, then per tensor its name, shape and row-major float64
     payload, all little-endian.  The format is independent of the host's
-    OCaml version (no [Marshal]). *)
+    OCaml version (no [Marshal]).
+
+    One hardened reader serves both byte sources: files ({!read},
+    {!read_manifest}) and in-memory strings ({!of_string},
+    {!manifest_of_string} — bundles embed a checkpoint as a section). *)
 
 type t = (string * Cortex_tensor.Tensor.t) list
+
+type manifest = (string * int array) list
+(** Parameter names and shapes, without the payloads. *)
 
 exception Corrupt of string
 
 val write : out_channel -> t -> unit
+
+val to_string : t -> string
+(** The serialized bytes as a string (what {!write} would emit). *)
+
 val read : in_channel -> t
 (** Raises {!Corrupt} on bad magic or truncated data.  Hardened against
     adversarial headers: tensor counts, name lengths and payload sizes
@@ -21,6 +32,16 @@ val read : in_channel -> t
     (when it is seekable) {e before} any allocation, and the extent
     product is overflow-checked — a bit-flipped header fails fast with
     {!Corrupt} instead of attempting a huge allocation. *)
+
+val read_manifest : in_channel -> manifest
+(** Names and shapes only — payloads are seek-skipped, never copied.
+    Same hardening and {!Corrupt} behaviour as {!read}. *)
+
+val of_string : string -> t
+(** {!read} from in-memory bytes. *)
+
+val manifest_of_string : string -> manifest
+(** {!read_manifest} from in-memory bytes. *)
 
 val save : string -> t -> unit
 (** Write to a file path. *)

@@ -122,14 +122,20 @@ module Schedule_check = struct
       end
     end
 
-  (* On-chip capacity feasibility: persisted weights plus every
-     Shared/Register temporary (caches, staging buffers, accumulators)
-     must fit the backend's on-chip storage. *)
+  (* On-chip capacity feasibility: persisted weights plus the
+     Shared/Register temporaries (caches, staging buffers,
+     accumulators) must fit the backend's on-chip storage.  The
+     temporaries are charged at their liveness-planned footprint
+     ([Cost.onchip_planned_bytes], the Mem_plan arena high-water mark),
+     not the sum-of-buffers worst case: buffers whose live ranges never
+     intersect share arena space, so only the planned peak must be
+     resident at once.  Planned <= worst always, so the switch only
+     admits schedules. *)
   let check_capacity ~backend (options : Lower.options) ~(cost : Cost.t) =
     let persisted =
       if options.Lower.persist then Backend.persisted_bytes backend cost else 0.0
     in
-    let demand = persisted +. cost.Cost.onchip_peak_bytes in
+    let demand = persisted +. cost.Cost.onchip_planned_bytes in
     if demand > backend.Backend.onchip_capacity_bytes then
       Invalid
         (Printf.sprintf "on-chip demand %.0f bytes exceeds capacity %.0f bytes"

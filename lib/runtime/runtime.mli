@@ -131,10 +131,14 @@ module Schedule_check : sig
     cost:Cost.t ->
     verdict
   (** On-chip capacity feasibility of a (possibly plan-scheduled)
-      program: persisted weights plus the Shared/Register temporary
-      footprint ([Cost.onchip_peak_bytes], which includes staging
-      buffers added by [Lower.apply_plan]) must fit the backend's
-      [onchip_capacity_bytes]. *)
+      program: persisted weights plus the liveness-planned
+      Shared/Register temporary footprint
+      ([Cost.onchip_planned_bytes], the {!Cortex_ilir.Mem_plan} arena
+      high-water mark over all temporaries, staging buffers added by
+      [Lower.apply_plan] included) must fit the backend's
+      [onchip_capacity_bytes].  Buffers whose live ranges never
+      intersect share arena space, so this admits schedules the
+      sum-of-buffers worst case would reject. *)
 end
 
 val grid_search :

@@ -11,6 +11,7 @@ module M = Cortex_models.Models_common
 module Obs = Cortex_obs.Obs
 module Metrics = Cortex_obs.Metrics
 module CT = Cortex_obs.Chrome_trace
+module Bundle = Cortex_bundle.Bundle
 
 (* ---------- policies ---------- *)
 
@@ -47,6 +48,288 @@ let error_to_string = function
       "unsorted trace: event %d arrives at %g us after an event at %g us" index
       at_us prev_us
 
+(* ---------- configuration ---------- *)
+
+module Config = struct
+  (* One record for everything [create] used to take as fifteen
+     labelled optional arguments, grouped by concern.  [default] is the
+     old all-defaults engine; [make] is the migration bridge with the
+     old labels.  Runtime objects ([obs], [params]) live in the record
+     but are not serialized. *)
+
+  type compile = {
+    options : Lower.options option;  (* None = Lower.default *)
+    lock_free : bool;
+    params : (string -> Tensor.t) option;  (* enables numeric serving *)
+  }
+
+  type dispatch = {
+    batching : policy;
+    selection : Dispatch.policy;  (* which device a window lands on *)
+    devices : Backend.t list option;  (* None = [backend] at create *)
+    cache_capacity : int option;  (* shape-cache entries; None = unbounded *)
+  }
+
+  type reliability = {
+    queue_cap : int option;
+    degrade_watermark : int option;
+    faults : Fault.spec option;
+    seed : int;
+    retry : Fault.retry;
+  }
+
+  type observability = { obs : Obs.t option }
+  type tuning = { autotune : bool; tune_budget : int option }
+
+  type t = {
+    compile : compile;
+    dispatch : dispatch;
+    reliability : reliability;
+    observability : observability;
+    tuning : tuning;
+  }
+
+  let default =
+    {
+      compile = { options = None; lock_free = false; params = None };
+      dispatch =
+        {
+          batching = default_policy;
+          selection = Dispatch.Round_robin;
+          devices = None;
+          cache_capacity = None;
+        };
+      reliability =
+        {
+          queue_cap = None;
+          degrade_watermark = None;
+          faults = None;
+          seed = 0;
+          retry = Fault.default_retry;
+        };
+      observability = { obs = None };
+      tuning = { autotune = false; tune_budget = None };
+    }
+
+  let make ?(base = default) ?policy ?options ?lock_free ?dispatch ?devices
+      ?cache_capacity ?queue_cap ?degrade_watermark ?faults ?seed ?retry ?params
+      ?obs ?autotune ?tune_budget () =
+    let keep opt prev = match opt with Some _ -> opt | None -> prev in
+    {
+      compile =
+        {
+          options = keep options base.compile.options;
+          lock_free = Option.value lock_free ~default:base.compile.lock_free;
+          params = keep params base.compile.params;
+        };
+      dispatch =
+        {
+          batching = Option.value policy ~default:base.dispatch.batching;
+          selection = Option.value dispatch ~default:base.dispatch.selection;
+          devices = keep devices base.dispatch.devices;
+          cache_capacity = keep cache_capacity base.dispatch.cache_capacity;
+        };
+      reliability =
+        {
+          queue_cap = keep queue_cap base.reliability.queue_cap;
+          degrade_watermark = keep degrade_watermark base.reliability.degrade_watermark;
+          faults = keep faults base.reliability.faults;
+          seed = Option.value seed ~default:base.reliability.seed;
+          retry = Option.value retry ~default:base.reliability.retry;
+        };
+      observability = { obs = keep obs base.observability.obs };
+      tuning =
+        {
+          autotune = Option.value autotune ~default:base.tuning.autotune;
+          tune_budget = keep tune_budget base.tuning.tune_budget;
+        };
+    }
+
+  (* Textual form: key=value lines, deterministic order, omitting unset
+     optionals.  [obs] and [params] are runtime objects and are not
+     serialized; parsing never sets them.  Bundles store this text on a
+     single manifest line with tabs for newlines — [of_string] accepts
+     both separators (no legitimate value contains a tab; fault specs
+     contain ';' and publication lists '|', so neither of those can
+     separate). *)
+
+  let bucketing_to_string = function Fifo -> "fifo" | By_size -> "by_size"
+
+  let to_string c =
+    let buf = Buffer.create 256 in
+    let line k v = Buffer.add_string buf (k ^ "=" ^ v ^ "\n") in
+    let p = c.dispatch.batching in
+    line "max_batch" (string_of_int p.max_batch);
+    line "max_wait_us" (Printf.sprintf "%g" p.max_wait_us);
+    line "bucketing" (bucketing_to_string p.bucketing);
+    line "selection" (Dispatch.policy_to_string c.dispatch.selection);
+    (match c.dispatch.devices with
+     | Some ds ->
+       line "devices"
+         (String.concat "," (List.map (fun (b : Backend.t) -> b.Backend.short) ds))
+     | None -> ());
+    (match c.dispatch.cache_capacity with
+     | Some n -> line "cache_capacity" (string_of_int n)
+     | None -> ());
+    line "lock_free" (string_of_bool c.compile.lock_free);
+    (match c.compile.options with
+     | Some o -> line "options" (Lower.options_to_string o)
+     | None -> ());
+    (match c.reliability.queue_cap with
+     | Some n -> line "queue_cap" (string_of_int n)
+     | None -> ());
+    (match c.reliability.degrade_watermark with
+     | Some n -> line "degrade_watermark" (string_of_int n)
+     | None -> ());
+    (match c.reliability.faults with
+     | Some spec -> line "faults" (Fault.to_string spec)
+     | None -> ());
+    line "seed" (string_of_int c.reliability.seed);
+    line "max_retries" (string_of_int c.reliability.retry.Fault.max_retries);
+    line "backoff_base_us" (Printf.sprintf "%g" c.reliability.retry.Fault.backoff_base_us);
+    line "backoff_cap_us" (Printf.sprintf "%g" c.reliability.retry.Fault.backoff_cap_us);
+    line "autotune" (string_of_bool c.tuning.autotune);
+    (match c.tuning.tune_budget with
+     | Some n -> line "tune_budget" (string_of_int n)
+     | None -> ());
+    Buffer.contents buf
+
+  let backend_of_short s =
+    List.find_opt
+      (fun (b : Backend.t) ->
+        String.lowercase_ascii b.Backend.short = String.lowercase_ascii s)
+      Backend.all
+
+  let of_string text =
+    let lines =
+      String.split_on_char '\n' text
+      |> List.concat_map (String.split_on_char '\t')
+      |> List.map String.trim
+      |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+    in
+    let err fmt = Printf.ksprintf (fun s -> Stdlib.Error s) fmt in
+    let rec go c = function
+      | [] -> Ok c
+      | line :: rest -> (
+        match String.index_opt line '=' with
+        | None -> err "config: missing '=' in %S" line
+        | Some i -> (
+          let key = String.trim (String.sub line 0 i) in
+          let v = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+          let int_field f =
+            match int_of_string_opt v with
+            | Some n -> go (f n) rest
+            | None -> err "config: %s wants an integer, got %S" key v
+          in
+          let float_field f =
+            match float_of_string_opt v with
+            | Some x -> go (f x) rest
+            | None -> err "config: %s wants a number, got %S" key v
+          in
+          let bool_field f =
+            match bool_of_string_opt v with
+            | Some b -> go (f b) rest
+            | None -> err "config: %s wants true/false, got %S" key v
+          in
+          match key with
+          | "max_batch" ->
+            int_field (fun n ->
+                { c with
+                  dispatch =
+                    { c.dispatch with
+                      batching = { c.dispatch.batching with max_batch = n } } })
+          | "max_wait_us" ->
+            float_field (fun x ->
+                { c with
+                  dispatch =
+                    { c.dispatch with
+                      batching = { c.dispatch.batching with max_wait_us = x } } })
+          | "bucketing" -> (
+            match v with
+            | "fifo" ->
+              go
+                { c with
+                  dispatch =
+                    { c.dispatch with
+                      batching = { c.dispatch.batching with bucketing = Fifo } } }
+                rest
+            | "by_size" ->
+              go
+                { c with
+                  dispatch =
+                    { c.dispatch with
+                      batching = { c.dispatch.batching with bucketing = By_size } } }
+                rest
+            | _ -> err "config: unknown bucketing %S" v)
+          | "selection" -> (
+            match Dispatch.policy_of_string v with
+            | Some p -> go { c with dispatch = { c.dispatch with selection = p } } rest
+            | None -> err "config: unknown selection policy %S" v)
+          | "devices" -> (
+            let shorts =
+              String.split_on_char ',' v |> List.map String.trim
+              |> List.filter (fun s -> s <> "")
+            in
+            let resolved = List.map backend_of_short shorts in
+            if List.exists Option.is_none resolved then
+              err "config: unknown backend in devices %S" v
+            else
+              go
+                { c with
+                  dispatch =
+                    { c.dispatch with
+                      devices = Some (List.filter_map Fun.id resolved) } }
+                rest)
+          | "cache_capacity" ->
+            int_field (fun n ->
+                { c with dispatch = { c.dispatch with cache_capacity = Some n } })
+          | "lock_free" ->
+            bool_field (fun b -> { c with compile = { c.compile with lock_free = b } })
+          | "options" -> (
+            match Lower.options_of_string v with
+            | Some o -> go { c with compile = { c.compile with options = Some o } } rest
+            | None -> err "config: malformed options %S" v)
+          | "queue_cap" ->
+            int_field (fun n ->
+                { c with reliability = { c.reliability with queue_cap = Some n } })
+          | "degrade_watermark" ->
+            int_field (fun n ->
+                { c with
+                  reliability = { c.reliability with degrade_watermark = Some n } })
+          | "faults" -> (
+            match Fault.parse v with
+            | Ok spec ->
+              go { c with reliability = { c.reliability with faults = Some spec } } rest
+            | Stdlib.Error e -> err "config: %s" e)
+          | "seed" ->
+            int_field (fun n -> { c with reliability = { c.reliability with seed = n } })
+          | "max_retries" ->
+            int_field (fun n ->
+                { c with
+                  reliability =
+                    { c.reliability with
+                      retry = { c.reliability.retry with Fault.max_retries = n } } })
+          | "backoff_base_us" ->
+            float_field (fun x ->
+                { c with
+                  reliability =
+                    { c.reliability with
+                      retry = { c.reliability.retry with Fault.backoff_base_us = x } } })
+          | "backoff_cap_us" ->
+            float_field (fun x ->
+                { c with
+                  reliability =
+                    { c.reliability with
+                      retry = { c.reliability.retry with Fault.backoff_cap_us = x } } })
+          | "autotune" ->
+            bool_field (fun b -> { c with tuning = { c.tuning with autotune = b } })
+          | "tune_budget" ->
+            int_field (fun n -> { c with tuning = { c.tuning with tune_budget = Some n } })
+          | _ -> err "config: unknown key %S" key))
+    in
+    go default lines
+end
+
 (* ---------- engine state ---------- *)
 
 type pending = {
@@ -73,7 +356,8 @@ type t = {
   eng_retry : Fault.retry;
   eng_params : (string -> Tensor.t) option;
   eng_obs : Obs.t option;
-  eng_plans : Plan_cache.t option;  (* Some = autotune on *)
+  eng_plans : Plan_cache.t option;  (* Some = plan cache active *)
+  eng_config : Config.t;
   mutable next_id : int;
   mutable queue : pending list;  (* newest first *)
   mutable queued : int;
@@ -81,46 +365,54 @@ type t = {
   mutable n_rejected : int;
 }
 
-let create ?(policy = default_policy) ?options ?(lock_free = false)
-    ?(dispatch = Dispatch.Round_robin) ?devices ?cache_capacity ?queue_cap
-    ?degrade_watermark ?faults ?(seed = 0) ?(retry = Fault.default_retry) ?params
-    ?obs ?(autotune = false) ?tune_budget ~model ~backend () =
+(* Shared construction: validate the config, then obtain the compiled
+   artifact — a thunk, so [of_bundle] installs a deserialized artifact
+   without ever invoking the compiler, and [create] does not pay for
+   lowering when validation is going to reject the config anyway. *)
+let build ~(config : Config.t) ~model ~backend ~compiled =
+  let policy = config.Config.dispatch.Config.batching in
   if policy.max_batch < 1 then invalid_arg "Engine.create: max_batch must be >= 1";
   if policy.max_wait_us < 0.0 then invalid_arg "Engine.create: max_wait_us must be >= 0";
-  (match queue_cap with
+  (match config.Config.reliability.Config.queue_cap with
    | Some c when c < 0 -> invalid_arg "Engine.create: queue_cap must be >= 0"
    | _ -> ());
-  (match degrade_watermark with
+  (match config.Config.reliability.Config.degrade_watermark with
    | Some w when w < 0 -> invalid_arg "Engine.create: degrade_watermark must be >= 0"
    | _ -> ());
-  if retry.Fault.max_retries < 0 then
+  if config.Config.reliability.Config.retry.Fault.max_retries < 0 then
     invalid_arg "Engine.create: max_retries must be >= 0";
-  let devices = Option.value devices ~default:[ backend ] in
+  let devices =
+    Option.value config.Config.dispatch.Config.devices ~default:[ backend ]
+  in
   if devices = [] then invalid_arg "Engine.create: empty device list";
+  let seed = config.Config.reliability.Config.seed in
   (* Validate the fault spec against the device count up front, not at
      the first drain. *)
-  (match faults with
-   | Some spec ->
-     ignore (Fault.create ~seed ~devices:(List.length devices) spec)
+  (match config.Config.reliability.Config.faults with
+   | Some spec -> ignore (Fault.create ~seed ~devices:(List.length devices) spec)
    | None -> ());
   {
     model;
     eng_backend = backend;
     eng_policy = policy;
-    lock_free;
-    eng_compiled = Runtime.compile ?obs ?options model;
-    eng_dispatch = dispatch;
+    lock_free = config.Config.compile.Config.lock_free;
+    eng_compiled = compiled ();
+    eng_dispatch = config.Config.dispatch.Config.selection;
     eng_devices = devices;
-    eng_cache = Shape_cache.create ?capacity:cache_capacity ();
-    eng_queue_cap = queue_cap;
-    eng_watermark = degrade_watermark;
-    eng_faults = faults;
+    eng_cache =
+      Shape_cache.create ?capacity:config.Config.dispatch.Config.cache_capacity ();
+    eng_queue_cap = config.Config.reliability.Config.queue_cap;
+    eng_watermark = config.Config.reliability.Config.degrade_watermark;
+    eng_faults = config.Config.reliability.Config.faults;
     eng_seed = seed;
-    eng_retry = retry;
-    eng_params = params;
-    eng_obs = obs;
+    eng_retry = config.Config.reliability.Config.retry;
+    eng_params = config.Config.compile.Config.params;
+    eng_obs = config.Config.observability.Config.obs;
     eng_plans =
-      (if autotune then Some (Plan_cache.create ?budget:tune_budget ()) else None);
+      (if config.Config.tuning.Config.autotune then
+         Some (Plan_cache.create ?budget:config.Config.tuning.Config.tune_budget ())
+       else None);
+    eng_config = config;
     next_id = 0;
     queue = [];
     queued = 0;
@@ -128,12 +420,84 @@ let create ?(policy = default_policy) ?options ?(lock_free = false)
     n_rejected = 0;
   }
 
-let of_spec ?policy ?base ?lock_free ?dispatch ?devices ?cache_capacity ?queue_cap
-    ?degrade_watermark ?faults ?seed ?retry ?params ?obs ?autotune ?tune_budget
-    (spec : M.t) ~backend =
-  create ?policy ~options:(Runtime.options_for ?base spec) ?lock_free ?dispatch
-    ?devices ?cache_capacity ?queue_cap ?degrade_watermark ?faults ?seed ?retry
-    ?params ?obs ?autotune ?tune_budget ~model:spec.M.program ~backend ()
+let create ?(config = Config.default) ~model ~backend () =
+  build ~config ~model ~backend ~compiled:(fun () ->
+      Runtime.compile
+        ?obs:config.Config.observability.Config.obs
+        ?options:config.Config.compile.Config.options model)
+
+let create_legacy ?policy ?options ?lock_free ?dispatch ?devices ?cache_capacity
+    ?queue_cap ?degrade_watermark ?faults ?seed ?retry ?params ?obs ?autotune
+    ?tune_budget ~model ~backend () =
+  create
+    ~config:
+      (Config.make ?policy ?options ?lock_free ?dispatch ?devices ?cache_capacity
+         ?queue_cap ?degrade_watermark ?faults ?seed ?retry ?params ?obs ?autotune
+         ?tune_budget ())
+    ~model ~backend ()
+
+let of_spec ?(config = Config.default) (spec : M.t) ~backend =
+  (* The config's options act as the base the model's schedule metadata
+     merges into — the old [?base] argument's contract. *)
+  let options = Runtime.options_for ?base:config.Config.compile.Config.options spec in
+  let config =
+    {
+      config with
+      Config.compile = { config.Config.compile with Config.options = Some options };
+    }
+  in
+  create ~config ~model:spec.M.program ~backend ()
+
+let of_bundle ?config ?expect_model (b : Bundle.t) ~backend =
+  if b.Bundle.b_backend <> backend.Backend.short then
+    raise
+      (Bundle.Error
+         (Bundle.Backend_mismatch
+            { bundle = b.Bundle.b_backend; requested = backend.Backend.short }));
+  (match expect_model with
+   | Some m when m <> b.Bundle.b_model ->
+     raise
+       (Bundle.Error (Bundle.Model_mismatch { bundle = b.Bundle.b_model; requested = m }))
+   | _ -> ());
+  let config =
+    match config with
+    | Some c -> c
+    | None -> (
+      match Config.of_string b.Bundle.b_config with
+      | Ok c -> c
+      | Stdlib.Error _ -> Config.default)
+  in
+  (* The bundle IS the compiled artifact: the thunk returns it as-is,
+     so serving from a bundle runs zero lowering passes (the Obs test
+     pins this by counting "lower" wall spans). *)
+  let t =
+    build ~config ~model:b.Bundle.b_compiled.Lower.ra ~backend ~compiled:(fun () ->
+        b.Bundle.b_compiled)
+  in
+  if b.Bundle.b_plans = [] then t
+  else begin
+    (* Tuned plans ride along: seed the plan cache so first contact
+       with each (backend, size-class) is a hit.  Plans tuned for
+       backends not in this engine's device list are skipped. *)
+    let pc =
+      match t.eng_plans with
+      | Some pc -> pc
+      | None -> Plan_cache.create ?budget:config.Config.tuning.Config.tune_budget ()
+    in
+    List.iter
+      (fun (e : Bundle.plan_entry) ->
+        if
+          List.exists
+            (fun (d : Backend.t) -> d.Backend.short = e.Bundle.bp_backend)
+            t.eng_devices
+        then
+          Plan_cache.preload pc ~backend_short:e.Bundle.bp_backend
+            ~bucket:e.Bundle.bp_bucket ~plan:e.Bundle.bp_plan
+            ~compiled:b.Bundle.b_compiled ~default_us:e.Bundle.bp_default_us
+            ~tuned_us:e.Bundle.bp_tuned_us)
+      b.Bundle.b_plans;
+    { t with eng_plans = Some pc }
+  end
 
 let compiled t = t.eng_compiled
 let backend t = t.eng_backend
@@ -148,6 +512,7 @@ let seed t = t.eng_seed
 let obs t = t.eng_obs
 let autotune t = t.eng_plans <> None
 let plan_cache_stats t = Option.map Plan_cache.stats t.eng_plans
+let config t = t.eng_config
 
 (* ---------- validation ---------- *)
 

@@ -95,11 +95,139 @@ exception Error of error
 
 val error_to_string : error -> string
 
+(** {2 Configuration} *)
+
+(** Everything {!create} is configured by, grouped by concern.  The
+    record replaces the fifteen labelled optional arguments the old
+    entry point took; {!Config.make} is the migration bridge carrying
+    those labels, {!Config.default} the old all-defaults engine.
+
+    {!Config.to_string}/{!Config.of_string} give the record a stable
+    [key=value] textual form (what [cortex serve --config FILE] reads
+    and a bundle's manifest embeds).  The two runtime objects — the
+    [obs] handle and the [params] resolver — are carried by the record
+    but never serialized. *)
+module Config : sig
+  type compile = {
+    options : Cortex_lower.Lower.options option;
+        (** lowering options; [None] = [Lower.default] ({!of_spec}
+            treats this as the base its schedule metadata merges into,
+            the old [?base] contract) *)
+    lock_free : bool;
+        (** price the lock-free global barrier (§7.2) *)
+    params : (string -> Cortex_tensor.Tensor.t) option;
+        (** parameter resolver; enables numeric serving (each completed
+            window also executes numerically and per-request root
+            outputs land in [summary.results]) *)
+  }
+
+  type dispatch = {
+    batching : policy;  (** window formation: size/timeout/bucketing *)
+    selection : Dispatch.policy;
+        (** which simulated device a ready window lands on *)
+    devices : Cortex_backend.Backend.t list option;
+        (** the simulated fleet, possibly heterogeneous; [None] =
+            [[ backend ]] at {!create} *)
+    cache_capacity : int option;
+        (** shape-cache bound ({!Shape_cache.create}); [0] disables *)
+  }
+
+  type reliability = {
+    queue_cap : int option;
+        (** {!submit} sheds ([Error (Shed _)]) past this depth *)
+    degrade_watermark : int option;
+        (** a drain finding more than this many queued requests halves
+            [max_batch] and forces [By_size] for that drain *)
+    faults : Fault.spec option;
+        (** install a fault model — switches drains into deterministic
+            chaos mode (see the module docs) *)
+    seed : int;  (** fault-injector rng seed *)
+    retry : Fault.retry;  (** transient retry budget and backoff *)
+  }
+
+  type observability = {
+    obs : Cortex_obs.Obs.t option;
+        (** spans + metrics handle; recording is read-only (observed and
+            unobserved drains are bitwise identical) *)
+  }
+
+  type tuning = {
+    autotune : bool;
+        (** stand up a {!Plan_cache}: first window of each (backend,
+            size-class) runs a loop-schedule search, later windows
+            reuse the tuned artifact *)
+    tune_budget : int option;
+        (** candidate-count budget per class (default 16) — a count,
+            not wall time, so serving stays deterministic *)
+  }
+
+  type t = {
+    compile : compile;
+    dispatch : dispatch;
+    reliability : reliability;
+    observability : observability;
+    tuning : tuning;
+  }
+
+  val default : t
+  (** The old all-defaults engine: FIFO windows of 8 / 200 us,
+      round-robin over [[ backend ]], unbounded queue and cache, no
+      faults, no observability, no tuning. *)
+
+  val make :
+    ?base:t ->
+    ?policy:policy ->
+    ?options:Cortex_lower.Lower.options ->
+    ?lock_free:bool ->
+    ?dispatch:Dispatch.policy ->
+    ?devices:Cortex_backend.Backend.t list ->
+    ?cache_capacity:int ->
+    ?queue_cap:int ->
+    ?degrade_watermark:int ->
+    ?faults:Fault.spec ->
+    ?seed:int ->
+    ?retry:Fault.retry ->
+    ?params:(string -> Cortex_tensor.Tensor.t) ->
+    ?obs:Cortex_obs.Obs.t ->
+    ?autotune:bool ->
+    ?tune_budget:int ->
+    unit ->
+    t
+  (** [base] (default {!default}) overridden by whichever of the old
+      labelled arguments are passed — the migration bridge from the
+      15-argument [create]. *)
+
+  val to_string : t -> string
+  (** Deterministic [key=value] lines, unset optionals omitted; [obs]
+      and [params] are not serialized. *)
+
+  val of_string : string -> (t, string) result
+  (** Parse {!to_string}'s form (newline- or tab-separated lines; [#]
+      comments and blank lines ignored) over {!default}.  [Error]
+      carries a human-readable reason (unknown key, malformed value,
+      unknown backend name…). *)
+end
+
 (** {2 Engine lifecycle} *)
 
 type t
 
 val create :
+  ?config:Config.t ->
+  model:Cortex_ra.Ra.t ->
+  backend:Cortex_backend.Backend.t ->
+  unit ->
+  t
+(** Compile [model] once (per [config.compile.options], default
+    {!Cortex_lower.Lower.default}) and stand up an empty queue
+    configured by [config] (default {!Config.default}).  [backend] is
+    the single-request pricing device for {!run_one} and the default
+    fleet when [config.dispatch.devices] is unset.  Raises
+    [Invalid_argument] on malformed config values (non-positive
+    [max_batch], negative caps, empty device list, a fault spec that
+    does not fit the fleet). *)
+
+val create_legacy :
   ?policy:policy ->
   ?options:Cortex_lower.Lower.options ->
   ?lock_free:bool ->
@@ -119,75 +247,44 @@ val create :
   backend:Cortex_backend.Backend.t ->
   unit ->
   t
-(** Compile [model] once (default options {!Cortex_lower.Lower.default})
-    and stand up an empty queue.  [lock_free] selects the lock-free
-    global barrier for the latency simulation (§7.2).
-
-    [devices] (default [[ backend ]]) lists the simulated devices the
-    drain shards windows across — each entry its own backend model, so
-    the list may be heterogeneous (2 GPUs + 1 Intel) — and [dispatch]
-    (default {!Dispatch.Round_robin}) picks which device a ready window
-    lands on.  [backend] remains the single-request pricing device for
-    {!run_one}.  [cache_capacity] bounds the shape-keyed linearization
-    cache ({!Shape_cache.create}); [0] disables it.
-
-    Fault tolerance:
-    - [queue_cap]: {!submit} returns [Error (Shed _)] once this many
-      requests are queued (cap 0 sheds everything);
-    - [degrade_watermark]: a drain finding more than this many queued
-      requests halves [max_batch] and forces [By_size] bucketing for
-      that drain;
-    - [faults] installs a {!Fault.spec} (and switches the drain into
-      deterministic chaos mode — see the module docs); the spec is
-      validated against the device count here, not at the first drain;
-    - [seed] (default 0) seeds the fault injector's per-device rng
-      streams;
-    - [retry] (default {!Fault.default_retry}) bounds transient
-      re-executions and shapes their backoff;
-    - [params] installs a parameter resolver: each completed window is
-      then also executed numerically once and every member request's
-      root output lands in [summary.results] — retries and failovers
-      re-dispatch the same linearization, so the numbers are independent
-      of the fault history.
-
-    [obs] installs an observability handle ({!Cortex_obs.Obs}): the
-    compile records its lowering passes as wall-clock spans, each drain
-    records arrivals, device busy windows, aborts and retries as
-    simulated-clock spans plus a metrics snapshot in the summary.
-    Recording is read-only — an observed drain produces bitwise-identical
-    results to an unobserved one (the zero-interference property test
-    pins this).  One handle records one drain; {!Cortex_obs.Obs.reset}
-    it between profiled drains.
-
-    [autotune] (default false) stands up a {!Plan_cache}: the first
-    window of each (device backend, size-class) runs a loop-schedule
-    search under [tune_budget] candidates (default 16, a count — not
-    wall time — so serving stays deterministic) and later windows of
-    the class reuse the tuned artifact.  Tuned plans preserve results
-    bitwise; the search's host wall time appears in the summary's
-    plan-cache stats, never on the simulated clock. *)
+[@@ocaml.deprecated
+  "Engine.create_legacy is the pre-Config entry point; use Engine.create \
+   ?config (Config.make carries the same labels)."]
+(** The old 15-argument entry point, kept as a thin wrapper over
+    {!Config.make} + {!create} for out-of-tree callers.
+    @deprecated use {!create} with a {!Config.t}. *)
 
 val of_spec :
-  ?policy:policy ->
-  ?base:Cortex_lower.Lower.options ->
-  ?lock_free:bool ->
-  ?dispatch:Dispatch.policy ->
-  ?devices:Cortex_backend.Backend.t list ->
-  ?cache_capacity:int ->
-  ?queue_cap:int ->
-  ?degrade_watermark:int ->
-  ?faults:Fault.spec ->
-  ?seed:int ->
-  ?retry:Fault.retry ->
-  ?params:(string -> Cortex_tensor.Tensor.t) ->
-  ?obs:Cortex_obs.Obs.t ->
-  ?autotune:bool ->
-  ?tune_budget:int ->
+  ?config:Config.t ->
   M.t ->
   backend:Cortex_backend.Backend.t ->
   t
-(** {!create} for a model-zoo spec, applying its schedule metadata via
+(** {!create} for a model-zoo spec: the spec's schedule metadata is
+    merged into [config.compile.options] (treated as the base) via
     [Runtime.options_for]. *)
+
+val of_bundle :
+  ?config:Config.t ->
+  ?expect_model:string ->
+  Cortex_bundle.Bundle.t ->
+  backend:Cortex_backend.Backend.t ->
+  t
+(** Stand up an engine from an ahead-of-time compiled bundle
+    ([cortex build]): the bundle's artifact is installed as-is — {e
+    zero} lowering passes run at serve time (pinned by the Obs test
+    counting ["lower"] wall spans) — and any tuned plans ride along
+    into the plan cache, so first contact with their (backend,
+    size-class) is a hit with no search.
+
+    [config] (default: parsed from the bundle's embedded config text,
+    falling back to {!Config.default}) configures everything else.
+    Bundle weights are {e not} auto-installed as [params]; pass
+    [Config.make ~params:(Bundle.resolver b) ()] to serve numerically.
+
+    Raises [Bundle.Error (Backend_mismatch _)] when the artifact was
+    built for a different backend than [backend], and
+    [Bundle.Error (Model_mismatch _)] when [expect_model] disagrees
+    with the bundle's recorded model name. *)
 
 val compiled : t -> Cortex_lower.Lower.compiled
 val backend : t -> Cortex_backend.Backend.t
@@ -211,6 +308,9 @@ val obs : t -> Cortex_obs.Obs.t option
 val autotune : t -> bool
 val plan_cache_stats : t -> Plan_cache.stats option
 (** Cumulative plan-cache counters when [autotune] is on. *)
+
+val config : t -> Config.t
+(** The configuration the engine was created with. *)
 
 (** {2 Serving simulation} *)
 

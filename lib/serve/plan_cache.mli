@@ -54,6 +54,19 @@ val find_or_tune :
 (** The entry for the window's (backend, size-class), tuning on first
     contact.  The boolean is [true] on a cache hit. *)
 
+val preload :
+  t ->
+  backend_short:string ->
+  bucket:int ->
+  plan:Cortex_ilir.Schedule.plan ->
+  compiled:Cortex_lower.Lower.compiled ->
+  default_us:float ->
+  tuned_us:float ->
+  unit
+(** Seed the cache with a plan tuned ahead of time (a bundle's tuned
+    plans): the plan is applied to [compiled] now, so the first window
+    of the class is a hit and no search runs ([pe_tune_ms = 0]). *)
+
 val stats : t -> stats
 val hit_rate : stats -> float
 val entries : t -> entry list

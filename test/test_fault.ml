@@ -68,9 +68,12 @@ let chaos_trace =
 
 let chaos_engine ?(devices = 2) ?queue_cap ?degrade_watermark ~faults ~seed () =
   let policy = { Engine.max_batch = 8; max_wait_us = 300.0; bucketing = Engine.Fifo } in
-  Engine.of_spec ~policy ~dispatch:Dispatch.Least_loaded
-    ~devices:(List.init devices (fun _ -> gpu))
-    ?queue_cap ?degrade_watermark ~faults ~seed small_spec ~backend:gpu
+  Engine.of_spec
+    ~config:
+      (Engine.Config.make ~policy ~dispatch:Dispatch.Least_loaded
+         ~devices:(List.init devices (fun _ -> gpu))
+         ?queue_cap ?degrade_watermark ~faults ~seed ())
+    small_spec ~backend:gpu
 
 (* Everything the CLI prints, rendered canonically. *)
 let render (s : Engine.summary) =
@@ -105,8 +108,11 @@ let test_transient_bitwise_identical () =
   let run faults =
     let policy = { Engine.max_batch = 4; max_wait_us = 300.0; bucketing = Engine.Fifo } in
     let engine =
-      Engine.of_spec ~policy ~dispatch:Dispatch.Least_loaded
-        ~devices:[ gpu; gpu ] ~faults ~seed:3 ~params small_spec ~backend:gpu
+      Engine.of_spec
+        ~config:
+          (Engine.Config.make ~policy ~dispatch:Dispatch.Least_loaded
+             ~devices:[ gpu; gpu ] ~faults ~seed:3 ~params ())
+        small_spec ~backend:gpu
     in
     List.iteri
       (fun i s ->
@@ -199,7 +205,9 @@ let test_straggler_scales_latency () =
   let run faults =
     let policy = { Engine.max_batch = 8; max_wait_us = 300.0; bucketing = Engine.Fifo } in
     let engine =
-      Engine.of_spec ~policy ~devices:[ gpu ] ~faults ~seed:2 small_spec ~backend:gpu
+      Engine.of_spec
+        ~config:(Engine.Config.make ~policy ~devices:[ gpu ] ~faults ~seed:2 ())
+        small_spec ~backend:gpu
     in
     List.iter (fun s -> ignore (Engine.submit_exn engine s)) (sst_trees 41 4);
     Engine.drain engine

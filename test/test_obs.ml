@@ -220,10 +220,13 @@ let chaos_faults =
 let profiled_run ?obs () =
   let policy = { Engine.max_batch = 8; max_wait_us = 300.0; bucketing = Engine.Fifo } in
   let engine =
-    Engine.of_spec ~policy ~dispatch:Dispatch.Least_loaded ~devices:[ gpu; gpu ]
-      ~faults:chaos_faults ~seed:42
-      ~params:(small_spec.M.init_params (Rng.create 7))
-      ?obs small_spec ~backend:gpu
+    Engine.of_spec
+      ~config:
+        (Engine.Config.make ~policy ~dispatch:Dispatch.Least_loaded
+           ~devices:[ gpu; gpu ] ~faults:chaos_faults ~seed:42
+           ~params:(small_spec.M.init_params (Rng.create 7))
+           ?obs ())
+      small_spec ~backend:gpu
   in
   Engine.run_trace engine chaos_trace
 
@@ -392,9 +395,13 @@ let test_zero_interference =
       let run ?obs () =
         let policy = { Engine.max_batch = 8; max_wait_us = 300.0; bucketing = Engine.Fifo } in
         let engine =
-          Engine.of_spec ~policy ~dispatch:Dispatch.Least_loaded ~devices:[ gpu; gpu ]
-            ~faults ~seed ~params:(spec.M.init_params (Rng.create 7)) ?obs spec
-            ~backend:gpu
+          Engine.of_spec
+            ~config:
+              (Engine.Config.make ~policy ~dispatch:Dispatch.Least_loaded
+                 ~devices:[ gpu; gpu ] ~faults ~seed
+                 ~params:(spec.M.init_params (Rng.create 7))
+                 ?obs ())
+            spec ~backend:gpu
         in
         Engine.run_trace engine trace
       in

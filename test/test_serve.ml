@@ -207,7 +207,7 @@ let small_spec = Models.Tree_lstm.spec ~vocab:50 ~hidden:8 ()
 
 let test_policy_max_batch () =
   let policy = { Engine.default_policy with Engine.max_batch = 4 } in
-  let engine = Engine.of_spec ~policy small_spec ~backend:gpu in
+  let engine = Engine.of_spec ~config:(Engine.Config.make ~policy ()) small_spec ~backend:gpu in
   let rng = Rng.create 21 in
   List.iter
     (fun s -> ignore (Engine.submit_exn engine s))
@@ -225,7 +225,7 @@ let test_policy_max_wait () =
   let policy =
     { Engine.max_batch = 100; max_wait_us = 100.0; bucketing = Engine.Fifo }
   in
-  let engine = Engine.of_spec ~policy small_spec ~backend:gpu in
+  let engine = Engine.of_spec ~config:(Engine.Config.make ~policy ()) small_spec ~backend:gpu in
   let rng = Rng.create 22 in
   (* Two bursts 10 ms apart: the wait deadline must split them. *)
   List.iteri
@@ -252,7 +252,7 @@ let test_policy_bucketing () =
   let policy =
     { Engine.max_batch = 6; max_wait_us = 1.0e9; bucketing = Engine.By_size }
   in
-  let engine = Engine.of_spec ~policy small_spec ~backend:gpu in
+  let engine = Engine.of_spec ~config:(Engine.Config.make ~policy ()) small_spec ~backend:gpu in
   List.iter (fun s -> ignore (Engine.submit_exn engine s)) interleaved;
   let s = Engine.drain engine in
   Alcotest.(check int) "all served" 12 s.Engine.aggregate.Engine.num_requests;
@@ -305,18 +305,18 @@ let test_arrival_exactly_at_deadline_joins () =
   (* The join condition is [arrival > first + max_wait]: a request
      landing exactly on the deadline still makes the window. *)
   let policy = { Engine.max_batch = 100; max_wait_us = 100.0; bucketing = Engine.Fifo } in
-  let engine = Engine.of_spec ~policy small_spec ~backend:gpu in
+  let engine = Engine.of_spec ~config:(Engine.Config.make ~policy ()) small_spec ~backend:gpu in
   submit_at engine [ 0.0; 100.0 ];
   let s = Engine.drain engine in
   Alcotest.(check int) "exactly-at-deadline joins" 1 s.Engine.aggregate.Engine.num_windows;
-  let engine = Engine.of_spec ~policy small_spec ~backend:gpu in
+  let engine = Engine.of_spec ~config:(Engine.Config.make ~policy ()) small_spec ~backend:gpu in
   submit_at engine [ 0.0; 100.5 ];
   let s = Engine.drain engine in
   Alcotest.(check int) "past-deadline splits" 2 s.Engine.aggregate.Engine.num_windows
 
 let test_max_batch_one () =
   let policy = { Engine.max_batch = 1; max_wait_us = 1.0e9; bucketing = Engine.Fifo } in
-  let engine = Engine.of_spec ~policy small_spec ~backend:gpu in
+  let engine = Engine.of_spec ~config:(Engine.Config.make ~policy ()) small_spec ~backend:gpu in
   submit_at engine [ 0.0; 10.0; 20.0; 30.0; 40.0 ];
   let s = Engine.drain engine in
   Alcotest.(check int) "one window per request" 5 s.Engine.aggregate.Engine.num_windows;
@@ -332,7 +332,7 @@ let test_max_batch_one () =
 
 let test_simultaneous_arrivals () =
   let policy = { Engine.max_batch = 3; max_wait_us = 1.0e9; bucketing = Engine.Fifo } in
-  let engine = Engine.of_spec ~policy small_spec ~backend:gpu in
+  let engine = Engine.of_spec ~config:(Engine.Config.make ~policy ()) small_spec ~backend:gpu in
   submit_at engine [ 42.0; 42.0; 42.0; 42.0; 42.0 ];
   let s = Engine.drain engine in
   Alcotest.(check int) "two windows" 2 s.Engine.aggregate.Engine.num_windows;
@@ -349,7 +349,7 @@ let test_drain_is_a_flush () =
   (* An explicit drain must not charge the trailing partial window the
      batching timer: it is ready at its last member's arrival. *)
   let policy = { Engine.max_batch = 100; max_wait_us = 1.0e9; bucketing = Engine.Fifo } in
-  let engine = Engine.of_spec ~policy small_spec ~backend:gpu in
+  let engine = Engine.of_spec ~config:(Engine.Config.make ~policy ()) small_spec ~backend:gpu in
   submit_at engine [ 0.0; 10.0; 20.0 ];
   let s = Engine.drain engine in
   Alcotest.(check int) "one flushed window" 1 s.Engine.aggregate.Engine.num_windows;
@@ -367,7 +367,7 @@ let test_negative_arrivals () =
      member's arrival even when every arrival is negative (a [0.0] fold
      seed would silently pull the ready time to zero). *)
   let policy = { Engine.max_batch = 2; max_wait_us = 1.0e9; bucketing = Engine.Fifo } in
-  let engine = Engine.of_spec ~policy small_spec ~backend:gpu in
+  let engine = Engine.of_spec ~config:(Engine.Config.make ~policy ()) small_spec ~backend:gpu in
   submit_at engine [ -100.0; -50.0 ];
   let s = Engine.drain engine in
   Alcotest.(check int) "one full window" 1 s.Engine.aggregate.Engine.num_windows;
@@ -381,7 +381,7 @@ let perfect_payloads seed = Gen.perfect_tree (Rng.create seed) ~vocab:50 ~height
 
 let test_cache_hits_in_drain () =
   let policy = { Engine.max_batch = 1; max_wait_us = 0.0; bucketing = Engine.Fifo } in
-  let engine = Engine.of_spec ~policy small_spec ~backend:gpu in
+  let engine = Engine.of_spec ~config:(Engine.Config.make ~policy ()) small_spec ~backend:gpu in
   (* Six requests of identical topology, different payloads. *)
   List.iteri
     (fun i seed ->
@@ -409,7 +409,7 @@ let test_cache_hits_in_drain () =
 
 let test_cache_disabled () =
   let policy = { Engine.max_batch = 1; max_wait_us = 0.0; bucketing = Engine.Fifo } in
-  let engine = Engine.of_spec ~policy ~cache_capacity:0 small_spec ~backend:gpu in
+  let engine = Engine.of_spec ~config:(Engine.Config.make ~policy ~cache_capacity:0 ()) small_spec ~backend:gpu in
   List.iter
     (fun seed -> ignore (Engine.submit_exn engine (perfect_payloads seed)))
     [ 1; 2; 3 ];
@@ -521,7 +521,9 @@ let test_cache_unit_clear () =
 let test_device_reports_accounting () =
   let policy = { Engine.max_batch = 2; max_wait_us = 50.0; bucketing = Engine.Fifo } in
   let engine =
-    Engine.of_spec ~policy ~devices:[ Backend.gpu; Backend.arm ] small_spec ~backend:gpu
+    Engine.of_spec
+      ~config:(Engine.Config.make ~policy ~devices:[ Backend.gpu; Backend.arm ] ())
+      small_spec ~backend:gpu
   in
   let rng = Rng.create 61 in
   List.iteri
@@ -550,8 +552,11 @@ let test_device_reports_accounting () =
 let test_dispatch_round_robin () =
   let policy = { Engine.max_batch = 1; max_wait_us = 0.0; bucketing = Engine.Fifo } in
   let engine =
-    Engine.of_spec ~policy ~dispatch:Dispatch.Round_robin
-      ~devices:[ Backend.gpu; Backend.gpu ] small_spec ~backend:gpu
+    Engine.of_spec
+      ~config:
+        (Engine.Config.make ~policy ~dispatch:Dispatch.Round_robin
+           ~devices:[ Backend.gpu; Backend.gpu ] ())
+      small_spec ~backend:gpu
   in
   let rng = Rng.create 62 in
   List.iter (fun s -> ignore (Engine.submit_exn engine s)) (sst_trees rng ~vocab:50 8);
@@ -571,8 +576,11 @@ let test_dispatch_least_loaded () =
   let policy = { Engine.max_batch = 4; max_wait_us = 0.0; bucketing = Engine.Fifo } in
   let spec = Models.Catalog.get "TreeLSTM" Models.Catalog.Small in
   let engine =
-    Engine.of_spec ~policy ~dispatch:Dispatch.Least_loaded
-      ~devices:[ Backend.gpu; Backend.arm ] spec ~backend:gpu
+    Engine.of_spec
+      ~config:
+        (Engine.Config.make ~policy ~dispatch:Dispatch.Least_loaded
+           ~devices:[ Backend.gpu; Backend.arm ] ())
+      spec ~backend:gpu
   in
   let rng = Rng.create 63 in
   List.iter
@@ -594,8 +602,11 @@ let test_dispatch_size_affinity () =
      and on different ones. *)
   let policy = { Engine.max_batch = 1; max_wait_us = 0.0; bucketing = Engine.Fifo } in
   let engine =
-    Engine.of_spec ~policy ~dispatch:Dispatch.Size_affinity
-      ~devices:[ Backend.gpu; Backend.gpu ] small_spec ~backend:gpu
+    Engine.of_spec
+      ~config:
+        (Engine.Config.make ~policy ~dispatch:Dispatch.Size_affinity
+           ~devices:[ Backend.gpu; Backend.gpu ] ())
+      small_spec ~backend:gpu
   in
   let rng = Rng.create 64 in
   List.iter
@@ -623,8 +634,11 @@ let test_device_scaling () =
   let throughput n =
     let policy = { Engine.max_batch = 8; max_wait_us = 100.0; bucketing = Engine.Fifo } in
     let engine =
-      Engine.of_spec ~policy ~dispatch:Dispatch.Least_loaded
-        ~devices:(List.init n (fun _ -> Backend.gpu))
+      Engine.of_spec
+        ~config:
+          (Engine.Config.make ~policy ~dispatch:Dispatch.Least_loaded
+             ~devices:(List.init n (fun _ -> Backend.gpu))
+             ())
         spec ~backend:gpu
     in
     (Engine.run_trace engine trace).Engine.aggregate.Engine.throughput_rps
@@ -697,7 +711,7 @@ let test_gpu_throughput_monotone_in_window () =
   let requests = List.init 24 (fun _ -> Gen.sst_tree rng ~vocab:100 ~len:8 ()) in
   let throughput w =
     let policy = { Engine.max_batch = w; max_wait_us = 0.0; bucketing = Engine.Fifo } in
-    let engine = Engine.of_spec ~policy spec ~backend:gpu in
+    let engine = Engine.of_spec ~config:(Engine.Config.make ~policy ()) spec ~backend:gpu in
     let s = Engine.run_trace engine (Trace.of_structures requests) in
     s.Engine.aggregate.Engine.throughput_rps
   in
