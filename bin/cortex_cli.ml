@@ -101,6 +101,10 @@ let config_file_arg =
            ~doc:"Engine configuration file: Engine.Config key=value lines \
                  (# comments and blank lines ignored)")
 
+(* Returns the raw text alongside the parsed config: [of_string]
+   parses over [default], so only the text can tell whether a key was
+   explicitly set (the seed's historical CLI default differs from the
+   record default). *)
 let load_config = function
   | None -> None
   | Some path ->
@@ -108,10 +112,24 @@ let load_config = function
     let text = really_input_string ic (in_channel_length ic) in
     close_in ic;
     (match Engine.Config.of_string text with
-     | Ok c -> Some c
+     | Ok c -> Some (text, c)
      | Error e ->
        prerr_endline ("config " ^ path ^ ": " ^ e);
        exit 1)
+
+(* Does the config text explicitly bind [key]?  Mirrors [of_string]'s
+   lexing: newline- or tab-separated [k=v] lines, [#] comments. *)
+let config_text_sets ~key text =
+  String.split_on_char '\n' text
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.exists (fun line ->
+         let line = String.trim line in
+         line <> ""
+         && line.[0] <> '#'
+         &&
+         match String.index_opt line '=' with
+         | Some i -> String.trim (String.sub line 0 i) = key
+         | None -> false)
 
 let size_name = function Models.Catalog.Small -> "small" | Models.Catalog.Large -> "large"
 
@@ -308,7 +326,7 @@ let build_cmd =
     let config =
       match load_config config_file with
       | None -> ""
-      | Some c -> Engine.Config.to_string c
+      | Some (_, c) -> Engine.Config.to_string c
     in
     let b =
       Bundle.create ~config ~plans ~weights ~model:name ~size:(size_name size)
@@ -466,13 +484,40 @@ let serve_cmd =
       num_devices device_list dispatch faults deadline_us queue_cap degrade_watermark
       profile metrics logical_clock autotune tune_budget bundle config_file =
     let spec = get_spec name size in
+    let bundle_loaded =
+      match bundle with
+      | None -> None
+      | Some file -> (
+        try Some (Bundle.load file)
+        with Bundle.Error e ->
+          prerr_endline ("bundle: " ^ Bundle.error_to_string e);
+          exit 1)
+    in
     (* Precedence: an explicit CLI flag > the --config file > the
-       built-in default.  Flags that used to carry eager defaults are
-       optional here so leaving them off genuinely defers to the file
-       (with no file, [Config.default] restores the historical
+       bundle's embedded config (when serving --bundle) > the built-in
+       default.  Flags that used to carry eager defaults are optional
+       here so leaving them off genuinely defers to the file or bundle
+       (with neither, [Config.default] restores the historical
        behaviour). *)
-    let file_cfg = load_config config_file in
-    let base = Option.value file_cfg ~default:Engine.Config.default in
+    let cfg_src =
+      match load_config config_file with
+      | Some _ as src -> src
+      | None -> (
+        match bundle_loaded with
+        | Some b when String.trim b.Bundle.b_config <> "" -> (
+          match Engine.Config.of_string b.Bundle.b_config with
+          | Ok c -> Some (b.Bundle.b_config, c)
+          | Error reason ->
+            prerr_endline
+              ("bundle: "
+              ^ Bundle.error_to_string
+                  (Bundle.Corrupt_section { section = "config"; reason }));
+            exit 1)
+        | _ -> None)
+    in
+    let base =
+      match cfg_src with Some (_, c) -> c | None -> Engine.Config.default
+    in
     let base_batching = base.Engine.Config.dispatch.Engine.Config.batching in
     let policy =
       {
@@ -481,13 +526,17 @@ let serve_cmd =
         bucketing = (if bucketed then Engine.By_size else base_batching.Engine.bucketing);
       }
     in
+    (* The historical serve default (2021) survives a config source
+       that never mentions seed — only an explicit [seed=] line (or
+       --seed) may change the generated trace, faults, and params. *)
     let seed =
       match seed with
       | Some s -> s
       | None ->
-        (match file_cfg with
-         | Some c -> c.Engine.Config.reliability.Engine.Config.seed
-         | None -> 2021)
+        (match cfg_src with
+         | Some (text, c) when config_text_sets ~key:"seed" text ->
+           c.Engine.Config.reliability.Engine.Config.seed
+         | _ -> 2021)
     in
     let dispatch =
       Option.value dispatch ~default:base.Engine.Config.dispatch.Engine.Config.selection
@@ -519,8 +568,8 @@ let serve_cmd =
     in
     let engine =
       try
-        match bundle with
-        | Some file -> Engine.of_bundle ~config ~expect_model:name (Bundle.load file) ~backend
+        match bundle_loaded with
+        | Some b -> Engine.of_bundle ~config ~expect_model:name b ~backend
         | None -> Engine.of_spec ~config spec ~backend
       with Bundle.Error e ->
         prerr_endline ("bundle: " ^ Bundle.error_to_string e);

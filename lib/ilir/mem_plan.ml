@@ -62,6 +62,9 @@ let rec eval_extent ?uf e =
       else None)
   | Binop (op, a, b) -> (
     match (eval_extent ?uf a, eval_extent ?uf b) with
+    | Some _, Some 0 when op = Div || op = Mod ->
+      (* a zero denominator makes the extent non-static, not a crash *)
+      None
     | Some x, Some y ->
       Some
         (match op with
@@ -157,17 +160,32 @@ let live_ranges ~spaces (p : program) =
     | Seq ss -> List.iter walk_stmt ss
     | Barrier | Nop -> ()
   in
-  List.iter
-    (fun (k : kernel) ->
-      match k.launch with
-      | Once -> walk_stmt k.body
-      | PerInternalBatch _ ->
-        (* The kernel body relaunches per internal batch — the moral
-           equivalent of an enclosing loop. *)
-        let lo_evt = !clock in
-        walk_stmt k.body;
-        widen_since lo_evt)
-    p.kernels;
+  (* Mirror [Interp.run_program]: a maximal run of consecutive
+     per-batch kernels executes batch-major — for each batch, every
+     kernel of the run — so the whole run is one enclosing loop.
+     Tensors touched by different kernels of the same run are
+     simultaneously live across batch iterations; widening per kernel
+     instead of per run would let the packer alias them. *)
+  let is_per_batch (k : kernel) =
+    match k.launch with PerInternalBatch _ -> true | Once -> false
+  in
+  let rec go = function
+    | [] -> ()
+    | ({ launch = Once; body; _ } : kernel) :: rest ->
+      walk_stmt body;
+      go rest
+    | kernels ->
+      let rec take_prefix acc = function
+        | k :: tl when is_per_batch k -> take_prefix (k :: acc) tl
+        | tl -> (List.rev acc, tl)
+      in
+      let group, rest = take_prefix [] kernels in
+      let lo_evt = !clock in
+      List.iter (fun (k : kernel) -> walk_stmt k.body) group;
+      widen_since lo_evt;
+      go rest
+  in
+  go p.kernels;
   List.rev_map
     (fun tid ->
       let t, lo, hi = Hashtbl.find acc.table tid in

@@ -465,7 +465,10 @@ let of_bundle ?config ?expect_model (b : Bundle.t) ~backend =
     | None -> (
       match Config.of_string b.Bundle.b_config with
       | Ok c -> c
-      | Stdlib.Error _ -> Config.default)
+      | Stdlib.Error reason ->
+        (* The section passed the digest check, so the writer produced
+           garbage — surface it rather than silently serving defaults. *)
+        raise (Bundle.Error (Bundle.Corrupt_section { section = "config"; reason })))
   in
   (* The bundle IS the compiled artifact: the thunk returns it as-is,
      so serving from a bundle runs zero lowering passes (the Obs test

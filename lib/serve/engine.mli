@@ -276,15 +276,17 @@ val of_bundle :
     into the plan cache, so first contact with their (backend,
     size-class) is a hit with no search.
 
-    [config] (default: parsed from the bundle's embedded config text,
-    falling back to {!Config.default}) configures everything else.
-    Bundle weights are {e not} auto-installed as [params]; pass
+    [config] (default: parsed from the bundle's embedded config text)
+    configures everything else.  Bundle weights are {e not}
+    auto-installed as [params]; pass
     [Config.make ~params:(Bundle.resolver b) ()] to serve numerically.
 
     Raises [Bundle.Error (Backend_mismatch _)] when the artifact was
-    built for a different backend than [backend], and
+    built for a different backend than [backend],
     [Bundle.Error (Model_mismatch _)] when [expect_model] disagrees
-    with the bundle's recorded model name. *)
+    with the bundle's recorded model name, and
+    [Bundle.Error (Corrupt_section _)] when no [config] is supplied
+    and the bundle's embedded config text does not parse. *)
 
 val compiled : t -> Cortex_lower.Lower.compiled
 val backend : t -> Cortex_backend.Backend.t

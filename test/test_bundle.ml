@@ -199,10 +199,15 @@ let test_mismatches_refused () =
   (match Engine.of_bundle b ~backend:Backend.arm with
    | (_ : Engine.t) -> Alcotest.fail "backend mismatch accepted"
    | exception Bundle.Error (Bundle.Backend_mismatch { bundle = "GPU"; requested = "ARM" }) -> ());
-  match Engine.of_bundle ~expect_model:"TreeLSTM" b ~backend with
-  | (_ : Engine.t) -> Alcotest.fail "model mismatch accepted"
-  | exception Bundle.Error (Bundle.Model_mismatch { bundle = "TreeFC"; requested = "TreeLSTM" }) ->
-    ()
+  (match Engine.of_bundle ~expect_model:"TreeLSTM" b ~backend with
+   | (_ : Engine.t) -> Alcotest.fail "model mismatch accepted"
+   | exception Bundle.Error (Bundle.Model_mismatch { bundle = "TreeFC"; requested = "TreeLSTM" }) ->
+     ());
+  (* An embedded config that passes the digest check but does not parse
+     is a typed corrupt-section error, never a silent Config.default. *)
+  match Engine.of_bundle (make_bundle ~config:"no_such_key=1" ()) ~backend with
+  | (_ : Engine.t) -> Alcotest.fail "malformed embedded config accepted"
+  | exception Bundle.Error (Bundle.Corrupt_section { section = "config"; _ }) -> ()
 
 let test_preloaded_plans_hit () =
   (* A tuned plan riding in the bundle means the first window of its

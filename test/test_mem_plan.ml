@@ -161,6 +161,78 @@ let test_uf_extent_needs_resolver () =
   Alcotest.(check bool) "arena holds both" true
     (resolved.Mem_plan.arena_bytes >= (16 * 4) + (8 * 4))
 
+let test_per_batch_run_conflicts () =
+  (* The interpreter executes a maximal run of consecutive per-batch
+     kernels batch-major: for each batch, every kernel of the run.
+     Tensors touched by different kernels of the same run are therefore
+     live across batch iterations — batch b+1's first kernel may read
+     what batch b's last kernel wrote — so the planner must widen the
+     whole run as one loop, not each kernel separately. *)
+  let mk name = Ir.tensor ~space:Ir.Shared name [ Ir.Dim.fresh "d" ] [ Ir.int 8 ] in
+  let a = mk "a" and b = mk "b" and c = mk "c" in
+  let touch t = Ir.Store (t, [ Ir.int 0 ], Ir.Load (t, [ Ir.int 0 ])) in
+  let per_batch name t =
+    { Ir.kname = name; launch = Ir.PerInternalBatch (Ir.Var.fresh "bi"); body = touch t }
+  in
+  let p =
+    {
+      Ir.pname = "run";
+      params = [];
+      inputs = [];
+      temporaries = [ a; b; c ];
+      outputs = [];
+      (* Three kernels keep a (first) and c (last) an event apart, so
+         per-kernel widening gave them disjoint ranges. *)
+      kernels = [ per_batch "k0" a; per_batch "k1" b; per_batch "k2" c ];
+    }
+  in
+  let mp = Mem_plan.plan ~spaces p in
+  match mp.Mem_plan.placements with
+  | [ _; _; _ ] as ps ->
+    List.iteri
+      (fun i p ->
+        List.iteri
+          (fun j q ->
+            if i < j then begin
+              Alcotest.(check bool) "same-run tensors' live ranges overlap" true
+                (Mem_plan.ranges_overlap p q);
+              Alcotest.(check bool) "same-run tensors never alias" false
+                (Mem_plan.offsets_overlap p q)
+            end)
+          ps)
+      ps
+  | ps -> Alcotest.failf "expected 3 placements, got %d" (List.length ps)
+
+let test_zero_denominator_extent () =
+  (* A zero constant denominator makes the extent non-static, not a
+     Division_by_zero escaping [plan]. *)
+  let bad ext name =
+    Ir.tensor ~space:Ir.Shared name [ Ir.Dim.fresh "d" ] [ ext ]
+  in
+  let div = bad (Ir.Binop (Ir.Div, Ir.int 8, Ir.int 0)) "div0" in
+  let md = bad (Ir.Binop (Ir.Mod, Ir.int 8, Ir.int 0)) "mod0" in
+  let body =
+    Ir.Seq
+      [
+        Ir.Store (div, [ Ir.int 0 ], Ir.flt 1.0);
+        Ir.Store (md, [ Ir.int 0 ], Ir.flt 1.0);
+      ]
+  in
+  let p =
+    {
+      Ir.pname = "div0";
+      params = [];
+      inputs = [];
+      temporaries = [ div; md ];
+      outputs = [];
+      kernels = [ { Ir.kname = "k"; launch = Ir.Once; body } ];
+    }
+  in
+  let mp = Mem_plan.plan ~spaces p in
+  Alcotest.(check int) "both extents treated as non-static" 2
+    (List.length mp.Mem_plan.unplanned);
+  Alcotest.(check int) "nothing packed" 0 (List.length mp.Mem_plan.placements)
+
 (* ---------- the model zoo ---------- *)
 
 let planned_for name =
@@ -229,6 +301,8 @@ let () =
       ( "liveness",
         [
           Alcotest.test_case "uf-extents" `Quick test_uf_extent_needs_resolver;
+          Alcotest.test_case "per-batch-run" `Quick test_per_batch_run_conflicts;
+          Alcotest.test_case "zero-denominator" `Quick test_zero_denominator_extent;
           Alcotest.test_case "cost-integration" `Quick test_cost_records_planned;
         ] );
       ( "zoo",
