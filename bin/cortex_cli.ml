@@ -480,9 +480,21 @@ let serve_cmd =
              ~doc:"Serve from an ahead-of-time bundle (`cortex build') instead of compiling: \
                    the artifact is installed as-is and zero lowering passes run")
   in
+  let sessions_arg =
+    Arg.(value & opt int 0
+         & info [ "sessions" ]
+             ~doc:"Interleave this many growing conversations with the trace: each is pinned \
+                   to a device and its grow-by-one tokens are served as delta extensions \
+                   (one cold window, then cached-numbering reuse plus persisted hidden states)")
+  in
+  let session_tokens_arg =
+    Arg.(value & opt int 16
+         & info [ "session-tokens" ] ~doc:"Tokens each session grows by over the trace (default 16)")
+  in
   let run name size seed backend options rps duration_ms max_batch max_wait_us bucketed
       num_devices device_list dispatch faults deadline_us queue_cap degrade_watermark
-      profile metrics logical_clock autotune tune_budget bundle config_file =
+      profile metrics logical_clock autotune tune_budget bundle sessions session_tokens
+      config_file =
     let spec = get_spec name size in
     let bundle_loaded =
       match bundle with
@@ -579,6 +591,46 @@ let serve_cmd =
       Trace.poisson ?deadline_us (Rng.create seed) ~rate_rps:rps ~duration_ms
         ~gen:(fun rng -> spec.M.dataset rng ~batch:1)
     in
+    (* Growing conversations ride along with the trace: their tokens are
+       queued up front (the drain plays everything in arrival order),
+       each under its own pinned session.  Payloads must stay inside the
+       model's embedding table — [Gen.grow_one] stamps internal nodes
+       with payload [vocab], so vocab is the table extent minus one. *)
+    if sessions > 0 then begin
+      let vocab =
+        match
+          List.find_opt
+            (fun (n, _) -> n = "Emb" || n = "X")
+            spec.M.program.Ra.params
+        with
+        | Some (_, ext :: _) -> max 1 (ext - 1)
+        | _ -> 16
+      in
+      let kind = spec.M.program.Ra.kind in
+      let span_us = duration_ms *. 1000.0 in
+      let tokens = max 1 session_tokens in
+      for i = 0 to sessions - 1 do
+        let rng = Rng.create (seed + (31 * i) + 1) in
+        let g = Gen.growth_start rng ~vocab ~kind () in
+        let submit j s =
+          let arrival =
+            (span_us *. float_of_int j /. float_of_int tokens)
+            +. (7.0 *. float_of_int i)
+          in
+          match
+            Engine.submit engine ~arrival_us:arrival
+              ?deadline_us:(Option.map (fun d -> arrival +. d) deadline_us)
+              ~session:(Printf.sprintf "chat-%d" i) s
+          with
+          | Ok _ | Error (Engine.Shed _) -> ()
+          | Error e -> raise (Engine.Error e)
+        in
+        submit 0 (Gen.growth_structure g);
+        for j = 1 to tokens do
+          submit j (Gen.grow_one rng g)
+        done
+      done
+    end;
     let s = Engine.run_trace engine trace in
     let a = s.Engine.aggregate in
     Printf.printf "%s on %s: %d requests (%d nodes) over %.1f ms, policy max_batch=%d max_wait=%.0fus %s\n"
@@ -636,6 +688,17 @@ let serve_cmd =
           (100.0 *. d.Engine.dr_utilization)
           (100.0 *. d.Engine.dr_occupancy))
       s.Engine.device_reports;
+    (* Per-session counters: everything here is a deterministic count
+       (never a wall time), so two seeded runs print identical lines. *)
+    List.iter
+      (fun (sn : Engine.session_report) ->
+        Printf.printf
+          "  session %s: %d nodes, %d windows (%d cold, %d delta), %d delta nodes, \
+           %d materializations, %d rebinds, device %d\n"
+          sn.Engine.sn_name sn.Engine.sn_nodes sn.Engine.sn_windows
+          sn.Engine.sn_cold sn.Engine.sn_extends sn.Engine.sn_delta_nodes
+          sn.Engine.sn_materializations sn.Engine.sn_rebinds sn.Engine.sn_device)
+      s.Engine.sessions;
     (* A few sample requests to show the per-request breakdown. *)
     let sample = List.filteri (fun i _ -> i < 5) s.Engine.requests in
     List.iter
@@ -675,7 +738,7 @@ let serve_cmd =
       $ duration_arg $ max_batch_arg $ max_wait_arg $ bucketed_arg $ devices_arg
       $ device_list_arg $ dispatch_arg $ faults_arg $ deadline_arg $ queue_cap_arg
       $ watermark_arg $ profile_arg $ metrics_arg $ logical_clock_arg $ autotune_arg
-      $ tune_budget_arg $ bundle_arg $ config_file_arg)
+      $ tune_budget_arg $ bundle_arg $ sessions_arg $ session_tokens_arg $ config_file_arg)
 
 let validate_trace_cmd =
   let file_arg =

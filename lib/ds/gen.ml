@@ -94,6 +94,45 @@ let sequence rng ?(vocab = vocab_size) ~len () =
   let head = Node.make b ~payload:(Rng.int rng vocab) [] in
   Structure.create ~kind:Sequence ~max_children:1 [ build head 1 ]
 
+(* ---------- incremental growth (sessions) ---------- *)
+
+(* A growing conversation: each step appends nodes with [Structure.append]
+   so successive structures share their prefix nodes physically — the
+   property the serving engine's session table keys on. *)
+type growth = {
+  g_vocab : int;
+  g_kind : Structure.kind;
+  g_builder : Node.builder;
+  mutable g_structure : Structure.t;
+}
+
+let growth_start rng ?(vocab = vocab_size) ~kind () =
+  let b = Node.builder () in
+  let leaf = Node.make b ~payload:(Rng.int rng vocab) [] in
+  let max_children = match kind with Structure.Sequence -> 1 | _ -> 2 in
+  let s = Structure.create ~kind ~max_children [ leaf ] in
+  { g_vocab = vocab; g_kind = kind; g_builder = b; g_structure = s }
+
+let growth_structure g = g.g_structure
+
+let grow_one rng g =
+  let root = List.hd g.g_structure.Structure.roots in
+  let s' =
+    match g.g_kind with
+    | Structure.Sequence ->
+      (* The conversation's new token becomes the new root of the chain. *)
+      let n = Node.make g.g_builder ~payload:(Rng.int rng g.g_vocab) [ root ] in
+      Structure.append g.g_structure ~roots:[ n ] ~added:[| n |]
+    | Structure.Tree | Structure.Dag ->
+      (* Left-branching growth: a new leaf and a new root over
+         [old root; new leaf] — how an incremental parse extends. *)
+      let leaf = Node.make g.g_builder ~payload:(Rng.int rng g.g_vocab) [] in
+      let top = Node.make g.g_builder ~payload:g.g_vocab [ root; leaf ] in
+      Structure.append g.g_structure ~roots:[ top ] ~added:[| leaf; top |]
+  in
+  g.g_structure <- s';
+  s'
+
 let random_tree rng ~max_nodes ~max_children =
   let n = 1 + Rng.int rng (max max_nodes 1) in
   let b = Node.builder () in

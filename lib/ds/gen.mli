@@ -48,6 +48,26 @@ val sequence : Cortex_util.Rng.t -> ?vocab:int -> len:int -> unit -> Structure.t
     last element is the root.  Payloads are random word ids drawn from
     [vocab]. *)
 
+(** {2 Incremental growth}
+
+    A growing conversation for the serving engine's sessions: each step
+    appends nodes via {!Structure.append}, so successive structures
+    share their prefix nodes physically.  Sequences grow by one token
+    (the new token is the new root); trees and DAGs grow left-branching
+    (a new leaf plus a new root over [old root; new leaf]). *)
+
+type growth
+
+val growth_start :
+  Cortex_util.Rng.t -> ?vocab:int -> kind:Structure.kind -> unit -> growth
+(** A one-node conversation (a single leaf with a random payload). *)
+
+val growth_structure : growth -> Structure.t
+(** The current structure (shared with the previous step's prefix). *)
+
+val grow_one : Cortex_util.Rng.t -> growth -> Structure.t
+(** Grow by one token and return the new current structure. *)
+
 val random_tree : Cortex_util.Rng.t -> max_nodes:int -> max_children:int -> Structure.t
 (** Arbitrary-shape random tree for property tests. *)
 

@@ -4,6 +4,10 @@ type builder = { mutable next_id : int }
 
 let builder () = { next_id = 0 }
 
+let builder_from next_id =
+  if next_id < 0 then invalid_arg "Node.builder_from";
+  { next_id }
+
 let make b ?(payload = -1) children =
   let id = b.next_id in
   b.next_id <- id + 1;

@@ -15,6 +15,11 @@ type builder
 (** Allocates nodes with sequential ids starting at 0. *)
 
 val builder : unit -> builder
+
+val builder_from : int -> builder
+(** [builder_from n] allocates ids starting at [n] — used to append
+    nodes to an existing structure whose ids already cover [0, n). *)
+
 val make : builder -> ?payload:int -> t list -> t
 (** [make b children] allocates a fresh node.  In a DAG the same node
     value may appear in several child lists. *)

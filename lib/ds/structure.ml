@@ -78,6 +78,91 @@ let create ~kind ~max_children roots =
 
 let num_nodes t = Array.length t.nodes
 
+(* Graft [added] nodes (ids continuing [base]'s) under fresh [roots]
+   without re-walking the whole graph.  Acyclicity is free — appended
+   nodes may only link nodes with strictly smaller ids — so validation
+   is O(|added| * fanout) plus one O(n) parent-count pass for the
+   Tree/Sequence single-parent rule. *)
+let append base ~roots ~(added : Node.t array) =
+  let b = num_nodes base in
+  let d = Array.length added in
+  Array.iteri
+    (fun i (n : Node.t) ->
+      if n.id <> b + i then
+        fail "appended ids must continue the structure: got %d, want %d" n.id (b + i))
+    added;
+  let is_base (n : Node.t) = n.id >= 0 && n.id < b && n == base.nodes.(n.id) in
+  let is_added (n : Node.t) = n.id >= b && n.id < b + d && n == added.(n.id - b) in
+  let member n = is_base n || is_added n in
+  let max_children =
+    match base.kind with
+    | Sequence -> 1 (* a sequence must keep max_children = 1 *)
+    | Tree | Dag ->
+      Array.fold_left (fun m n -> max m (Node.num_children n)) base.max_children added
+  in
+  Array.iter
+    (fun (n : Node.t) ->
+      if Array.length n.children > max_children then
+        fail "node %d has %d children (max %d)" n.id (Array.length n.children)
+          max_children;
+      Array.iter
+        (fun (c : Node.t) ->
+          if c.id >= n.id then
+            fail "appended node %d lists child %d: children must predate their parent"
+              n.id c.id;
+          if not (member c) then fail "appended node %d links a foreign node %d" n.id c.id)
+        n.children)
+    added;
+  if roots = [] then fail "structure with no roots";
+  List.iter
+    (fun (r : Node.t) -> if not (member r) then fail "root %d is not a member" r.Node.id)
+    roots;
+  (* Every appended node must be reachable from the new roots.  Old nodes
+     have no new out-edges, so a DFS restricted to appended nodes is
+     complete. *)
+  let seen = Array.make (max d 1) false in
+  let rec mark (n : Node.t) =
+    if is_added n && not seen.(n.id - b) then begin
+      seen.(n.id - b) <- true;
+      Array.iter mark n.children
+    end
+  in
+  List.iter mark roots;
+  Array.iteri
+    (fun i s ->
+      if not s then fail "appended node %d is unreachable from the new roots" (b + i))
+    seen;
+  (* Every old root must stay reachable: either it remains a root or an
+     appended node links it.  (Old non-roots are reachable through their
+     old parents, which the base structure already validated.) *)
+  let covered = Hashtbl.create 8 in
+  List.iter (fun (r : Node.t) -> if is_base r then Hashtbl.replace covered r.id ()) roots;
+  Array.iter
+    (fun (n : Node.t) ->
+      Array.iter
+        (fun (c : Node.t) -> if c.id < b then Hashtbl.replace covered c.id ())
+        n.children)
+    added;
+  List.iter
+    (fun (r : Node.t) ->
+      if not (Hashtbl.mem covered r.id) then
+        fail "old root %d is neither a root nor referenced by an appended node" r.id)
+    base.roots;
+  (match base.kind with
+   | Dag -> ()
+   | Tree | Sequence ->
+     let parents = Array.make (b + d) 0 in
+     let count (n : Node.t) =
+       Array.iter (fun (c : Node.t) -> parents.(c.id) <- parents.(c.id) + 1) n.children
+     in
+     Array.iter count base.nodes;
+     Array.iter count added;
+     let what = match base.kind with Sequence -> "sequence" | _ -> "tree" in
+     Array.iteri
+       (fun id p -> if p > 1 then fail "node %d has %d parents in a %s" id p what)
+       parents);
+  { base with max_children; roots; nodes = Array.append base.nodes added }
+
 let num_leaves t =
   Array.fold_left (fun acc n -> if Node.is_leaf n then acc + 1 else acc) 0 t.nodes
 

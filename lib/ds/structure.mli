@@ -23,6 +23,17 @@ val create : kind:kind -> max_children:int -> Node.t list -> t
     sequences are chains; trees have a unique parent per node; the
     structure is acyclic.  Raises [Invalid] otherwise. *)
 
+val append : t -> roots:Node.t list -> added:Node.t array -> t
+(** [append base ~roots ~added] grows [base] in place of a full
+    re-[create]: [added] nodes must carry ids continuing [base]'s dense
+    range, may only link member nodes with strictly smaller ids (so
+    acyclicity is structural), must all be reachable from the new
+    [roots], and every old root must either remain a root or be linked
+    by an appended node.  Tree/Sequence single-parent rules are
+    re-verified.  The result shares [base]'s node values — physical
+    equality of the common prefix is what lets the serving engine
+    recognise a grown conversation.  Raises [Invalid] otherwise. *)
+
 val num_nodes : t -> int
 val num_leaves : t -> int
 val num_internal : t -> int

@@ -22,6 +22,8 @@ type rejection =
   | Mixed_kinds of Structure.kind * Structure.kind
   | Empty_forest
   | Empty_structure
+  | Empty_delta
+  | Bad_delta of string
 
 exception Rejected of rejection
 
@@ -38,6 +40,8 @@ let rejection_to_string = function
     Printf.sprintf "forest mixes %s and %s structures" (kind_name a) (kind_name b)
   | Empty_forest -> "empty forest"
   | Empty_structure -> "empty structure"
+  | Empty_delta -> "empty delta"
+  | Bad_delta msg -> "bad delta: " ^ msg
 
 let run ?max_children structure =
   let n = Structure.num_nodes structure in
@@ -255,17 +259,32 @@ let run_forest ?max_children structures =
   { lin; spans }
 
 (* The canonical shape encoding: everything the numbering depends on —
-   structure kinds, node counts, root ids and per-node children ids —
-   and nothing it doesn't (payloads).  Two forests produce equal keys
-   iff [run_forest] would produce identical numberings for them, so a
-   shape-keyed cache needs no collision handling: string equality on
-   the key is shape equality. *)
-let shape_key structures =
+   the fanout bound, structure kinds, node counts, root ids and per-node
+   children ids — and nothing it doesn't (payloads).  Two forests
+   produce equal keys iff [run_forest] would produce identical
+   numberings for them, so a shape-keyed cache needs no collision
+   handling: string equality on the key is shape equality.
+
+   [max_children] must be in the key: it is the child-table width and
+   the fanout-validation bound, so equal shapes linearized under
+   different bounds are *different* layouts.  The default mirrors
+   [run_forest]'s (the maximum declared bound across the requests). *)
+let shape_key ?max_children structures =
   let b = Buffer.create 256 in
   let add_int n =
     Buffer.add_string b (string_of_int n);
     Buffer.add_char b ','
   in
+  let mc =
+    match max_children with
+    | Some mc -> mc
+    | None ->
+      List.fold_left (fun m (s : Structure.t) -> max m s.Structure.max_children) 1
+        structures
+  in
+  Buffer.add_char b 'm';
+  add_int mc;
+  Buffer.add_char b '!';
   List.iter
     (fun (s : Structure.t) ->
       Buffer.add_char b
@@ -360,11 +379,366 @@ let check_forest f =
         span.span_structure.Structure.nodes)
     f.spans
 
+(* ---------- delta linearization (incremental growth) ---------- *)
+
+type delta = {
+  d_request : int;
+  d_roots : Node.t list;
+  d_nodes : Node.t array;
+}
+
+(* Grow request [d_request] of an already-linearized forest without a
+   cold [run_forest] of the whole thing.  The numbering scheme forces a
+   global renumbering in the worst case — level blocks are laid out in
+   descending level order, so grafting a new root shifts every id — but
+   all the numbering *decisions* are made per delta node and per level:
+   untouched levels keep their cached internal order and only pick up a
+   block offset, and the rebuild is a handful of tight O(n) mapping
+   passes instead of a cold run's graph merge, level DFS and span
+   construction.  The result is *identical* (array for array) to
+   [run_forest] of the grown structures, so it shares their shape key,
+   satisfies [check_forest], and can be cached and rebound like any
+   cold forest. *)
+let extend f (dl : delta) =
+  let lin = f.lin in
+  let spans = f.spans in
+  let r = Array.length spans in
+  let k = dl.d_request in
+  if k < 0 || k >= r then
+    raise (Rejected (Bad_delta (Printf.sprintf "no request %d in a %d-request forest" k r)));
+  let d = Array.length dl.d_nodes in
+  if d = 0 then raise (Rejected Empty_delta);
+  let span = spans.(k) in
+  let base = span.span_structure in
+  let bsize = Structure.num_nodes base in
+  let n = lin.num_nodes in
+  let n' = n + d in
+  let mc = lin.max_children in
+  (* The model's fanout bound applies to the new nodes too. *)
+  Array.iter
+    (fun (node : Node.t) ->
+      let arity = Array.length node.children in
+      if arity > mc then
+        raise (Rejected (Fanout_exceeded { node = node.id; arity; max_children = mc })))
+    dl.d_nodes;
+  let grown =
+    try Structure.append base ~roots:dl.d_roots ~added:dl.d_nodes
+    with Structure.Invalid msg -> raise (Rejected (Bad_delta msg))
+  in
+  (* Request-local creation order of the grown structure: the order
+     [Structure.merge_mapped] would copy it in (children-first DFS from
+     the roots).  The cold numbering hands out per-level ids in creation
+     order, so this ranking decides where each delta node lands in its
+     level slice. *)
+  let rank = Array.make (bsize + d) (-1) in
+  let next = ref 0 in
+  let rec visit (node : Node.t) =
+    if rank.(node.id) = -1 then begin
+      rank.(node.id) <- -2;
+      Array.iter visit node.children;
+      rank.(node.id) <- !next;
+      incr next
+    end
+  in
+  List.iter visit grown.Structure.roots;
+  let order = Array.make (bsize + d) (-1) in
+  Array.iteri (fun local rk -> order.(rk) <- local) rank;
+  (* Merged creation-id block of request [k], and each old node's rank
+     within it under the *base* roots. *)
+  let off_k = ref 0 in
+  for j = 0 to k - 1 do
+    off_k := !off_k + Array.length spans.(j).span_ids
+  done;
+  let off_k = !off_k in
+  let base_rank local = lin.old_of_new.(span.span_ids.(local)) - off_k in
+  (* The cached numbering is only reusable if the delta preserves the
+     old nodes' relative creation order (it appends; it does not
+     reshuffle).  [tail_append] additionally means every delta node
+     ranks after every old node — the only case a grow-by-one session
+     produces, and the one that keeps delta batches contiguous. *)
+  let tail_append = ref true in
+  let prev = ref (-1) in
+  Array.iter
+    (fun local ->
+      if local < bsize then begin
+        let br = base_rank local in
+        if br < !prev then
+          raise (Rejected (Bad_delta "delta reorders existing nodes"));
+        prev := br;
+        if rank.(local) <> br then tail_append := false
+      end)
+    order;
+  let tail_append = !tail_append in
+  (* Levels of the delta nodes (children have smaller ids, so new
+     children are already computed when their parent is). *)
+  let new_level = Array.make d 0 in
+  Array.iteri
+    (fun i (node : Node.t) ->
+      let lv =
+        Array.fold_left
+          (fun m (c : Node.t) ->
+            let cl =
+              if c.id < bsize then lin.level_of.(span.span_ids.(c.id))
+              else new_level.(c.id - bsize)
+            in
+            max m cl)
+          (-1) node.children
+      in
+      new_level.(i) <- lv + 1)
+    dl.d_nodes;
+  let old_height = Array.length lin.batches - 1 in
+  let height' = Array.fold_left max old_height new_level in
+  let ins = Array.make (height' + 1) 0 in
+  Array.iter (fun lv -> ins.(lv) <- ins.(lv) + 1) new_level;
+  let old_width l = if l <= old_height then snd lin.batches.(l) else 0 in
+  let old_first l = fst lin.batches.(l) in
+  let width' = Array.init (height' + 1) (fun l -> old_width l + ins.(l)) in
+  let first' = Array.make (height' + 1) 0 in
+  let running = ref 0 in
+  for l = height' downto 0 do
+    first'.(l) <- !running;
+    running := !running + width'.(l)
+  done;
+  (* Where request [k]'s slice starts within each level, relative to the
+     level's first id: unchanged where the request already has nodes;
+     the sum of earlier requests' widths where it does not (requests
+     occupy level slices in request order). *)
+  let span_height = Array.length span.span_levels - 1 in
+  let old_count l = if l <= span_height then snd span.span_levels.(l) else 0 in
+  let rel_start l =
+    if old_count l > 0 then fst span.span_levels.(l) - old_first l
+    else begin
+      let acc = ref 0 in
+      for j = 0 to k - 1 do
+        let sl = spans.(j).span_levels in
+        if l < Array.length sl then acc := !acc + snd sl.(l)
+      done;
+      !acc
+    end
+  in
+  (* Slice position of every request-[k] node (old and new) in its
+     level, by grown creation rank — old relative order is preserved,
+     delta nodes interleave where their rank puts them. *)
+  let slice_pos = Array.make (bsize + d) 0 in
+  let counters = Array.make (height' + 1) 0 in
+  Array.iter
+    (fun local ->
+      let lv =
+        if local < bsize then lin.level_of.(span.span_ids.(local))
+        else new_level.(local - bsize)
+      in
+      slice_pos.(local) <- counters.(lv);
+      counters.(lv) <- counters.(lv) + 1)
+    order;
+  (* New forest ids: [fmap] for survivors, [new_fid] for delta nodes. *)
+  let fmap = Array.make n (-1) in
+  Array.iteri
+    (fun j sp ->
+      if j <> k then
+        Array.iter
+          (fun x ->
+            let l = lin.level_of.(x) in
+            fmap.(x) <- x + (first'.(l) - old_first l) + (if j > k then ins.(l) else 0))
+          sp.span_ids)
+    spans;
+  for local = 0 to bsize - 1 do
+    let x = span.span_ids.(local) in
+    let l = lin.level_of.(x) in
+    fmap.(x) <- first'.(l) + rel_start l + slice_pos.(local)
+  done;
+  let new_fid =
+    Array.init d (fun i ->
+        let l = new_level.(i) in
+        first'.(l) + rel_start l + slice_pos.(bsize + i))
+  in
+  (* Rebuild the tables by mapping passes. *)
+  let child' = Array.init mc (fun _ -> Array.make n' (-1)) in
+  let num_children' = Array.make n' 0 in
+  let payload' = Array.make n' (-1) in
+  let level_of' = Array.make n' (-1) in
+  for x = 0 to n - 1 do
+    let y = fmap.(x) in
+    num_children'.(y) <- lin.num_children.(x);
+    payload'.(y) <- lin.payload.(x);
+    level_of'.(y) <- lin.level_of.(x);
+    for c = 0 to mc - 1 do
+      let ch = lin.child.(c).(x) in
+      if ch >= 0 then child'.(c).(y) <- fmap.(ch)
+    done
+  done;
+  let local_fid local =
+    if local < bsize then fmap.(span.span_ids.(local)) else new_fid.(local - bsize)
+  in
+  Array.iteri
+    (fun i (node : Node.t) ->
+      let y = new_fid.(i) in
+      num_children'.(y) <- Array.length node.children;
+      payload'.(y) <- node.payload;
+      level_of'.(y) <- new_level.(i);
+      Array.iteri (fun c (ch : Node.t) -> child'.(c).(y) <- local_fid ch.id) node.children)
+    dl.d_nodes;
+  (* The grown merged structure.  When the grown request is last and the
+     delta is a pure tail append, graft copies of the delta nodes onto
+     the cached merged structure directly; otherwise fall back to a
+     re-merge (creation ids come out the same either way). *)
+  let structure' =
+    if k = r - 1 && tail_append then begin
+      let bld = Node.builder_from n in
+      let copies = Array.make d None in
+      let merged_of_local local =
+        if local < bsize then lin.structure.Structure.nodes.(off_k + base_rank local)
+        else
+          match copies.(local - bsize) with
+          | Some node -> node
+          | None -> assert false
+      in
+      for rk = bsize to bsize + d - 1 do
+        let local = order.(rk) in
+        let node = dl.d_nodes.(local - bsize) in
+        let children =
+          Array.to_list (Array.map (fun (c : Node.t) -> merged_of_local c.id) node.children)
+        in
+        copies.(local - bsize) <- Some (Node.make bld ~payload:node.payload children)
+      done;
+      let added =
+        Array.map (function Some node -> node | None -> assert false) copies
+      in
+      (* Re-sort into creation-id order (copies were made in rank order). *)
+      Array.sort (fun (a : Node.t) (b : Node.t) -> compare a.id b.id) added;
+      let prefix_roots = ref [] in
+      let rest = ref lin.structure.Structure.roots in
+      for j = 0 to k - 1 do
+        List.iter
+          (fun _ ->
+            match !rest with
+            | root :: tl ->
+              prefix_roots := root :: !prefix_roots;
+              rest := tl
+            | [] -> assert false)
+          spans.(j).span_structure.Structure.roots
+      done;
+      let new_roots = List.map (fun (rt : Node.t) -> merged_of_local rt.id) grown.Structure.roots in
+      let roots = List.rev_append !prefix_roots new_roots in
+      (try Structure.append lin.structure ~roots ~added
+       with Structure.Invalid msg -> raise (Rejected (Bad_delta msg)))
+    end
+    else begin
+      let structures =
+        List.mapi
+          (fun j sp -> if j = k then grown else sp.span_structure)
+          (Array.to_list spans)
+      in
+      fst (Structure.merge_mapped structures)
+    end
+  in
+  assert (Structure.num_nodes structure' = n');
+  (* Creation-id maps: requests before [k] keep their block, request
+     [k]'s block reorders by grown rank and absorbs the delta, requests
+     after shift by [d]. *)
+  let base_order = Array.make bsize (-1) in
+  for local = 0 to bsize - 1 do
+    base_order.(base_rank local) <- local
+  done;
+  let new_of_old' = Array.make n' (-1) in
+  for m = 0 to n - 1 do
+    let m' =
+      if m < off_k then m
+      else if m < off_k + bsize then off_k + rank.(base_order.(m - off_k))
+      else m + d
+    in
+    new_of_old'.(m') <- fmap.(lin.new_of_old.(m))
+  done;
+  for i = 0 to d - 1 do
+    new_of_old'.(off_k + rank.(bsize + i)) <- new_fid.(i)
+  done;
+  let old_of_new' = Array.make n' (-1) in
+  Array.iteri (fun m y -> old_of_new'.(y) <- m) new_of_old';
+  (* Children-first DFS over the new tables, in merged-root order —
+     exactly the traversal a cold [run] performs. *)
+  let root_fids =
+    List.concat
+      (List.mapi
+         (fun j sp ->
+           if j = k then List.map (fun (rt : Node.t) -> local_fid rt.id) grown.Structure.roots
+           else
+             List.map
+               (fun (rt : Node.t) -> fmap.(sp.span_ids.(rt.id)))
+               sp.span_structure.Structure.roots)
+         (Array.to_list spans))
+  in
+  let postorder' = Array.make n' (-1) in
+  let filled = ref 0 in
+  let seen = Array.make n' false in
+  let rec dfs y =
+    if not seen.(y) then begin
+      seen.(y) <- true;
+      for c = 0 to num_children'.(y) - 1 do
+        dfs child'.(c).(y)
+      done;
+      postorder'.(!filled) <- y;
+      incr filled
+    end
+  in
+  List.iter dfs root_fids;
+  assert (!filled = n');
+  let batches' = Array.init (height' + 1) (fun l -> (first'.(l), width'.(l))) in
+  let lin' =
+    {
+      structure = structure';
+      num_nodes = n';
+      num_leaves = width'.(0);
+      max_children = mc;
+      new_of_old = new_of_old';
+      old_of_new = old_of_new';
+      leaf_begin = first'.(0);
+      child = child';
+      num_children = num_children';
+      payload = payload';
+      level_of = level_of';
+      batches = batches';
+      postorder = postorder';
+    }
+  in
+  (* Rebuild the spans: untouched requests shift wholesale, the grown
+     request extends. *)
+  let height_k' =
+    let h = ref 0 in
+    for local = 0 to bsize - 1 do
+      h := max !h lin.level_of.(span.span_ids.(local))
+    done;
+    Array.fold_left max !h new_level
+  in
+  let spans' =
+    Array.mapi
+      (fun j sp ->
+        if j <> k then
+          {
+            sp with
+            span_ids = Array.map (fun x -> fmap.(x)) sp.span_ids;
+            span_levels = Array.map (fun (lo, c) -> (fmap.(lo), c)) sp.span_levels;
+          }
+        else begin
+          let span_ids = Array.init (bsize + d) local_fid in
+          let span_levels =
+            Array.init (height_k' + 1) (fun l ->
+                (first'.(l) + rel_start l, old_count l + ins.(l)))
+          in
+          { span_structure = grown; span_ids; span_levels }
+        end)
+      spans
+  in
+  { lin = lin'; spans = spans' }
+
 let memory_bytes t =
-  (* ints are 8 bytes on this platform; the device-side arrays the
-     executor consumes are the child tables, payloads and batch table. *)
+  (* ints are 8 bytes on this platform.  The dynamic-batching executor
+     resolves exactly four tables on device ([Lower.bind]): the child
+     tables ([max_children] x n, via [u_child]), the fanout counts
+     (n, via [u_num_children]), the payloads (n, via [u_payload]) and
+     the batch table (2 ints per batch, via [u_batch_begin]/[u_batch_len]).
+     [postorder] and the numbering maps are host-side inspector state and
+     are not billed — [Cost] only ever charges the resolved tables. *)
   let ints =
-    (t.max_children * t.num_nodes) + t.num_nodes + t.num_nodes + t.num_nodes
+    (t.max_children * t.num_nodes) + t.num_nodes + t.num_nodes
     + (2 * Array.length t.batches)
   in
   8 * ints

@@ -51,6 +51,12 @@ type rejection =
   | Empty_structure
       (** A structure with no nodes — linearizing it would emit a
           phantom [(0, 0)] batch (one kernel launch over nothing). *)
+  | Empty_delta  (** A {!delta} with no nodes. *)
+  | Bad_delta of string
+      (** A {!delta} that does not describe pure growth of the cached
+          forest — bad ids, foreign nodes, unreachable nodes, or a
+          reordering of existing nodes.  The caller should fall back to
+          a cold {!run_forest}. *)
 
 exception Rejected of rejection
 (** Typed input-validation failure, raised by {!run} and {!run_forest}
@@ -100,12 +106,16 @@ val run_forest : ?max_children:int -> Cortex_ds.Structure.t list -> forest
     violation (checked per request, against the request's own node
     ids). *)
 
-val shape_key : Cortex_ds.Structure.t list -> string
-(** The canonical shape encoding of a forest: kinds, node counts, root
-    ids and per-node children ids — everything the numbering depends
-    on, payloads excluded.  Equal keys iff {!run_forest} (under a fixed
-    [max_children]) produces identical numberings, so a shape-keyed
-    cache needs no collision handling. *)
+val shape_key : ?max_children:int -> Cortex_ds.Structure.t list -> string
+(** The canonical shape encoding of a forest: the fanout bound, kinds,
+    node counts, root ids and per-node children ids — everything the
+    numbering depends on, payloads excluded.  Equal keys iff
+    {!run_forest} under the same [max_children] produces identical
+    numberings, so a shape-keyed cache needs no collision handling.
+    [max_children] defaults as in {!run_forest} (the maximum declared
+    bound across the requests); pass the model's bound when the cache
+    serves compiled models — the bound is the child-table width, so
+    equal shapes under different bounds are different layouts. *)
 
 val rebind_forest : forest -> Cortex_ds.Structure.t list -> forest
 (** [rebind_forest cached structures] reuses a cached numbering for a
@@ -121,6 +131,37 @@ val rebind_forest : forest -> Cortex_ds.Structure.t list -> forest
     skipped.  Raises [Invalid_argument] on a request count or node
     count mismatch (the cheap prefix of shape equality — callers are
     expected to key on {!shape_key}). *)
+
+(** {2 Delta linearization (incremental growth)}
+
+    Interactive workloads grow structures incrementally — token by
+    token for sequences, node by node for trees.  A cold {!run_forest}
+    per token is O(tree) inspector work; {!extend} reuses the cached
+    numbering instead: untouched levels keep their internal order and
+    only pick up a block offset, numbering decisions are made per delta
+    node, and the arrays are rebuilt by tight mapping passes (the
+    numbering scheme's descending level blocks force the id shift, but
+    not a re-traversal).  The serving engine amortizes even the mapping
+    passes by materializing geometrically (see [Engine]). *)
+
+type delta = {
+  d_request : int;  (** which request of the forest grows *)
+  d_roots : Cortex_ds.Node.t list;
+      (** the grown request's new root list (new roots graft over old
+          ones; an old root may remain a root) *)
+  d_nodes : Cortex_ds.Node.t array;
+      (** the appended nodes, ids continuing the request's dense range;
+          children may be old nodes (physically) or earlier delta
+          nodes *)
+}
+
+val extend : forest -> delta -> forest
+(** [extend f delta] returns the forest of the grown requests —
+    identical, array for array, to a cold {!run_forest} of them (same
+    shape key, same numbering, satisfies {!check_forest}, cacheable and
+    rebindable like any cold forest).  Raises {!Rejected}
+    ([Empty_delta], [Bad_delta], [Fanout_exceeded]) when the delta is
+    not pure growth; the caller falls back to a cold run. *)
 
 val check_forest : forest -> unit
 (** {!check} on the merged linearization, plus the span invariants:

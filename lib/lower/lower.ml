@@ -1285,3 +1285,31 @@ let state_value_lin bound compiled st_name lin_id =
 let state_value bound compiled st_name (node : Cortex_ds.Node.t) =
   state_value_lin bound compiled st_name
     bound.lin.Linearizer.new_of_old.(node.Cortex_ds.Node.id)
+
+let set_state_lin bound compiled st_name lin_id value =
+  let tensor =
+    match List.assoc_opt st_name compiled.state_tensors with
+    | Some t -> t
+    | None -> fail "no state named %s" st_name
+  in
+  let storage = Interp.get_tensor bound.ctx tensor in
+  let dims = Array.of_list (state_feat_dims compiled.ra st_name) in
+  let elems = Array.fold_left Stdlib.( * ) 1 dims in
+  if Tensor.numel value <> elems then
+    fail "set_state_lin: state %s expects %d elements" st_name elems;
+  for i = 0 to elems - 1 do
+    Tensor.set_flat storage ((lin_id * elems) + i) (Tensor.get_flat value i)
+  done
+
+(* Delta-view serving (sessions) re-runs only the grown tail of a
+   structure against a freshly bound context, pre-seeding the old rows
+   of the state tensors.  That is only sound when the compiled program's
+   only cross-node dataflow is through those state tensors and the
+   batch loop comes from the bound batch table: the specialized
+   dynamic-batching pipeline.  Unrolling schedules from the full
+   linearization, and refactoring publishes temporaries that are read
+   across nodes without being states — both would read garbage for the
+   pre-seeded prefix. *)
+let delta_compatible (opts : options) =
+  opts.dynamic_batch && opts.specialize && opts.fuse && not opts.unroll
+  && not opts.refactor

@@ -160,3 +160,19 @@ val state_value_lin :
     per-request results out of a batched forest through its span
     tables, where the original nodes belong to a different (pre-merge)
     structure. *)
+
+val set_state_lin :
+  bound -> compiled -> string -> int -> Cortex_tensor.Tensor.t -> unit
+(** Write one node's row of a state tensor before running — the
+    serving engine pre-seeds a session's persistent hidden states into
+    a freshly bound context so a delta run over the grown tail reads
+    the old nodes' values instead of zeros.  Raises [Failure] on an
+    unknown state or an element-count mismatch. *)
+
+val delta_compatible : options -> bool
+(** Whether delta-view serving (re-running only the grown tail with
+    pre-seeded states) is sound for these options: the specialized
+    dynamic-batching pipeline ([dynamic_batch], [specialize], [fuse]),
+    without unrolling (schedules from the full linearization) or
+    refactoring (publishes cross-node temporaries that are not
+    states). *)

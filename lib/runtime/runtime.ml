@@ -21,11 +21,15 @@ let options_for ?(base = Lower.default) (spec : M.t) =
 
 type execution = { exec_compiled : compiled; exec_bound : Lower.bound }
 
-let execute_lin compiled ~params lin =
+let execute_lin ?preload compiled ~params lin =
   let bound = Lower.bind compiled lin in
   List.iter
     (fun (name, t) -> Interp.bind_tensor bound.Lower.ctx t (params name))
     compiled.Lower.param_tensors;
+  (* Sessions pre-seed persistent hidden states into the fresh context
+     (after parameters, before the kernels) so a delta run over a grown
+     tail reads the conversation's existing rows instead of zeros. *)
+  (match preload with None -> () | Some f -> f bound);
   Interp.run_program bound.Lower.ctx compiled.Lower.prog;
   { exec_compiled = compiled; exec_bound = bound }
 

@@ -34,12 +34,17 @@ type execution = {
 }
 
 val execute_lin :
+  ?preload:(Cortex_lower.Lower.bound -> unit) ->
   compiled ->
   params:(string -> Cortex_tensor.Tensor.t) ->
   Linearizer.t ->
   execution
 (** Bind an already-linearized input (a single structure or a serving
-    engine's forest) and run the kernels numerically. *)
+    engine's forest) and run the kernels numerically.  [preload] runs
+    after parameter binding and before the kernels — the serving
+    engine's sessions use it ({!Cortex_lower.Lower.set_state_lin}) to
+    seed a conversation's persistent hidden states into the context so
+    a delta run over the grown tail continues from them. *)
 
 val execute :
   compiled ->

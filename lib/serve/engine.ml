@@ -338,6 +338,38 @@ type pending = {
   p_deadline : float;  (* absolute; [infinity] when none *)
   p_structure : Structure.t;
   p_nodes : int;
+  p_session : string option;  (* pinned-conversation serving *)
+}
+
+(* A session pins a growing conversation: its device, its layout (the
+   materialized forest, refreshed geometrically through
+   [Linearizer.extend]), its persistent hidden states (host-side ground
+   truth, keyed by stable request-local node identity), and the scratch
+   tables the per-token delta views window over.  The scratch arrays
+   are capacity-doubling: each appended node is assigned a {e session
+   id} (stable until the session resets) and its child/payload/level
+   rows live at that id, so building a token's delta view is O(delta)
+   — no per-token re-traversal of the conversation. *)
+type session = {
+  sx_name : string;
+  mutable sx_structure : Structure.t option;  (* last structure served *)
+  mutable sx_forest : Linearizer.forest option;  (* materialized layout *)
+  mutable sx_mat_nodes : int;  (* size at the last materialization *)
+  mutable sx_device : int option;  (* pinned device index *)
+  mutable sx_windows : int;
+  mutable sx_extends : int;  (* windows served from a delta view *)
+  mutable sx_cold : int;  (* windows served by full (re)linearization *)
+  mutable sx_materializations : int;  (* geometric [extend] rebuilds *)
+  mutable sx_rebinds : int;  (* failover re-binds through the cache *)
+  mutable sx_delta_nodes : int;  (* nodes served via delta views *)
+  sx_states : (string * int, Tensor.t) Hashtbl.t;
+      (* (state name, request-local node id) -> persisted row *)
+  mutable sc_used : int;  (* session ids in use *)
+  mutable sc_child : int array array;  (* child.(k).(sid), k < max_children *)
+  mutable sc_num_children : int array;
+  mutable sc_payload : int array;
+  mutable sc_level : int array;
+  mutable sc_sid : int array;  (* request-local node id -> session id *)
 }
 
 type t = {
@@ -357,6 +389,7 @@ type t = {
   eng_params : (string -> Tensor.t) option;
   eng_obs : Obs.t option;
   eng_plans : Plan_cache.t option;  (* Some = plan cache active *)
+  eng_sessions : (string, session) Hashtbl.t;
   eng_config : Config.t;
   mutable next_id : int;
   mutable queue : pending list;  (* newest first *)
@@ -412,6 +445,9 @@ let build ~(config : Config.t) ~model ~backend ~compiled =
       (if config.Config.tuning.Config.autotune then
          Some (Plan_cache.create ?budget:config.Config.tuning.Config.tune_budget ())
        else None);
+    (* The session table is part of [build], so engines stood up from a
+       bundle ([of_bundle]) serve sessions exactly like compiled ones. *)
+    eng_sessions = Hashtbl.create 16;
     eng_config = config;
     next_id = 0;
     queue = [];
@@ -549,7 +585,7 @@ let validate_exn t s =
 
 (* ---------- serving simulation ---------- *)
 
-let submit t ?(arrival_us = 0.0) ?deadline_us structure =
+let submit t ?(arrival_us = 0.0) ?deadline_us ?session structure =
   (* The queue cap is the front door: load shedding happens before
      validation, the way a real server drops on the floor before it
      parses.  A shed is typed [Shed] and counted separately from
@@ -573,15 +609,236 @@ let submit t ?(arrival_us = 0.0) ?deadline_us structure =
           p_deadline = Option.value deadline_us ~default:infinity;
           p_structure = structure;
           p_nodes = Structure.num_nodes structure;
+          p_session = session;
         }
         :: t.queue;
       t.queued <- t.queued + 1;
       Ok id)
 
-let submit_exn t ?arrival_us ?deadline_us structure =
-  match submit t ?arrival_us ?deadline_us structure with
+let submit_exn t ?arrival_us ?deadline_us ?session structure =
+  match submit t ?arrival_us ?deadline_us ?session structure with
   | Ok id -> id
   | Stdlib.Error e -> raise (Error e)
+
+(* ---------- sessions ---------- *)
+
+let session_of t name =
+  match Hashtbl.find_opt t.eng_sessions name with
+  | Some sx -> sx
+  | None ->
+    let mc = max 1 t.model.Ra.max_children in
+    let sx =
+      {
+        sx_name = name;
+        sx_structure = None;
+        sx_forest = None;
+        sx_mat_nodes = 0;
+        sx_device = None;
+        sx_windows = 0;
+        sx_extends = 0;
+        sx_cold = 0;
+        sx_materializations = 0;
+        sx_rebinds = 0;
+        sx_delta_nodes = 0;
+        sx_states = Hashtbl.create 64;
+        sc_used = 0;
+        sc_child = Array.make mc [||];
+        sc_num_children = [||];
+        sc_payload = [||];
+        sc_level = [||];
+        sc_sid = [||];
+      }
+    in
+    Hashtbl.add t.eng_sessions name sx;
+    sx
+
+(* Doubling growth, so n appended nodes cost O(n) total copying. *)
+let ensure_session_capacity sx n =
+  let cap = Array.length sx.sc_num_children in
+  if n > cap then begin
+    let cap' = max n (max 16 (2 * cap)) in
+    let grow a =
+      let a' = Array.make cap' (-1) in
+      Array.blit a 0 a' 0 (Array.length a);
+      a'
+    in
+    sx.sc_child <- Array.map grow sx.sc_child;
+    sx.sc_num_children <- grow sx.sc_num_children;
+    sx.sc_payload <- grow sx.sc_payload;
+    sx.sc_level <- grow sx.sc_level;
+    sx.sc_sid <- grow sx.sc_sid
+  end
+
+(* Assign the next session id to [node] and fill its scratch rows.
+   Children must already hold session ids (callers push children
+   first). *)
+let push_node sx (node : Node.t) =
+  let sid = sx.sc_used in
+  sx.sc_used <- sid + 1;
+  sx.sc_sid.(node.Node.id) <- sid;
+  let ch = node.Node.children in
+  let arity = Array.length ch in
+  sx.sc_num_children.(sid) <- arity;
+  sx.sc_payload.(sid) <- node.Node.payload;
+  let lv = ref 0 in
+  let mc = Array.length sx.sc_child in
+  for k = 0 to mc - 1 do
+    if k < arity then begin
+      let csid = sx.sc_sid.(ch.(k).Node.id) in
+      sx.sc_child.(k).(sid) <- csid;
+      if sx.sc_level.(csid) + 1 > !lv then lv := sx.sc_level.(csid) + 1
+    end
+    else sx.sc_child.(k).(sid) <- -1
+  done;
+  sx.sc_level.(sid) <- !lv
+
+(* A different conversation took over the name: its node identities
+   mean something else, so the persisted rows and the scratch numbering
+   are dropped (the counters stay — they are cumulative). *)
+let reset_session sx =
+  sx.sx_structure <- None;
+  sx.sx_forest <- None;
+  sx.sx_mat_nodes <- 0;
+  sx.sc_used <- 0;
+  Hashtbl.reset sx.sx_states
+
+(* How one session submission is served this window. *)
+type session_serve =
+  | S_delta of {
+      sd_view : Linearizer.t;  (* delta view over the grown tail *)
+      sd_news : Node.t array;  (* the appended nodes, in view batch order *)
+      sd_base : int;  (* node-id boundary: ids < sd_base are old *)
+    }
+  | S_cold of Linearizer.forest * bool  (* full (re)linearization, cache hit *)
+
+(* Validate that [s] purely grows the session's pinned conversation and
+   build the token's delta view: a [Linearizer.t] whose batch table
+   covers only the appended nodes (the leaf run first — possibly empty,
+   a sequence token appends no leaf — then one batch per level run,
+   children-first), while its node-id space, and therefore the bound
+   state tensors, covers the whole conversation so the boundary rows
+   can be pre-seeded.  O(delta) work: the prefix is checked by physical
+   identity at its endpoints and every appended node is validated in
+   full.  Returns [None] when [s] is not pure growth — the caller falls
+   back to a cold run. *)
+let session_delta_view sx (s : Structure.t) =
+  match sx.sx_structure with
+  | None -> None
+  | Some prev ->
+    let b = Structure.num_nodes prev and n = Structure.num_nodes s in
+    let nodes = s.Structure.nodes in
+    if
+      n <= b
+      || s.Structure.kind <> prev.Structure.kind
+      || not (nodes.(0) == prev.Structure.nodes.(0))
+      || not (nodes.(b - 1) == prev.Structure.nodes.(b - 1))
+    then None
+    else begin
+      let mc = Array.length sx.sc_child in
+      let ok = ref true in
+      for i = b to n - 1 do
+        let nd = nodes.(i) in
+        if nd.Node.id <> i || Array.length nd.Node.children > mc then ok := false
+        else
+          Array.iter
+            (fun (c : Node.t) ->
+              if c.Node.id >= i || not (nodes.(c.Node.id) == c) then ok := false)
+            nd.Node.children
+      done;
+      if not !ok then None
+      else begin
+        ensure_session_capacity sx n;
+        let d = n - b in
+        (* Levels of the appended nodes (children precede parents by id). *)
+        let dlv = Array.make d 0 in
+        for i = 0 to d - 1 do
+          let nd = nodes.(b + i) in
+          Array.iter
+            (fun (c : Node.t) ->
+              let cl =
+                if c.Node.id < b then sx.sc_level.(sx.sc_sid.(c.Node.id))
+                else dlv.(c.Node.id - b)
+              in
+              if cl + 1 > dlv.(i) then dlv.(i) <- cl + 1)
+            nd.Node.children
+        done;
+        (* Level-sort the delta (stable), so every view batch is a
+           contiguous session-id run and children come first. *)
+        let order = Array.init d (fun i -> i) in
+        Array.stable_sort (fun i j -> compare (dlv.(i), i) (dlv.(j), j)) order;
+        let sid_base = sx.sc_used in
+        let news = Array.map (fun i -> nodes.(b + i)) order in
+        Array.iter (fun nd -> push_node sx nd) news;
+        let leaves = ref 0 in
+        Array.iter (fun i -> if dlv.(i) = 0 then incr leaves) order;
+        let batches = ref [] in
+        let i = ref !leaves in
+        while !i < d do
+          let l = dlv.(order.(!i)) in
+          let j = ref !i in
+          while !j < d && dlv.(order.(!j)) = l do
+            incr j
+          done;
+          batches := (sid_base + !i, !j - !i) :: !batches;
+          i := !j
+        done;
+        let batches = Array.of_list ((sid_base, !leaves) :: List.rev !batches) in
+        let view =
+          {
+            Linearizer.structure = s;
+            num_nodes = sx.sc_used;
+            num_leaves = !leaves;
+            max_children = mc;
+            (* Host-side inspector state the executor never resolves;
+               left empty so the view costs O(delta) to build. *)
+            new_of_old = [||];
+            old_of_new = [||];
+            leaf_begin = sid_base;
+            child = sx.sc_child;
+            num_children = sx.sc_num_children;
+            payload = sx.sc_payload;
+            level_of = sx.sc_level;
+            batches;
+            postorder = [||];
+          }
+        in
+        Some (view, news, b)
+      end
+    end
+
+(* Geometric materialization: once the conversation has doubled since
+   the last full layout, [Linearizer.extend] rebuilds an exact
+   invariant-true forest from the cached one (O(n) mapping passes,
+   amortized O(1) per appended node) and publishes it to the shape
+   cache so a failover can re-bind the session's layout as a hit. *)
+let session_materialize ?obs t sx (s : Structure.t) =
+  let n = Structure.num_nodes s in
+  let mc = t.model.Ra.max_children in
+  if n >= 2 * sx.sx_mat_nodes then begin
+    let f' =
+      match sx.sx_forest with
+      | Some f -> (
+        try
+          let dl =
+            {
+              Linearizer.d_request = 0;
+              d_roots = s.Structure.roots;
+              d_nodes =
+                Array.sub s.Structure.nodes sx.sx_mat_nodes (n - sx.sx_mat_nodes);
+            }
+          in
+          let f' = Linearizer.extend f dl in
+          Shape_cache.put t.eng_cache ~max_children:mc [ s ] f';
+          f'
+        with Linearizer.Rejected _ ->
+          fst (Shape_cache.find_or_linearize ?obs t.eng_cache ~max_children:mc [ s ]))
+      | None ->
+        fst (Shape_cache.find_or_linearize ?obs t.eng_cache ~max_children:mc [ s ])
+    in
+    sx.sx_forest <- Some f';
+    sx.sx_mat_nodes <- n;
+    sx.sx_materializations <- sx.sx_materializations + 1
+  end
 
 type request_report = {
   rr_id : int;
@@ -607,6 +864,7 @@ type window_report = {
   wr_attempts : int;
   wr_dispatch_us : float;
   wr_report : Runtime.report;
+  wr_session : string option;  (* Some = a session's per-token window *)
 }
 
 type device_report = {
@@ -656,6 +914,18 @@ type plan_report = {
   pr_tuned_us : float;
 }
 
+type session_report = {
+  sn_name : string;
+  sn_nodes : int;  (* current conversation size *)
+  sn_windows : int;
+  sn_delta_nodes : int;  (* nodes served via delta views *)
+  sn_extends : int;  (* delta-view windows *)
+  sn_cold : int;  (* full (re)linearizations *)
+  sn_materializations : int;  (* geometric extend rebuilds *)
+  sn_rebinds : int;  (* failover re-binds through the cache *)
+  sn_device : int;  (* pinned device; -1 before the first window *)
+}
+
 type summary = {
   aggregate : aggregate;
   requests : request_report list;
@@ -664,10 +934,36 @@ type summary = {
   cache : Shape_cache.stats;
   slo : slo;
   results : (int * Tensor.t) list;
+  sessions : session_report list;  (* by name; empty without sessions *)
   metrics : Metrics.snapshot option;
   plans : plan_report list;  (* per (backend, size-class), autotune only *)
   plan_cache : Plan_cache.stats option;
 }
+
+let session_report_of sx =
+  {
+    sn_name = sx.sx_name;
+    sn_nodes =
+      (match sx.sx_structure with Some s -> Structure.num_nodes s | None -> 0);
+    sn_windows = sx.sx_windows;
+    sn_delta_nodes = sx.sx_delta_nodes;
+    sn_extends = sx.sx_extends;
+    sn_cold = sx.sx_cold;
+    sn_materializations = sx.sx_materializations;
+    sn_rebinds = sx.sx_rebinds;
+    sn_device = Option.value sx.sx_device ~default:(-1);
+  }
+
+let sessions t =
+  Hashtbl.fold (fun _ sx acc -> session_report_of sx :: acc) t.eng_sessions []
+  |> List.sort (fun a b -> compare a.sn_name b.sn_name)
+
+let session_state t name st (node : Node.t) =
+  match Hashtbl.find_opt t.eng_sessions name with
+  | None -> None
+  | Some sx -> Hashtbl.find_opt sx.sx_states (st, node.Node.id)
+
+let close_session t name = Hashtbl.remove t.eng_sessions name
 
 (* Cut an arrival-ordered run of requests into windows: a window closes
    when it reaches [max_batch] members or when the next arrival falls
@@ -794,10 +1090,19 @@ let drain t =
       }
     else t.eng_policy
   in
+  (* Session submissions bypass batching: a token of a pinned
+     conversation cannot share a forest with strangers — its layout and
+     device are pinned — so each is its own size-1 window, ready at
+     arrival. *)
+  let sessionp, regular = List.partition (fun p -> p.p_session <> None) pendings in
   let windows =
     match policy.bucketing with
-    | Fifo -> form_windows policy pendings
-    | By_size -> form_windows_bucketed policy pendings
+    | Fifo -> form_windows policy regular
+    | By_size -> form_windows_bucketed policy regular
+  in
+  let windows =
+    List.map (fun (r, ms) -> (r, ms, None)) windows
+    @ List.map (fun p -> (p.p_arrival, [ p ], p.p_session)) sessionp
   in
   (* Play the windows through the simulated devices in ready order: the
      dispatch policy picks a device per window, the window occupies it
@@ -806,7 +1111,7 @@ let drain t =
      drain (the simulation's origin is the trace's arrival clock); the
      shape cache persists across drains. *)
   let windows =
-    List.stable_sort (fun (ra, _) (rb, _) -> compare ra rb) windows
+    List.stable_sort (fun (ra, _, _) (rb, _, _) -> compare ra rb) windows
   in
   (* Observability is read-only: every span and metric below copies a
      value the simulation already computed.  The [None] path allocates
@@ -854,214 +1159,413 @@ let drain t =
           Dispatch.fail d)
       (Dispatch.devices disp)
   in
-  List.iter
-    (fun (ready, members) ->
-      let structures = List.map (fun p -> p.p_structure) members in
-      (* Linearize exactly once and reuse the result, timing that one
-         run: a cache hit is a payload re-bind, a miss the full
-         inspector pass — either way the wall clock measured is the
-         wall clock charged (chaos mode charges zero; see above). *)
-      let (fl, hit), lin_wall =
-        Stats.time_us (fun () ->
-            Shape_cache.find_or_linearize ?obs t.eng_cache
-              ~max_children:t.model.Ra.max_children structures)
-      in
-      let lin_us = if chaos then 0.0 else lin_wall in
-      let nodes = fl.Linearizer.lin.Linearizer.num_nodes in
-      let size = List.length members in
-      (* The retry/failover loop.  [n] counts transient re-executions
-         (the retry budget); failover re-dispatches after a fail-stop
-         are free — the work was lost to the fleet, not to a flaky
-         kernel.  The window's linearization is never redone: [fl] is
-         already bound, and a failover on a cached shape re-uses the
-         same numbering (that is the shape cache's contract). *)
-      let rec attempt n ready =
-        mark_dead ready;
-        if Dispatch.alive disp = 0 then Lost_window
+  (* The retry/failover loop, shared by regular and session windows.
+     [n] counts transient re-executions (the retry budget); failover
+     re-dispatches after a fail-stop are free — the work was lost to
+     the fleet, not to a flaky kernel.  A window's linearization is
+     never redone on a retry: the forest (or delta view) is already
+     built, and a failover on a cached shape re-uses the same numbering
+     (that is the shape cache's contract).  [price dev] returns what
+     actually runs on [dev] (the plan-tuned artifact for regular
+     windows) and its backend report.  [sx] pins a session window to
+     its device; when the pinned device died, the session re-pins and
+     re-binds its materialized layout through the shape cache onto the
+     survivor — a payload re-bind, never a fresh linearization. *)
+  let play ~sx ~size ~nodes ~lin_us ~price ready0 =
+    let rec attempt n ready =
+      mark_dead ready;
+      if Dispatch.alive disp = 0 then Lost_window
+      else begin
+        let dev =
+          match sx with
+          | None -> Dispatch.select disp ~nodes
+          | Some sx -> (
+            let devs = Dispatch.devices disp in
+            match sx.sx_device with
+            | Some di when not devs.(di).Dispatch.dev_failed -> devs.(di)
+            | prev ->
+              let dev = Dispatch.select disp ~nodes in
+              (match (prev, sx.sx_forest) with
+               | Some _, Some f ->
+                 sx.sx_rebinds <- sx.sx_rebinds + 1;
+                 let ss =
+                   Array.to_list
+                     (Array.map
+                        (fun sp -> sp.Linearizer.span_structure)
+                        f.Linearizer.spans)
+                 in
+                 ignore
+                   (Shape_cache.find_or_linearize ?obs t.eng_cache
+                      ~max_children:t.model.Ra.max_children ss)
+               | _ -> ());
+              sx.sx_device <- Some dev.Dispatch.dev_index;
+              dev)
+        in
+        let dispatch = Float.max dev.Dispatch.dev_free_us ready in
+        let ft = fail_at dev.Dispatch.dev_index in
+        if ft <= dispatch then begin
+          (* The device dies while the window waits in its queue slot:
+             nothing was in flight, just pick another device. *)
+          Dispatch.fail dev;
+          attempt n ready
+        end
         else begin
-          let dev = Dispatch.select disp ~nodes in
-          let dispatch = Float.max dev.Dispatch.dev_free_us ready in
-          let ft = fail_at dev.Dispatch.dev_index in
-          if ft <= dispatch then begin
-            (* The device dies while the window waits in its queue slot:
-               nothing was in flight, just pick another device. *)
+          let compiled, report = price dev in
+          let factor =
+            match inj with
+            | Some i ->
+              Fault.latency_factor i ~device:dev.Dispatch.dev_index ~at_us:dispatch
+            | None -> 1.0
+          in
+          let report =
+            if factor = 1.0 then report else Runtime.scale_report report factor
+          in
+          let device_us = report.Runtime.latency.Backend.total_us in
+          (* The host-side linearization is charged once, on the first
+             execution; a retry re-launches kernels, not the
+             inspector. *)
+          let lin_charge = if n = 0 then lin_us else 0.0 in
+          let completion = dispatch +. lin_charge +. device_us in
+          if ft < completion then begin
+            (* In-flight fail-stop: the window aborts at the instant
+               the device dies and fails over to a survivor. *)
+            Dispatch.commit dev ~dispatch_us:dispatch ~completion_us:ft
+              ~requests:0 ~nodes:0 ~occupancy:report.Runtime.occupancy;
             Dispatch.fail dev;
-            attempt n ready
+            incr failovers;
+            (match obs with
+             | None -> ()
+             | Some _ ->
+               Obs.sim_span obs ~track:(device_track dev.Dispatch.dev_index)
+                 ~name:"abort"
+                 ~args:[ ("fault", CT.Str "failstop"); ("size", CT.Int size);
+                         ("nodes", CT.Int nodes) ]
+                 ~start_us:dispatch ~end_us:ft ());
+            attempt n ft
           end
           else begin
-            (* With autotune on, the window runs the plan tuned for this
-               device's (backend, size-class); the first window of a
-               class pays the (host-side) search.  The plan preserves
-               semantics bitwise, so retries and failovers across
-               differently-tuned devices cannot change results. *)
-            let compiled =
-              match t.eng_plans with
-              | None -> t.eng_compiled
-              | Some pc ->
-                let entry, _hit =
-                  Plan_cache.find_or_tune ?obs:t.eng_obs pc
-                    ~compiled:t.eng_compiled ~backend:dev.Dispatch.dev_backend
-                    ~lin:fl.Linearizer.lin ~nodes
-                in
-                entry.Plan_cache.pe_compiled
-            in
-            let report =
-              Runtime.simulate_lin ~lock_free:t.lock_free ~linearize_us:lin_us
-                compiled ~backend:dev.Dispatch.dev_backend fl.Linearizer.lin
-            in
-            let factor =
+            let aborted =
               match inj with
               | Some i ->
-                Fault.latency_factor i ~device:dev.Dispatch.dev_index ~at_us:dispatch
-              | None -> 1.0
+                Fault.draw_transient i ~device:dev.Dispatch.dev_index
+                  ~at_us:dispatch
+              | None -> false
             in
-            let report =
-              if factor = 1.0 then report else Runtime.scale_report report factor
-            in
-            let device_us = report.Runtime.latency.Backend.total_us in
-            (* The host-side linearization is charged once, on the first
-               execution; a retry re-launches kernels, not the
-               inspector. *)
-            let lin_charge = if n = 0 then lin_us else 0.0 in
-            let completion = dispatch +. lin_charge +. device_us in
-            if ft < completion then begin
-              (* In-flight fail-stop: the window aborts at the instant
-                 the device dies and fails over to a survivor. *)
-              Dispatch.commit dev ~dispatch_us:dispatch ~completion_us:ft
-                ~requests:0 ~nodes:0 ~occupancy:report.Runtime.occupancy;
-              Dispatch.fail dev;
-              incr failovers;
+            if aborted then begin
+              (* The kernel ran and the fault was detected at
+                 completion: the wasted execution still occupied the
+                 device. *)
+              incr transients;
+              Dispatch.commit dev ~dispatch_us:dispatch ~completion_us:completion
+                ~requests:0 ~nodes ~occupancy:report.Runtime.occupancy;
               (match obs with
                | None -> ()
                | Some _ ->
                  Obs.sim_span obs ~track:(device_track dev.Dispatch.dev_index)
-                   ~name:"abort"
-                   ~args:[ ("fault", CT.Str "failstop"); ("size", CT.Int size);
+                   ~name:"transient"
+                   ~args:[ ("attempt", CT.Int (n + 1)); ("size", CT.Int size);
                            ("nodes", CT.Int nodes) ]
-                   ~start_us:dispatch ~end_us:ft ());
-              attempt n ft
+                   ~start_us:dispatch ~end_us:completion ());
+              if n >= t.eng_retry.Fault.max_retries then Lost_window
+              else begin
+                incr retries;
+                let delay =
+                  Fault.backoff_us (Option.get inj) ~retry:t.eng_retry
+                    ~device:dev.Dispatch.dev_index ~attempt:n
+                in
+                attempt (n + 1) (completion +. delay)
+              end
             end
             else begin
-              let aborted =
-                match inj with
-                | Some i ->
-                  Fault.draw_transient i ~device:dev.Dispatch.dev_index
-                    ~at_us:dispatch
-                | None -> false
-              in
-              if aborted then begin
-                (* The kernel ran and the fault was detected at
-                   completion: the wasted execution still occupied the
-                   device. *)
-                incr transients;
-                Dispatch.commit dev ~dispatch_us:dispatch ~completion_us:completion
-                  ~requests:0 ~nodes ~occupancy:report.Runtime.occupancy;
-                (match obs with
-                 | None -> ()
-                 | Some _ ->
-                   Obs.sim_span obs ~track:(device_track dev.Dispatch.dev_index)
-                     ~name:"transient"
-                     ~args:[ ("attempt", CT.Int (n + 1)); ("size", CT.Int size);
-                             ("nodes", CT.Int nodes) ]
-                     ~start_us:dispatch ~end_us:completion ());
-                if n >= t.eng_retry.Fault.max_retries then Lost_window
-                else begin
-                  incr retries;
-                  let delay =
-                    Fault.backoff_us (Option.get inj) ~retry:t.eng_retry
-                      ~device:dev.Dispatch.dev_index ~attempt:n
-                  in
-                  attempt (n + 1) (completion +. delay)
-                end
-              end
-              else begin
-                Dispatch.commit dev ~dispatch_us:dispatch ~completion_us:completion
-                  ~requests:size ~nodes ~occupancy:report.Runtime.occupancy;
-                Completed
-                  {
-                    ao_dev = dev;
-                    ao_dispatch = dispatch;
-                    ao_completion = completion;
-                    ao_report = report;
-                    ao_attempts = n + 1;
-                    ao_compiled = compiled;
-                  }
-              end
+              Dispatch.commit dev ~dispatch_us:dispatch ~completion_us:completion
+                ~requests:size ~nodes ~occupancy:report.Runtime.occupancy;
+              Completed
+                {
+                  ao_dev = dev;
+                  ao_dispatch = dispatch;
+                  ao_completion = completion;
+                  ao_report = report;
+                  ao_attempts = n + 1;
+                  ao_compiled = compiled;
+                }
             end
           end
         end
-      in
-      match attempt 0 ready with
-      | Lost_window -> lost := !lost + size
-      | Completed { ao_dev = dev; ao_dispatch = dispatch; ao_completion = completion;
-                    ao_report = report; ao_attempts = attempts;
-                    ao_compiled = ran_compiled } ->
-        let i = !windex in
-        incr windex;
-        let device_us = report.Runtime.latency.Backend.total_us in
-        (match obs with
-         | None -> ()
-         | Some _ ->
-           Obs.sim_span obs ~track:(device_track dev.Dispatch.dev_index)
-             ~name:"window"
-             ~args:[ ("index", CT.Int i); ("size", CT.Int size);
-                     ("nodes", CT.Int nodes); ("hit", CT.Bool hit);
-                     ("attempts", CT.Int attempts) ]
-             ~start_us:dispatch ~end_us:completion ());
-        wreports :=
-          {
-            wr_index = i;
-            wr_size = size;
-            wr_nodes = nodes;
-            wr_device = dev.Dispatch.dev_index;
-            wr_cache_hit = hit;
-            wr_attempts = attempts;
-            wr_dispatch_us = dispatch;
-            wr_report = report;
-          }
-          :: !wreports;
-        (* Numeric serving: with a parameter resolver installed, run the
-           window's forest through the compiled kernels once (retries
-           and failovers re-dispatch the same linearization, so the
-           numbers cannot depend on the fault history — the property
-           the chaos tests pin bitwise). *)
-        (match t.eng_params with
-         | Some params ->
-           let ex = Runtime.execute_lin ran_compiled ~params fl.Linearizer.lin in
-           let out = List.hd t.model.Ra.outputs in
-           List.iteri
-             (fun k p ->
-               match p.p_structure.Structure.roots with
-               | [] -> ()
-               | root :: _ ->
-                 let span = fl.Linearizer.spans.(k) in
-                 let v =
-                   Lower.state_value_lin ex.Runtime.exec_bound
-                     ex.Runtime.exec_compiled out
-                     span.Linearizer.span_ids.(root.Node.id)
+      end
+    in
+    attempt 0 ready0
+  in
+  let record_window ~i ~size ~nodes ~hit ~session ~dev ~dispatch ~completion
+      ~report ~attempts =
+    (match obs with
+     | None -> ()
+     | Some _ ->
+       Obs.sim_span obs ~track:(device_track dev.Dispatch.dev_index)
+         ~name:"window"
+         ~args:
+           ([ ("index", CT.Int i); ("size", CT.Int size);
+              ("nodes", CT.Int nodes); ("hit", CT.Bool hit);
+              ("attempts", CT.Int attempts) ]
+           @ match session with
+             | Some s -> [ ("session", CT.Str s) ]
+             | None -> [])
+         ~start_us:dispatch ~end_us:completion ());
+    wreports :=
+      {
+        wr_index = i;
+        wr_size = size;
+        wr_nodes = nodes;
+        wr_device = dev.Dispatch.dev_index;
+        wr_cache_hit = hit;
+        wr_attempts = attempts;
+        wr_dispatch_us = dispatch;
+        wr_report = report;
+        wr_session = session;
+      }
+      :: !wreports
+  in
+  let record_request ~i ~size ~lin_us ~dev ~dispatch ~completion ~device_us p =
+    rreports :=
+      {
+        rr_id = p.p_id;
+        rr_nodes = p.p_nodes;
+        rr_window = i;
+        rr_window_size = size;
+        rr_device = dev.Dispatch.dev_index;
+        rr_arrival_us = p.p_arrival;
+        rr_deadline_us = p.p_deadline;
+        rr_queue_us = dispatch -. p.p_arrival;
+        rr_linearize_us = lin_us;
+        rr_device_us = device_us;
+        rr_total_us = completion -. p.p_arrival;
+        rr_on_time = completion <= p.p_deadline;
+      }
+      :: !rreports
+  in
+  List.iter
+    (fun (ready, members, sname) ->
+      match sname with
+      | None ->
+        let structures = List.map (fun p -> p.p_structure) members in
+        (* Linearize exactly once and reuse the result, timing that one
+           run: a cache hit is a payload re-bind, a miss the full
+           inspector pass — either way the wall clock measured is the
+           wall clock charged (chaos mode charges zero; see above). *)
+        let (fl, hit), lin_wall =
+          Stats.time_us (fun () ->
+              Shape_cache.find_or_linearize ?obs t.eng_cache
+                ~max_children:t.model.Ra.max_children structures)
+        in
+        let lin_us = if chaos then 0.0 else lin_wall in
+        let nodes = fl.Linearizer.lin.Linearizer.num_nodes in
+        let size = List.length members in
+        let price dev =
+          (* With autotune on, the window runs the plan tuned for this
+             device's (backend, size-class); the first window of a
+             class pays the (host-side) search.  The plan preserves
+             semantics bitwise, so retries and failovers across
+             differently-tuned devices cannot change results. *)
+          let compiled =
+            match t.eng_plans with
+            | None -> t.eng_compiled
+            | Some pc ->
+              let entry, _hit =
+                Plan_cache.find_or_tune ?obs:t.eng_obs pc
+                  ~compiled:t.eng_compiled ~backend:dev.Dispatch.dev_backend
+                  ~lin:fl.Linearizer.lin ~nodes
+              in
+              entry.Plan_cache.pe_compiled
+          in
+          let report =
+            Runtime.simulate_lin ~lock_free:t.lock_free ~linearize_us:lin_us
+              compiled ~backend:dev.Dispatch.dev_backend fl.Linearizer.lin
+          in
+          (compiled, report)
+        in
+        (match play ~sx:None ~size ~nodes ~lin_us ~price ready with
+         | Lost_window -> lost := !lost + size
+         | Completed { ao_dev = dev; ao_dispatch = dispatch;
+                       ao_completion = completion; ao_report = report;
+                       ao_attempts = attempts; ao_compiled = ran_compiled } ->
+           let i = !windex in
+           incr windex;
+           let device_us = report.Runtime.latency.Backend.total_us in
+           record_window ~i ~size ~nodes ~hit ~session:None ~dev ~dispatch
+             ~completion ~report ~attempts;
+           (* Numeric serving: with a parameter resolver installed, run
+              the window's forest through the compiled kernels once
+              (retries and failovers re-dispatch the same
+              linearization, so the numbers cannot depend on the fault
+              history — the property the chaos tests pin bitwise). *)
+           (match t.eng_params with
+            | Some params ->
+              let ex = Runtime.execute_lin ran_compiled ~params fl.Linearizer.lin in
+              let out = List.hd t.model.Ra.outputs in
+              List.iteri
+                (fun k p ->
+                  match p.p_structure.Structure.roots with
+                  | [] -> ()
+                  | root :: _ ->
+                    let span = fl.Linearizer.spans.(k) in
+                    let v =
+                      Lower.state_value_lin ex.Runtime.exec_bound
+                        ex.Runtime.exec_compiled out
+                        span.Linearizer.span_ids.(root.Node.id)
+                    in
+                    results := (p.p_id, v) :: !results)
+                members
+            | None -> ());
+           List.iter
+             (record_request ~i ~size ~lin_us ~dev ~dispatch ~completion
+                ~device_us)
+             members)
+      | Some name ->
+        let p = match members with [ p ] -> p | _ -> assert false in
+        let s = p.p_structure in
+        let sx = session_of t name in
+        let n = Structure.num_nodes s in
+        (* All inspector work for the token — delta validation, scratch
+           append, view construction, geometric materialization, or the
+           cold fallback through the cache — under one timer: that is
+           the per-token cost BENCH_incremental compares against a cold
+           re-linearization. *)
+        let serve, lin_wall =
+          Stats.time_us (fun () ->
+              let compat = Lower.delta_compatible t.eng_compiled.Lower.options in
+              let dv = if compat then session_delta_view sx s else None in
+              match dv with
+              | Some (view, news, base) ->
+                sx.sx_structure <- Some s;
+                sx.sx_extends <- sx.sx_extends + 1;
+                sx.sx_delta_nodes <- sx.sx_delta_nodes + Array.length news;
+                session_materialize ?obs t sx s;
+                S_delta { sd_view = view; sd_news = news; sd_base = base }
+              | None ->
+                (* Not pure growth of the pinned conversation (or the
+                   compiled options cannot serve deltas): full
+                   (re)linearization through the shape cache.  A
+                   different conversation under the same name drops the
+                   persisted state — its node identities no longer mean
+                   the same thing. *)
+                let fresh =
+                  match sx.sx_structure with
+                  | Some prev ->
+                    Structure.num_nodes prev = 0 || n = 0
+                    || not (s.Structure.nodes.(0) == prev.Structure.nodes.(0))
+                  | None -> false
+                in
+                if fresh then reset_session sx;
+                let fl, hit =
+                  Shape_cache.find_or_linearize ?obs t.eng_cache
+                    ~max_children:t.model.Ra.max_children [ s ]
+                in
+                sx.sx_structure <- Some s;
+                sx.sx_forest <- Some fl;
+                sx.sx_mat_nodes <- n;
+                sx.sx_cold <- sx.sx_cold + 1;
+                if Lower.delta_compatible t.eng_compiled.Lower.options then begin
+                  (* Re-seed the scratch numbering so the next token can
+                     be served as a delta. *)
+                  sx.sc_used <- 0;
+                  ensure_session_capacity sx n;
+                  Array.iter (fun nd -> push_node sx nd) s.Structure.nodes
+                end;
+                S_cold (fl, hit))
+        in
+        sx.sx_windows <- sx.sx_windows + 1;
+        let lin_us = if chaos then 0.0 else lin_wall in
+        let nodes, hit, run_lin =
+          match serve with
+          | S_delta { sd_view; sd_news; _ } ->
+            (Array.length sd_news, false, sd_view)
+          | S_cold (fl, hit) -> (n, hit, fl.Linearizer.lin)
+        in
+        let size = 1 in
+        (* Sessions skip plan tuning: their windows are deliberately
+           tiny (a token's delta), not the size-classes the tuner
+           buckets, and the pinned device would make the tuned artifact
+           churn on every failover. *)
+        let price dev =
+          ( t.eng_compiled,
+            Runtime.simulate_lin ~lock_free:t.lock_free ~linearize_us:lin_us
+              t.eng_compiled ~backend:dev.Dispatch.dev_backend run_lin )
+        in
+        (match play ~sx:(Some sx) ~size ~nodes ~lin_us ~price ready with
+         | Lost_window -> lost := !lost + size
+         | Completed { ao_dev = dev; ao_dispatch = dispatch;
+                       ao_completion = completion; ao_report = report;
+                       ao_attempts = attempts; ao_compiled = _ } ->
+           let i = !windex in
+           incr windex;
+           let device_us = report.Runtime.latency.Backend.total_us in
+           record_window ~i ~size ~nodes ~hit ~session:(Some name) ~dev
+             ~dispatch ~completion ~report ~attempts;
+           (* Numeric serving: a delta run pre-seeds the boundary rows
+              (the old children of appended nodes) from the session's
+              persisted states, executes only the delta batches, and
+              persists the appended nodes' states — bitwise identical
+              to re-running the whole conversation, which is what the
+              cold path does. *)
+           (match t.eng_params with
+            | Some params ->
+              let st_names = List.map fst t.eng_compiled.Lower.state_tensors in
+              let store_states ex (nd : Node.t) sid =
+                List.iter
+                  (fun st ->
+                    Hashtbl.replace sx.sx_states (st, nd.Node.id)
+                      (Lower.state_value_lin ex.Runtime.exec_bound
+                         ex.Runtime.exec_compiled st sid))
+                  st_names
+              in
+              (match serve with
+               | S_delta { sd_view; sd_news; sd_base } ->
+                 let preload bound =
+                   Array.iter
+                     (fun (nd : Node.t) ->
+                       Array.iter
+                         (fun (c : Node.t) ->
+                           if c.Node.id < sd_base then
+                             List.iter
+                               (fun st ->
+                                 match
+                                   Hashtbl.find_opt sx.sx_states (st, c.Node.id)
+                                 with
+                                 | Some v ->
+                                   Lower.set_state_lin bound t.eng_compiled st
+                                     sx.sc_sid.(c.Node.id) v
+                                 | None ->
+                                   failwith
+                                     "Engine: missing persisted state at the \
+                                      session's delta boundary")
+                               st_names)
+                         nd.Node.children)
+                     sd_news
                  in
-                 results := (p.p_id, v) :: !results)
-             members
-         | None -> ());
-        List.iter
-          (fun p ->
-            rreports :=
-              {
-                rr_id = p.p_id;
-                rr_nodes = p.p_nodes;
-                rr_window = i;
-                rr_window_size = size;
-                rr_device = dev.Dispatch.dev_index;
-                rr_arrival_us = p.p_arrival;
-                rr_deadline_us = p.p_deadline;
-                rr_queue_us = dispatch -. p.p_arrival;
-                rr_linearize_us = lin_us;
-                rr_device_us = device_us;
-                rr_total_us = completion -. p.p_arrival;
-                rr_on_time = completion <= p.p_deadline;
-              }
-              :: !rreports)
-          members)
+                 let ex =
+                   Runtime.execute_lin ~preload t.eng_compiled ~params sd_view
+                 in
+                 Array.iter
+                   (fun nd -> store_states ex nd sx.sc_sid.(nd.Node.id))
+                   sd_news
+               | S_cold (fl, _) ->
+                 let ex =
+                   Runtime.execute_lin t.eng_compiled ~params fl.Linearizer.lin
+                 in
+                 let span = fl.Linearizer.spans.(0) in
+                 Array.iter
+                   (fun (nd : Node.t) ->
+                     store_states ex nd span.Linearizer.span_ids.(nd.Node.id))
+                   s.Structure.nodes);
+              let out = List.hd t.model.Ra.outputs in
+              (match s.Structure.roots with
+               | [] -> ()
+               | root :: _ -> (
+                 match Hashtbl.find_opt sx.sx_states (out, root.Node.id) with
+                 | Some v -> results := (p.p_id, v) :: !results
+                 | None -> ()))
+            | None -> ());
+           record_request ~i ~size ~lin_us ~dev ~dispatch ~completion ~device_us
+             p))
     windows;
   let requests = List.sort (fun a b -> compare a.rr_id b.rr_id) !rreports in
   let windows = List.rev !wreports in
@@ -1176,6 +1680,7 @@ let drain t =
     cache = Shape_cache.stats t.eng_cache;
     slo;
     results = List.sort (fun (a, _) (b, _) -> compare a b) !results;
+    sessions = sessions t;
     metrics = Obs.snapshot obs;
     plans;
     plan_cache;

@@ -320,6 +320,7 @@ val submit :
   t ->
   ?arrival_us:float ->
   ?deadline_us:float ->
+  ?session:string ->
   Cortex_ds.Structure.t ->
   (int, error) result
 (** Validate a request against the compiled model (kind, fanout) and
@@ -328,10 +329,26 @@ val submit :
     absolute} completion deadline on the same clock (default none — the
     request can never miss).  The queue cap is checked {e before}
     validation — an overloaded server drops before it parses — so a
-    shed invalid request counts as shed, not rejected. *)
+    shed invalid request counts as shed, not rejected.
+
+    [session] pins the request to a named growing conversation: it is
+    served in its own window on the session's pinned device, and when
+    the structure is the session's previous structure plus appended
+    nodes (same [Node.t] values, new nodes on top) the engine serves
+    only the delta — {!Linearizer.extend}-style numbering reuse on the
+    host, pre-seeded persistent hidden states on the device — instead
+    of re-linearizing and re-executing the whole conversation.  Any
+    other structure under the same name re-linearizes cold and (if it
+    is not a pure prefix-growth of the previous one) drops the
+    persisted state. *)
 
 val submit_exn :
-  t -> ?arrival_us:float -> ?deadline_us:float -> Cortex_ds.Structure.t -> int
+  t ->
+  ?arrival_us:float ->
+  ?deadline_us:float ->
+  ?session:string ->
+  Cortex_ds.Structure.t ->
+  int
 (** {!submit}, raising {!Error} on rejection (including {!Shed}). *)
 
 type request_report = {
@@ -364,6 +381,9 @@ type window_report = {
           failover re-dispatches after a fail-stop are not counted) *)
   wr_dispatch_us : float;
   wr_report : Runtime.report;  (** full backend report for the forest *)
+  wr_session : string option;
+      (** the session this (size-1, device-pinned) window belongs to;
+          [None] for regular batched windows *)
 }
 
 type device_report = {
@@ -416,6 +436,23 @@ type slo = {
           [aggregate.throughput_rps]'s all-completions count *)
 }
 
+(** Per-session counters, cumulative over the session's lifetime. *)
+type session_report = {
+  sn_name : string;
+  sn_nodes : int;  (** nodes of the session's current structure *)
+  sn_windows : int;  (** tokens served (each its own window) *)
+  sn_delta_nodes : int;  (** nodes served through delta views *)
+  sn_extends : int;  (** windows served as deltas *)
+  sn_cold : int;  (** windows that re-linearized the whole conversation *)
+  sn_materializations : int;
+      (** geometric {!Linearizer.extend} materializations — the
+          amortization making per-token host cost O(delta) *)
+  sn_rebinds : int;
+      (** failovers that re-bound the session's layout through the
+          shape cache onto a surviving device *)
+  sn_device : int;  (** pinned device index; -1 before the first window *)
+}
+
 type plan_report = {
   pr_backend : string;  (** [Backend.short] *)
   pr_bucket : int;  (** {!Dispatch.size_bucket} shape class *)
@@ -436,6 +473,9 @@ type summary = {
       (** with [params]: each completed request's root output (first
           declared model output at its structure's first root), by
           request id *)
+  sessions : session_report list;
+      (** one per live session, by name; sessions persist across
+          drains *)
   metrics : Cortex_obs.Metrics.snapshot option;
       (** with [obs]: the metrics registry at the end of this drain —
           request/fault counters, queue and utilization gauges, latency
@@ -471,6 +511,22 @@ val run_trace : t -> Trace.t -> summary
     counted; any other rejection raises {!Error}.  Raises
     [Error (Unsorted_trace _)] if the trace is not sorted by arrival
     time. *)
+
+val sessions : t -> session_report list
+(** Live sessions, by name.  A session is created by the first
+    {!submit}[ ~session] under its name and lives (layout, pinned
+    device, persisted states, counters) until {!close_session}. *)
+
+val session_state :
+  t -> string -> string -> Cortex_ds.Node.t -> Cortex_tensor.Tensor.t option
+(** [session_state t name st node] reads a node's persisted row of
+    state [st] from session [name]'s on-device store (by the node's
+    identity in the conversation) — [None] when the session, node or
+    state is unknown, or the engine serves without [params]. *)
+
+val close_session : t -> string -> unit
+(** Drop a session: its layout pin and persisted states are released.
+    Unknown names are ignored. *)
 
 val run_one : t -> Cortex_ds.Structure.t -> Runtime.report
 (** Single-request convenience: validate, linearize (timed) and price

@@ -28,12 +28,16 @@ let find_or_linearize ?obs t ~max_children structures =
       ~args:[ ("requests", Chrome_trace.Int (List.length structures)) ]
       name f
   in
-  let key = Linearizer.shape_key structures in
+  let key = Linearizer.shape_key ~max_children structures in
   match Hashtbl.find_opt t.table key with
   | Some cached ->
+    let f = span "rebind" (fun () -> Linearizer.rebind_forest cached structures) in
+    (* Count the hit only after a successful rebind, mirroring the miss
+       accounting below: a raising rebind served nothing, and counting
+       it would overstate the hit rate the reports print. *)
     t.hits <- t.hits + 1;
     Obs.incr obs "cache.hits";
-    (span "rebind" (fun () -> Linearizer.rebind_forest cached structures), true)
+    (f, true)
   | None ->
     let f = span "linearize" (fun () -> Linearizer.run_forest ~max_children structures) in
     (* Count the miss only after a successful linearization: a rejected
@@ -50,6 +54,19 @@ let find_or_linearize ?obs t ~max_children structures =
       Hashtbl.add t.table key f
     end;
     (f, false)
+
+(* Insert a forest produced outside the cache (delta extension): the
+   inspector work already happened, so neither counter moves, but the
+   layout becomes available for hits — a session failover re-binds its
+   conversation through here.  Same capacity policy as a miss. *)
+let put t ~max_children structures forest =
+  if t.capacity > 0 then begin
+    let key = Linearizer.shape_key ~max_children structures in
+    if not (Hashtbl.mem t.table key) then begin
+      if Hashtbl.length t.table >= t.capacity then Hashtbl.reset t.table;
+      Hashtbl.add t.table key forest
+    end
+  end
 
 let stats t = { hits = t.hits; misses = t.misses; entries = Hashtbl.length t.table }
 

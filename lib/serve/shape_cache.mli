@@ -41,11 +41,26 @@ val find_or_linearize :
     {!Linearizer.run_forest}[ ~max_children] and caches the result; on a
     hit, re-binds the requests' payloads into the cached numbering.
     Raises {!Linearizer.Rejected} exactly as [run_forest] would (a
-    rejection counts as neither hit nor miss).
+    rejection counts as neither hit nor miss), and a raising rebind
+    counts as neither too — both counters move only after the work the
+    cache accounts for actually succeeded.
 
     [obs] records the inspector work as a wall-clock span on the
     ["inspector"] track ([linearize] for a miss, [rebind] for a hit)
     and bumps the [cache.hits]/[cache.misses] counters. *)
+
+val put :
+  t ->
+  max_children:int ->
+  Cortex_ds.Structure.t list ->
+  Linearizer.forest ->
+  unit
+(** Insert a forest produced outside the cache — a delta extension —
+    under [structures]' shape key, making it available for hits (a
+    session failover re-binds its pinned conversation through the
+    cache).  Moves neither counter; respects capacity and epoch
+    eviction; keeps an existing entry for the same key; no-op when
+    caching is disabled. *)
 
 val stats : t -> stats
 (** Cumulative hit/miss counters and current entry count. *)

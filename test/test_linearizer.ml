@@ -53,7 +53,17 @@ let test_grid_dag_batches () =
 let test_memory_accounting () =
   let rng = Rng.create 11 in
   let lin = Linearizer.run (random_tree rng) in
-  Alcotest.(check bool) "positive footprint" true (Linearizer.memory_bytes lin > 0)
+  Alcotest.(check bool) "positive footprint" true (Linearizer.memory_bytes lin > 0);
+  (* The executor resolves exactly four tables on device: child tables
+     (max_children x n), fanout counts (n), payloads (n) and the batch
+     table (2 ints per batch) — 8 bytes per int.  Pin the formula so the
+     accounting can't silently drift back to billing host-side arrays. *)
+  let n = lin.Linearizer.num_nodes in
+  let mc = lin.Linearizer.max_children in
+  let b = Array.length lin.Linearizer.batches in
+  Alcotest.(check int) "executor tables only"
+    (8 * ((mc * n) + n + n + (2 * b)))
+    (Linearizer.memory_bytes lin)
 
 (* A corrupted linearization must be rejected by the checker. *)
 let test_check_catches_corruption () =
@@ -89,7 +99,14 @@ let test_shape_key_is_shape_equality () =
     (Linearizer.shape_key a = Linearizer.shape_key c);
   (* Order matters: a forest's numbering depends on submission order. *)
   Alcotest.(check bool) "request order enters the key" false
-    (Linearizer.shape_key c = Linearizer.shape_key (List.rev c))
+    (Linearizer.shape_key c = Linearizer.shape_key (List.rev c));
+  (* The fanout bound is the child-table width, so it must enter the
+     key: equal shapes under different bounds are different layouts. *)
+  Alcotest.(check bool) "max_children enters the key" false
+    (Linearizer.shape_key ~max_children:2 a = Linearizer.shape_key ~max_children:3 a);
+  Alcotest.(check string) "default bound is the declared maximum"
+    (Linearizer.shape_key ~max_children:2 a)
+    (Linearizer.shape_key a)
 
 let test_rebind_matches_cold_run () =
   (* Rebinding a forest to its own structures must be the identity... *)
@@ -137,6 +154,192 @@ let test_rebind_rejects_shape_mismatch () =
     ignore (Linearizer.rebind_forest cached [ perfect3 1; taller ]);
     Alcotest.fail "node-count mismatch accepted"
   with Invalid_argument _ -> ()
+
+(* ---------- delta linearization ---------- *)
+
+let forest_equal (a : Linearizer.forest) (b : Linearizer.forest) =
+  let open Linearizer in
+  let la = a.lin and lb = b.lin in
+  la.num_nodes = lb.num_nodes
+  && la.num_leaves = lb.num_leaves
+  && la.max_children = lb.max_children
+  && la.leaf_begin = lb.leaf_begin
+  && la.new_of_old = lb.new_of_old
+  && la.old_of_new = lb.old_of_new
+  && la.child = lb.child
+  && la.num_children = lb.num_children
+  && la.payload = lb.payload
+  && la.level_of = lb.level_of
+  && la.batches = lb.batches
+  && la.postorder = lb.postorder
+  && Array.length a.spans = Array.length b.spans
+  && Array.for_all2
+       (fun (x : span) (y : span) ->
+         x.span_ids = y.span_ids && x.span_levels = y.span_levels)
+       a.spans b.spans
+
+let delta_of ~prev ~grown =
+  let b = Structure.num_nodes prev in
+  let d = Structure.num_nodes grown - b in
+  {
+    Linearizer.d_request = 0;
+    d_roots = grown.Structure.roots;
+    d_nodes = Array.sub grown.Structure.nodes b d;
+  }
+
+(* The core tentpole property: over a random grow-by-one sequence,
+   [extend] must equal a cold [run_forest] of the full structure, array
+   for array — same numbering, same batches, same spans — and satisfy
+   every check_forest invariant. *)
+let prop_extend_equals_cold =
+  QCheck.Test.make ~name:"extend = cold run over grow sequences" ~count:60
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 1) in
+      let kind = if Rng.int rng 2 = 0 then Structure.Sequence else Structure.Tree in
+      let g = Gen.growth_start rng ~vocab:50 ~kind () in
+      let f = ref (Linearizer.run_forest [ Gen.growth_structure g ]) in
+      let steps = 2 + Rng.int rng 15 in
+      for _ = 1 to steps do
+        let prev = Gen.growth_structure g in
+        let grown = Gen.grow_one rng g in
+        let ext = Linearizer.extend !f (delta_of ~prev ~grown) in
+        Linearizer.check_forest ext;
+        let cold = Linearizer.run_forest [ grown ] in
+        if not (forest_equal ext cold) then
+          QCheck.Test.fail_report "extended forest differs from cold run";
+        f := ext
+      done;
+      true)
+
+(* Multi-request forests: growing any request — including one that is
+   not last, which exercises the re-merge fallback — must still equal
+   the cold run of the whole window. *)
+let prop_extend_multi_request =
+  QCheck.Test.make ~name:"extend inside a batched window" ~count:40
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 101) in
+      let r = 2 + Rng.int rng 3 in
+      let gs =
+        Array.init r (fun _ ->
+            let g = Gen.growth_start rng ~vocab:50 ~kind:Structure.Tree () in
+            for _ = 1 to Rng.int rng 4 do
+              ignore (Gen.grow_one rng g)
+            done;
+            g)
+      in
+      let structures () = Array.to_list (Array.map Gen.growth_structure gs) in
+      let f = ref (Linearizer.run_forest (structures ())) in
+      for _ = 1 to 6 do
+        let k = Rng.int rng r in
+        let prev = Gen.growth_structure gs.(k) in
+        let grown = Gen.grow_one rng gs.(k) in
+        let dl = { (delta_of ~prev ~grown) with Linearizer.d_request = k } in
+        let ext = Linearizer.extend !f dl in
+        Linearizer.check_forest ext;
+        let cold = Linearizer.run_forest (structures ()) in
+        if not (forest_equal ext cold) then
+          QCheck.Test.fail_report "extended window differs from cold run";
+        f := ext
+      done;
+      true)
+
+let test_extend_rejects_bad_deltas () =
+  let rng = Rng.create 77 in
+  let g = Gen.growth_start rng ~vocab:50 ~kind:Structure.Tree () in
+  for _ = 1 to 4 do
+    ignore (Gen.grow_one rng g)
+  done;
+  let s = Gen.growth_structure g in
+  let f = Linearizer.run_forest [ s ] in
+  let reject name dl expect =
+    try
+      ignore (Linearizer.extend f dl);
+      Alcotest.fail (name ^ " accepted")
+    with Linearizer.Rejected r ->
+      if not (expect r) then
+        Alcotest.fail
+          (Printf.sprintf "%s rejected as %s" name (Linearizer.rejection_to_string r))
+  in
+  reject "empty delta"
+    { Linearizer.d_request = 0; d_roots = s.Structure.roots; d_nodes = [||] }
+    (function Linearizer.Empty_delta -> true | _ -> false);
+  (* Wrong ids: nodes from a foreign builder starting at 0. *)
+  let fb = Cortex_ds.Node.builder () in
+  let foreign = Cortex_ds.Node.make fb ~payload:1 [] in
+  reject "foreign ids"
+    { Linearizer.d_request = 0; d_roots = [ foreign ]; d_nodes = [| foreign |] }
+    (function Linearizer.Bad_delta _ -> true | _ -> false);
+  (* A graft whose DFS visits the new leaf first merely interleaves —
+     the old nodes keep their relative order, so extend handles it
+     (exercising the non-tail insertion positions). *)
+  let b = Structure.num_nodes s in
+  let nb = Cortex_ds.Node.builder_from b in
+  let old_root = List.hd s.Structure.roots in
+  let leaf = Cortex_ds.Node.make nb ~payload:3 [] in
+  let top = Cortex_ds.Node.make nb ~payload:50 [ leaf; old_root ] in
+  let grown = Structure.append s ~roots:[ top ] ~added:[| leaf; top |] in
+  let ext =
+    Linearizer.extend f
+      { Linearizer.d_request = 0; d_roots = [ top ]; d_nodes = [| leaf; top |] }
+  in
+  Linearizer.check_forest ext;
+  Alcotest.(check bool) "leaf-first graft equals cold run" true
+    (forest_equal ext (Linearizer.run_forest [ grown ]));
+  (* A genuine reorder: a DAG edge into the middle of the old structure
+     makes the grown DFS visit old nodes in a different relative order —
+     the cached numbering is unusable and extend must refuse. *)
+  let db = Cortex_ds.Node.builder () in
+  let l1 = Cortex_ds.Node.make db ~payload:1 [] in
+  let l2 = Cortex_ds.Node.make db ~payload:2 [] in
+  let droot = Cortex_ds.Node.make db ~payload:9 [ l1; l2 ] in
+  let dag = Structure.create ~kind:Structure.Dag ~max_children:2 [ droot ] in
+  let df = Linearizer.run_forest [ dag ] in
+  let nb = Cortex_ds.Node.builder_from 3 in
+  let dtop = Cortex_ds.Node.make nb ~payload:9 [ l2; droot ] in
+  (try
+     ignore
+       (Linearizer.extend df
+          { Linearizer.d_request = 0; d_roots = [ dtop ]; d_nodes = [| dtop |] });
+     Alcotest.fail "reordering DAG graft accepted"
+   with Linearizer.Rejected (Linearizer.Bad_delta _) -> ());
+  (* Fanout beyond the model's bound (the forest was linearized with
+     max_children = 2). *)
+  let nb = Cortex_ds.Node.builder_from b in
+  let l1 = Cortex_ds.Node.make nb ~payload:1 [] in
+  let l2 = Cortex_ds.Node.make nb ~payload:2 [] in
+  let wide = Cortex_ds.Node.make nb ~payload:50 [ old_root; l1; l2 ] in
+  reject "fanout violation"
+    { Linearizer.d_request = 0; d_roots = [ wide ]; d_nodes = [| l1; l2; wide |] }
+    (function Linearizer.Fanout_exceeded _ -> true | _ -> false)
+
+(* An extended forest is a first-class forest: it can be cached under
+   the grown structures' shape key and rebound like a cold one. *)
+let test_extend_then_rebind () =
+  let rng = Rng.create 78 in
+  let g = Gen.growth_start rng ~vocab:50 ~kind:Structure.Sequence () in
+  let f = ref (Linearizer.run_forest [ Gen.growth_structure g ]) in
+  for _ = 1 to 5 do
+    let prev = Gen.growth_structure g in
+    let grown = Gen.grow_one rng g in
+    f := Linearizer.extend !f (delta_of ~prev ~grown)
+  done;
+  let grown = Gen.growth_structure g in
+  Alcotest.(check string) "extended forest shares the cold shape key"
+    (Linearizer.shape_key [ grown ])
+    (Linearizer.shape_key
+       [ (Array.get !f.Linearizer.spans 0).Linearizer.span_structure ]);
+  (* Rebind the extended layout onto a fresh same-shape conversation. *)
+  let rng2 = Rng.create 79 in
+  let g2 = Gen.growth_start rng2 ~vocab:50 ~kind:Structure.Sequence () in
+  for _ = 1 to 5 do
+    ignore (Gen.grow_one rng2 g2)
+  done;
+  let fresh = Gen.growth_structure g2 in
+  let rebound = Linearizer.rebind_forest !f [ fresh ] in
+  Linearizer.check_forest rebound;
+  let cold = Linearizer.run_forest [ fresh ] in
+  Alcotest.(check bool) "rebound extended forest = cold run" true
+    (forest_equal rebound cold)
 
 (* ---------- empty structures ---------- *)
 
@@ -241,6 +444,13 @@ let () =
           Alcotest.test_case "rebind" `Quick test_rebind_matches_cold_run;
           Alcotest.test_case "rebind-mismatch" `Quick test_rebind_rejects_shape_mismatch;
           Alcotest.test_case "empty-structure" `Quick test_rejects_empty_structure;
+        ] );
+      ( "delta",
+        [
+          QCheck_alcotest.to_alcotest prop_extend_equals_cold;
+          QCheck_alcotest.to_alcotest prop_extend_multi_request;
+          Alcotest.test_case "rejects-bad-deltas" `Quick test_extend_rejects_bad_deltas;
+          Alcotest.test_case "extend-then-rebind" `Quick test_extend_then_rebind;
         ] );
       ( "unrolling",
         [

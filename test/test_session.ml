@@ -1,0 +1,414 @@
+(* Session-pinned serving: growing conversations served as deltas.
+
+   The contract under test is the serving tentpole: a session's token
+   is served by re-running only the grown tail with pre-seeded
+   persistent states, and that must be bitwise indistinguishable from
+   re-linearizing and re-executing the whole conversation cold — for
+   every node's every state, at every step, across failovers and
+   through AOT bundles.  The shape-cache tests pin the accounting
+   satellites: counters move only after the work they account for
+   succeeded, [put] moves none, epoch eviction drops entries but never
+   history. *)
+
+open Cortex
+module M = Models.Common
+module Q = QCheck
+
+let gpu = Backend.gpu
+
+(* The whole conversation, token by token: structures share their
+   prefix nodes physically, which is what the session delta path
+   keys on. *)
+let conversation seed ~vocab ~kind ~tokens =
+  let rng = Rng.create seed in
+  let g = Gen.growth_start rng ~vocab ~kind () in
+  let first = Gen.growth_structure g in
+  first :: List.init tokens (fun _ -> Gen.grow_one rng g)
+
+let engine_of spec ?devices ?faults ?seed params =
+  Engine.of_spec
+    ~config:
+      (Engine.Config.make
+         ?devices ?faults ?seed ~dispatch:Dispatch.Least_loaded ~params ())
+    spec ~backend:gpu
+
+(* Serve every token of [structs] under one session in a single drain
+   (each session token is its own pinned window, played in arrival
+   order) and return the summary. *)
+let serve_session eng ?(session = "chat") structs =
+  List.iteri
+    (fun i s ->
+      ignore
+        (Engine.submit_exn eng ~arrival_us:(1000.0 *. float_of_int i) ~session s))
+    structs;
+  Engine.drain eng
+
+let check_states_bitwise spec eng ~session compiled params s =
+  let solo = Runtime.execute compiled ~params s in
+  List.iter
+    (fun (st : Ra.state) ->
+      Array.iter
+        (fun (node : Node.t) ->
+          match Engine.session_state eng session st.Ra.st_name node with
+          | None ->
+            Alcotest.failf "no persisted state %s for node %d" st.Ra.st_name
+              node.Node.id
+          | Some v ->
+            Alcotest.(check bool)
+              (Printf.sprintf "node %d state %s bitwise" node.Node.id
+                 st.Ra.st_name)
+              true
+              (Tensor.max_abs_diff v (Runtime.state solo st.Ra.st_name node)
+              = 0.0))
+        s.Structure.nodes)
+    spec.M.program.Ra.states
+
+(* ---------- delta serving is bitwise-identical to cold ---------- *)
+
+let check_grow_bitwise spec ~vocab ~kind ~tokens seed =
+  let params = spec.M.init_params (Rng.create (seed + 1)) in
+  let compiled =
+    Runtime.compile ~options:(Runtime.options_for spec) spec.M.program
+  in
+  let eng = engine_of spec params in
+  let structs = conversation seed ~vocab ~kind ~tokens in
+  let s = serve_session eng structs in
+  Alcotest.(check int) "all tokens completed" (tokens + 1)
+    s.Engine.slo.Engine.slo_completed;
+  (* Every persisted state of the final conversation matches a cold
+     full execution, and each token's root output matched its own
+     prefix's cold run. *)
+  let final = List.nth structs tokens in
+  check_states_bitwise spec eng ~session:"chat" compiled params final;
+  List.iteri
+    (fun i st ->
+      let solo = Runtime.execute compiled ~params st in
+      let out = List.hd spec.M.program.Ra.outputs in
+      let root = List.hd st.Structure.roots in
+      let v = List.assoc i s.Engine.results in
+      Alcotest.(check bool)
+        (Printf.sprintf "token %d root output bitwise" i)
+        true
+        (Tensor.max_abs_diff v (Runtime.state solo out root) = 0.0))
+    structs;
+  (* The session actually served deltas: one cold window, the rest
+     grow-by-one extensions. *)
+  match Engine.sessions eng with
+  | [ sn ] ->
+    Alcotest.(check string) "session name" "chat" sn.Engine.sn_name;
+    Alcotest.(check int) "windows" (tokens + 1) sn.Engine.sn_windows;
+    Alcotest.(check int) "one cold window" 1 sn.Engine.sn_cold;
+    Alcotest.(check int) "rest served as deltas" tokens sn.Engine.sn_extends;
+    Alcotest.(check int) "final nodes" (Structure.num_nodes final)
+      sn.Engine.sn_nodes;
+    Alcotest.(check bool) "geometric materializations happened" true
+      (sn.Engine.sn_materializations >= 1);
+    Alcotest.(check bool) "device pinned" true (sn.Engine.sn_device >= 0)
+  | l -> Alcotest.failf "expected one session, got %d" (List.length l)
+
+let test_tree_bitwise () =
+  check_grow_bitwise
+    (Models.Tree_lstm.spec ~vocab:20 ~hidden:5 ())
+    ~vocab:20 ~kind:Structure.Tree ~tokens:12 3
+
+let test_sequence_bitwise () =
+  check_grow_bitwise
+    (Models.Tree_lstm.spec ~vocab:20 ~hidden:4 ~sequence:true ())
+    ~vocab:20 ~kind:Structure.Sequence ~tokens:10 5
+
+let test_dag_bitwise () =
+  check_grow_bitwise
+    (Models.Dag_rnn.spec ~rows:5 ~cols:5 ~hidden:4 ())
+    (* [grow_one] stamps internal nodes with payload [vocab], and the
+       DAG-RNN reads X[payload] at every node — keep vocab+1 <= cells. *)
+    ~vocab:24 ~kind:Structure.Dag ~tokens:8 7
+
+(* Property form: any kind, any length, same contract. *)
+let prop_grow_bitwise =
+  Q.Test.make ~count:8 ~name:"session delta serving == cold (all kinds)"
+    Q.(pair (int_bound 2) (pair (1 -- 10) small_int))
+    (fun (k, (tokens, seed)) ->
+      let kind, spec, vocab =
+        match k with
+        | 0 ->
+          (Structure.Tree, Models.Tree_lstm.spec ~vocab:15 ~hidden:3 (), 15)
+        | 1 ->
+          ( Structure.Sequence,
+            Models.Tree_gru.spec ~vocab:15 ~hidden:3 ~sequence:true (),
+            15 )
+        | _ -> (Structure.Dag, Models.Dag_rnn.spec ~rows:4 ~cols:4 ~hidden:3 (), 15)
+      in
+      check_grow_bitwise spec ~vocab ~kind ~tokens (100 + seed);
+      true)
+
+(* ---------- per-token windows and interleaving ---------- *)
+
+let test_session_windows () =
+  let spec = Models.Tree_lstm.spec ~vocab:20 ~hidden:4 () in
+  let params = spec.M.init_params (Rng.create 2) in
+  let eng = engine_of spec params in
+  (* Two sessions interleaved with regular one-off requests in the same
+     drain: sessions get their own size-1 pinned windows, the one-offs
+     batch as usual. *)
+  let ca = conversation 21 ~vocab:20 ~kind:Structure.Tree ~tokens:3 in
+  let cb = conversation 22 ~vocab:20 ~kind:Structure.Tree ~tokens:3 in
+  let rng = Rng.create 23 in
+  List.iteri
+    (fun i (a, b) ->
+      let at = 500.0 *. float_of_int i in
+      ignore (Engine.submit_exn eng ~arrival_us:at ~session:"a" a);
+      ignore (Engine.submit_exn eng ~arrival_us:(at +. 100.0) ~session:"b" b);
+      ignore
+        (Engine.submit_exn eng ~arrival_us:(at +. 200.0)
+           (Gen.sst_tree rng ~vocab:20 ())))
+    (List.combine ca cb);
+  let s = Engine.drain eng in
+  Alcotest.(check int) "everything completed" 12
+    s.Engine.slo.Engine.slo_completed;
+  let swin =
+    List.filter (fun w -> w.Engine.wr_session <> None) s.Engine.windows
+  in
+  Alcotest.(check int) "one window per session token" 8 (List.length swin);
+  List.iter
+    (fun w -> Alcotest.(check int) "session windows are size 1" 1 w.Engine.wr_size)
+    swin;
+  (* Each session sticks to one device across its windows. *)
+  List.iter
+    (fun name ->
+      match
+        List.sort_uniq compare
+          (List.filter_map
+             (fun w ->
+               if w.Engine.wr_session = Some name then Some w.Engine.wr_device
+               else None)
+             s.Engine.windows)
+      with
+      | [ _ ] -> ()
+      | ds -> Alcotest.failf "session %s ran on %d devices" name (List.length ds))
+    [ "a"; "b" ];
+  Alcotest.(check int) "two live sessions" 2 (List.length (Engine.sessions eng));
+  Engine.close_session eng "a";
+  Alcotest.(check int) "closed session is gone" 1
+    (List.length (Engine.sessions eng))
+
+(* ---------- a different conversation under the same name ---------- *)
+
+let test_session_replacement () =
+  let spec = Models.Tree_lstm.spec ~vocab:20 ~hidden:4 () in
+  let params = spec.M.init_params (Rng.create 4) in
+  let compiled =
+    Runtime.compile ~options:(Runtime.options_for spec) spec.M.program
+  in
+  let eng = engine_of spec params in
+  ignore (serve_session eng (conversation 31 ~vocab:20 ~kind:Structure.Tree ~tokens:4));
+  (* A brand-new conversation under the same name: served cold, the old
+     persisted state dropped, and correctness unaffected. *)
+  let fresh = conversation 32 ~vocab:20 ~kind:Structure.Tree ~tokens:2 in
+  let s = serve_session eng fresh in
+  Alcotest.(check int) "fresh tokens completed" 3
+    s.Engine.slo.Engine.slo_completed;
+  check_states_bitwise spec eng ~session:"chat" compiled params
+    (List.nth fresh 2);
+  match Engine.sessions eng with
+  | [ sn ] ->
+    Alcotest.(check int) "replacement went cold once more" 2 sn.Engine.sn_cold;
+    Alcotest.(check int) "then kept extending" 6 sn.Engine.sn_extends
+  | _ -> Alcotest.fail "expected one session"
+
+(* ---------- failover: the pinned device dies mid-conversation ---------- *)
+
+let failover_spec = Models.Tree_lstm.spec ~vocab:20 ~hidden:4 ()
+
+let run_failover ~faults ~seed =
+  let params = failover_spec.M.init_params (Rng.create 9) in
+  let eng = engine_of failover_spec ~devices:[ gpu; gpu ] ~faults ~seed params in
+  let structs = conversation 41 ~vocab:20 ~kind:Structure.Tree ~tokens:8 in
+  let s = serve_session eng structs in
+  (eng, structs, s)
+
+let test_session_failover () =
+  (* Probe the fault-free run to learn which device the session pins,
+     then kill exactly that device mid-conversation. *)
+  let probe, _, _ = run_failover ~faults:[] ~seed:42 in
+  let pinned =
+    match Engine.sessions probe with
+    | [ sn ] -> sn.Engine.sn_device
+    | _ -> Alcotest.fail "expected one session"
+  in
+  let faults = [ Fault.Fail_stop { device = pinned; at_us = 3500.0 } ] in
+  let eng, structs, s = run_failover ~faults ~seed:42 in
+  Alcotest.(check int) "every token completed despite the fail-stop" 9
+    s.Engine.slo.Engine.slo_completed;
+  (match Engine.sessions eng with
+   | [ sn ] ->
+     Alcotest.(check bool) "failover re-bound the session layout" true
+       (sn.Engine.sn_rebinds >= 1);
+     Alcotest.(check bool) "re-pinned to the survivor" true
+       (sn.Engine.sn_device >= 0 && sn.Engine.sn_device <> pinned)
+   | _ -> Alcotest.fail "expected one session");
+  (* Failing over cannot perturb the numbers: the re-bound layout
+     serves the same deltas. *)
+  let compiled =
+    Runtime.compile
+      ~options:(Runtime.options_for failover_spec)
+      failover_spec.M.program
+  in
+  let params = failover_spec.M.init_params (Rng.create 9) in
+  check_states_bitwise failover_spec eng ~session:"chat" compiled params
+    (List.nth structs 8)
+
+let render_sessions (s : Engine.summary) =
+  String.concat ";"
+    (List.map
+       (fun (x : Engine.session_report) ->
+         Printf.sprintf "%s:%d:%d:%d:%d:%d:%d:%d:%d" x.Engine.sn_name
+           x.Engine.sn_nodes x.Engine.sn_windows x.Engine.sn_delta_nodes
+           x.Engine.sn_extends x.Engine.sn_cold x.Engine.sn_materializations
+           x.Engine.sn_rebinds x.Engine.sn_device)
+       s.Engine.sessions)
+
+let test_session_chaos_determinism () =
+  let faults = [ Fault.Fail_stop { device = 0; at_us = 2500.0 } ] in
+  let run () =
+    let _, _, s = run_failover ~faults ~seed:7 in
+    Printf.sprintf "%d/%d/%.6f|%s" s.Engine.slo.Engine.slo_completed
+      s.Engine.slo.Engine.slo_failovers s.Engine.aggregate.Engine.makespan_us
+      (render_sessions s)
+  in
+  Alcotest.(check string) "same seed, same session history" (run ()) (run ())
+
+(* ---------- sessions survive AOT bundles ---------- *)
+
+let test_session_through_bundle () =
+  let spec = Models.Tree_fc.spec ~vocab:12 ~hidden:4 () in
+  let compiled =
+    Runtime.compile ~options:(Runtime.options_for spec) spec.M.program
+  in
+  let weights = Checkpoint.of_spec spec ~seed:5 in
+  let b =
+    Bundle.create ~weights ~model:"TreeFC" ~size:"small"
+      ~backend:gpu.Backend.short compiled
+  in
+  let eng =
+    Engine.of_bundle
+      ~config:(Engine.Config.make ~params:(Bundle.resolver b) ())
+      b ~backend:gpu
+  in
+  let structs = conversation 51 ~vocab:12 ~kind:Structure.Tree ~tokens:6 in
+  let s = serve_session eng structs in
+  Alcotest.(check int) "bundle-served tokens completed" 7
+    s.Engine.slo.Engine.slo_completed;
+  (match Engine.sessions eng with
+   | [ sn ] ->
+     Alcotest.(check int) "bundle engine serves deltas" 6 sn.Engine.sn_extends
+   | _ -> Alcotest.fail "expected one session");
+  check_states_bitwise spec eng ~session:"chat" compiled
+    (Checkpoint.resolver weights)
+    (List.nth structs 6)
+
+(* ---------- shape-cache accounting ---------- *)
+
+let test_cache_rejection_moves_no_counter () =
+  let c = Shape_cache.create () in
+  let wide =
+    let b = Node.builder () in
+    let kids = List.init 3 (fun p -> Node.make b ~payload:p []) in
+    Structure.create ~kind:Structure.Tree ~max_children:3
+      [ Node.make b ~payload:9 kids ]
+  in
+  (try
+     ignore (Shape_cache.find_or_linearize c ~max_children:2 [ wide ]);
+     Alcotest.fail "fanout 3 accepted with max_children 2"
+   with Linearizer.Rejected _ -> ());
+  let s = Shape_cache.stats c in
+  Alcotest.(check int) "no hit" 0 s.Shape_cache.hits;
+  Alcotest.(check int) "no miss" 0 s.Shape_cache.misses;
+  Alcotest.(check int) "no entry" 0 s.Shape_cache.entries
+
+let test_cache_raising_rebind_is_not_a_hit () =
+  (* A forest [put] under a key it does not belong to makes the next
+     lookup's rebind raise: the accounting satellite says that raising
+     lookup must not count as a hit (it served nothing). *)
+  let c = Shape_cache.create () in
+  let rng = Rng.create 6 in
+  let s1 = Gen.sst_tree rng ~vocab:10 () in
+  let s2 = Gen.sst_tree rng ~vocab:10 () in
+  let lone = Linearizer.run_forest ~max_children:2 [ s1 ] in
+  Shape_cache.put c ~max_children:2 [ s1; s2 ] lone;
+  Alcotest.(check int) "put counts nothing"
+    0
+    (Shape_cache.stats c).Shape_cache.hits;
+  (try
+     ignore (Shape_cache.find_or_linearize c ~max_children:2 [ s1; s2 ]);
+     Alcotest.fail "rebind of a mismatched cached forest succeeded"
+   with Invalid_argument _ -> ());
+  let s = Shape_cache.stats c in
+  Alcotest.(check int) "raising rebind is not a hit" 0 s.Shape_cache.hits;
+  Alcotest.(check int) "nor a miss" 0 s.Shape_cache.misses
+
+let test_cache_put_enables_hits () =
+  let c = Shape_cache.create () in
+  let rng = Rng.create 8 in
+  let s1 = Gen.sst_tree rng ~vocab:10 () in
+  let f = Linearizer.run_forest ~max_children:2 [ s1 ] in
+  Shape_cache.put c ~max_children:2 [ s1 ] f;
+  let _, hit = Shape_cache.find_or_linearize c ~max_children:2 [ s1 ] in
+  Alcotest.(check bool) "outside forest serves hits" true hit;
+  let s = Shape_cache.stats c in
+  Alcotest.(check int) "one hit" 1 s.Shape_cache.hits;
+  Alcotest.(check int) "no miss" 0 s.Shape_cache.misses;
+  (* put at capacity 0 is a no-op. *)
+  let c0 = Shape_cache.create ~capacity:0 () in
+  Shape_cache.put c0 ~max_children:2 [ s1 ] f;
+  Alcotest.(check int) "disabled cache stores nothing" 0
+    (Shape_cache.stats c0).Shape_cache.entries
+
+let test_cache_epoch_eviction_accounting () =
+  let c = Shape_cache.create ~capacity:2 () in
+  let chain n =
+    let rng = Rng.create (100 + n) in
+    Gen.sequence rng ~vocab:5 ~len:n ()
+  in
+  ignore (Shape_cache.find_or_linearize c ~max_children:1 [ chain 2 ]);
+  ignore (Shape_cache.find_or_linearize c ~max_children:1 [ chain 3 ]);
+  Alcotest.(check int) "full table" 2 (Shape_cache.stats c).Shape_cache.entries;
+  (* The third distinct shape trips epoch eviction: the table is
+     dropped wholesale, the counters are not. *)
+  ignore (Shape_cache.find_or_linearize c ~max_children:1 [ chain 4 ]);
+  let s = Shape_cache.stats c in
+  Alcotest.(check int) "epoch evicted down to the newcomer" 1 s.Shape_cache.entries;
+  Alcotest.(check int) "misses survive the epoch" 3 s.Shape_cache.misses;
+  (* An evicted shape is a miss again, not a hit. *)
+  let _, hit = Shape_cache.find_or_linearize c ~max_children:1 [ chain 2 ] in
+  Alcotest.(check bool) "evicted shape misses" false hit;
+  Alcotest.(check int) "hits unmoved" 0 (Shape_cache.stats c).Shape_cache.hits
+
+let () =
+  Alcotest.run "session"
+    [
+      ( "bitwise",
+        [
+          Alcotest.test_case "tree" `Quick test_tree_bitwise;
+          Alcotest.test_case "sequence" `Quick test_sequence_bitwise;
+          Alcotest.test_case "dag" `Quick test_dag_bitwise;
+          QCheck_alcotest.to_alcotest prop_grow_bitwise;
+        ] );
+      ( "serving",
+        [
+          Alcotest.test_case "windows" `Quick test_session_windows;
+          Alcotest.test_case "replacement" `Quick test_session_replacement;
+          Alcotest.test_case "bundle" `Quick test_session_through_bundle;
+        ] );
+      ( "failover",
+        [
+          Alcotest.test_case "failstop" `Quick test_session_failover;
+          Alcotest.test_case "determinism" `Quick test_session_chaos_determinism;
+        ] );
+      ( "shape-cache",
+        [
+          Alcotest.test_case "rejection" `Quick test_cache_rejection_moves_no_counter;
+          Alcotest.test_case "raising-rebind" `Quick test_cache_raising_rebind_is_not_a_hit;
+          Alcotest.test_case "put" `Quick test_cache_put_enables_hits;
+          Alcotest.test_case "epoch-eviction" `Quick test_cache_epoch_eviction_accounting;
+        ] );
+    ]
