@@ -1280,6 +1280,32 @@ let incremental () =
      extend materializations amortizing to O(1) per node); the session-less server's\n\
      per-token cost grows with the conversation.  Wrote BENCH_incremental.json.\n"
 
+(* ---------- FMECA: the reliability campaign's committed ranking ---------- *)
+
+(* One seeded chaos run per failure mode on the campaign grid, scored
+   severity x occurrence x detectability against a fault-free baseline
+   and ranked by RPN.  Writes BENCH_fmeca.json — the committed artifact
+   CI re-generates and diffs, so a rank change is a reviewable
+   reliability regression, never noise. *)
+let fmeca () =
+  let res = Fmeca.run ~seed:42 () in
+  print_string (Fmeca.table res);
+  print_newline ();
+  let undetected =
+    List.filter
+      (fun (sc : Fmeca.score) -> sc.Fmeca.sc_detection = Scan.Undetected)
+      res.Fmeca.res_rows
+  in
+  let oc = open_out "BENCH_fmeca.json" in
+  output_string oc (Fmeca.json_lines res);
+  close_out oc;
+  Printf.printf
+    "%d failure modes across %d component families; %d damage with no warning span\n\
+     (the detectability gaps worth instrumenting next).  Wrote BENCH_fmeca.json.\n"
+    (List.length res.Fmeca.res_rows)
+    (List.length (Fmeca.families ()))
+    (List.length undetected)
+
 let all =
   [
     ("fig6", fig6);
@@ -1304,5 +1330,6 @@ let all =
     ("autotune", autotune);
     ("bundle", bundle);
     ("incremental", incremental);
+    ("fmeca", fmeca);
     ("breakdown", debug);
   ]

@@ -491,10 +491,18 @@ let serve_cmd =
     Arg.(value & opt int 16
          & info [ "session-tokens" ] ~doc:"Tokens each session grows by over the trace (default 16)")
   in
+  let slo_miss_budget_arg =
+    Arg.(value & opt (some float) None
+         & info [ "slo-miss-budget" ]
+             ~doc:"Fail the run (distinct exit codes) on SLO damage: exit 3 when any \
+                   request was lost, exit 4 when the deadline-miss fraction exceeds \
+                   this budget — so CI chaos steps fail on regressions instead of \
+                   only diffing stdout")
+  in
   let run name size seed backend options rps duration_ms max_batch max_wait_us bucketed
       num_devices device_list dispatch faults deadline_us queue_cap degrade_watermark
       profile metrics logical_clock autotune tune_budget bundle sessions session_tokens
-      config_file =
+      config_file slo_miss_budget =
     let spec = get_spec name size in
     let bundle_loaded =
       match bundle with
@@ -716,19 +724,38 @@ let serve_cmd =
          String.split_on_char '\n' (Metrics.render snap)
          |> List.iter (fun line -> if line <> "" then Printf.printf "    %s\n" line)
        | None -> ());
-    match (profile, obs) with
-    | Some path, Some o ->
-      let events = Obs.events o in
-      (* Validate before writing: a profile the checker rejects is an
-         exporter bug, and silently shipping it would defeat CI. *)
-      (match Obs_validate.check events with
-       | Ok () ->
-         Obs.write_json o path;
-         Printf.printf "  profile: %d events -> %s\n" (List.length events) path
-       | Error e ->
-         prerr_endline ("profile failed validation: " ^ Obs_validate.error_to_string e);
-         exit 1)
-    | _ -> ()
+    (match (profile, obs) with
+     | Some path, Some o ->
+       let events = Obs.events o in
+       (* Validate before writing: a profile the checker rejects is an
+          exporter bug, and silently shipping it would defeat CI. *)
+       (match Obs_validate.check events with
+        | Ok () ->
+          Obs.write_json o path;
+          Printf.printf "  profile: %d events -> %s\n" (List.length events) path
+        | Error e ->
+          prerr_endline ("profile failed validation: " ^ Obs_validate.error_to_string e);
+          exit 1)
+     | _ -> ());
+    (* SLO gate: only when the flag is given, so existing runs (and the
+       CI chaos steps that diff stdout) keep exiting 0.  Lost requests
+       are unconditionally fatal (exit 3) — no budget excuses dropped
+       work; deadline misses are budgeted as a fraction of completions
+       (exit 4). *)
+    match slo_miss_budget with
+    | None -> ()
+    | Some budget ->
+      if slo.Engine.slo_lost > 0 then (
+        Printf.eprintf "slo: %d request(s) lost, over any budget\n" slo.Engine.slo_lost;
+        exit 3);
+      let miss_frac =
+        float_of_int slo.Engine.slo_deadline_misses
+        /. float_of_int (max 1 slo.Engine.slo_completed)
+      in
+      if miss_frac > budget then (
+        Printf.eprintf "slo: deadline-miss fraction %.4f exceeds budget %.4f\n" miss_frac
+          budget;
+        exit 4)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -738,7 +765,8 @@ let serve_cmd =
       $ duration_arg $ max_batch_arg $ max_wait_arg $ bucketed_arg $ devices_arg
       $ device_list_arg $ dispatch_arg $ faults_arg $ deadline_arg $ queue_cap_arg
       $ watermark_arg $ profile_arg $ metrics_arg $ logical_clock_arg $ autotune_arg
-      $ tune_budget_arg $ bundle_arg $ sessions_arg $ session_tokens_arg $ config_file_arg)
+      $ tune_budget_arg $ bundle_arg $ sessions_arg $ session_tokens_arg $ config_file_arg
+      $ slo_miss_budget_arg)
 
 let validate_trace_cmd =
   let file_arg =
@@ -765,10 +793,116 @@ let validate_trace_cmd =
        ~doc:"Check a Chrome trace-event file against the profile invariants (monotone tracks, balanced nesting, drain containment)")
     Term.(const run $ file_arg)
 
+let fmeca_cmd =
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed (the whole ranking is a pure function of it).")
+  in
+  let grammar_arg =
+    Arg.(value & opt (some string) None
+         & info [ "grammar" ] ~docv:"FAMILIES"
+             ~doc:"Comma-separated component families to sweep (e.g. \
+                   $(b,transient,queue)); default: the full grid.  \
+                   $(b,list) prints the families and modes without running.")
+  in
+  let top_arg =
+    Arg.(value & opt int 3
+         & info [ "top" ] ~docv:"K" ~doc:"How many top-ranked modes get a Chrome trace under $(b,--trace-out).")
+  in
+  let trace_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"DIR"
+             ~doc:"Write validated Chrome traces for the top-$(b,K) ranked modes \
+                   into this directory as $(i,fmeca_<mode>.json).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the ranking as JSON lines (the $(i,BENCH_fmeca.json) artifact).")
+  in
+  let baseline_arg =
+    Arg.(value & opt (some file) None
+         & info [ "baseline-diff" ] ~docv:"FILE"
+             ~doc:"Diff the ranking against a previously committed JSON artifact; \
+                   any rank change prints the moves and exits 5.")
+  in
+  let run seed families_opt top trace_out out baseline =
+    let families =
+      Option.map
+        (fun s ->
+          String.split_on_char ',' s |> List.map String.trim
+          |> List.filter (fun f -> f <> ""))
+        families_opt
+    in
+    (match families with
+     | Some [ "list" ] ->
+       Printf.printf "families: %s\n" (String.concat ", " (Fmeca.families ()));
+       List.iter
+         (fun (m : Fmeca.mode) ->
+           Printf.printf "  %-18s %-10s rate %-6g %s%s\n" m.Fmeca.fm_id m.Fmeca.fm_family
+             m.Fmeca.fm_rate m.Fmeca.fm_desc
+             (if m.Fmeca.fm_grammar = "" then "" else "  [" ^ m.Fmeca.fm_grammar ^ "]"))
+         (Fmeca.modes ());
+       exit 0
+     | _ -> ());
+    let res = Fmeca.run ?families ~seed () in
+    print_string (Fmeca.table res);
+    (match out with
+     | None -> ()
+     | Some path ->
+       let oc = open_out path in
+       output_string oc (Fmeca.json_lines res);
+       close_out oc;
+       Printf.printf "ranking: %d modes -> %s\n" (List.length res.Fmeca.res_rows) path);
+    (match trace_out with
+     | None -> ()
+     | Some dir ->
+       (if not (Sys.file_exists dir) then Sys.mkdir dir 0o755);
+       List.filteri (fun i _ -> i < top) res.Fmeca.res_rows
+       |> List.iter (fun (sc : Fmeca.score) ->
+              let m = sc.Fmeca.sc_mode in
+              let _, events = Fmeca.run_mode ~seed m in
+              (* Same contract as serve --profile: a trace the checker
+                 rejects is an exporter bug, not an artifact. *)
+              match Obs_validate.check events with
+              | Error e ->
+                prerr_endline
+                  (m.Fmeca.fm_id ^ ": trace failed validation: "
+                  ^ Obs_validate.error_to_string e);
+                exit 1
+              | Ok () ->
+                let path = Filename.concat dir ("fmeca_" ^ m.Fmeca.fm_id ^ ".json") in
+                let oc = open_out path in
+                output_string oc (Chrome_trace.to_json events);
+                close_out oc;
+                Printf.printf "trace: %-18s %4d events -> %s\n" m.Fmeca.fm_id
+                  (List.length events) path));
+    match baseline with
+    | None -> ()
+    | Some path ->
+      let ic = open_in_bin path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (match Fmeca.load_ranking text with
+       | Error reason ->
+         prerr_endline (path ^ ": " ^ reason);
+         exit 1
+       | Ok baseline -> (
+         match Fmeca.diff_ranking ~baseline res with
+         | [] -> Printf.printf "ranking matches %s\n" path
+         | moves ->
+           Printf.eprintf "ranking changed against %s:\n" path;
+           List.iter (fun line -> Printf.eprintf "  %s\n" line) moves;
+           exit 5))
+  in
+  Cmd.v
+    (Cmd.info "fmeca"
+       ~doc:"Run the FMECA reliability campaign: one seeded chaos run per failure mode, ranked by severity x occurrence x detectability")
+    Term.(const run $ seed_arg $ grammar_arg $ top_arg $ trace_out_arg $ out_arg $ baseline_arg)
+
 let () =
   let info = Cmd.info "cortex" ~doc:"Cortex: a compiler for recursive deep learning models" in
   exit
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; dump_ir_cmd; dump_c_cmd; simulate_cmd; run_cmd; linearize_cmd; tune_cmd;
-            build_cmd; inspect_cmd; serve_cmd; validate_trace_cmd ]))
+            build_cmd; inspect_cmd; serve_cmd; validate_trace_cmd; fmeca_cmd ]))

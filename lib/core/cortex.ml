@@ -44,6 +44,8 @@ module Obs = Cortex_obs.Obs
 module Metrics = Cortex_obs.Metrics
 module Chrome_trace = Cortex_obs.Chrome_trace
 module Obs_validate = Cortex_obs.Validate
+module Scan = Cortex_obs.Scan
+module Fmeca = Cortex_campaign.Fmeca
 module Workload = Cortex_baselines.Workload
 module Frameworks = Cortex_baselines.Frameworks
 module Models = struct

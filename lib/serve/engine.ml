@@ -396,6 +396,10 @@ type t = {
   mutable queued : int;
   mutable n_shed : int;
   mutable n_rejected : int;
+  mutable first_shed_us : float;
+      (* earliest shed arrival since the last drain: sheds happen at
+         submit time, before the drain can see them, so the drain's
+         first-damage clock needs the time carried over *)
 }
 
 (* Shared construction: validate the config, then obtain the compiled
@@ -454,6 +458,7 @@ let build ~(config : Config.t) ~model ~backend ~compiled =
     queued = 0;
     n_shed = 0;
     n_rejected = 0;
+    first_shed_us = infinity;
   }
 
 let create ?(config = Config.default) ~model ~backend () =
@@ -593,6 +598,7 @@ let submit t ?(arrival_us = 0.0) ?deadline_us ?session structure =
   match t.eng_queue_cap with
   | Some cap when t.queued >= cap ->
     t.n_shed <- t.n_shed + 1;
+    t.first_shed_us <- Float.min t.first_shed_us arrival_us;
     Stdlib.Error (Shed { cap })
   | _ -> (
     match validate t structure with
@@ -904,6 +910,10 @@ type slo = {
   slo_deadline_misses : int;
   slo_on_time : int;
   slo_goodput_rps : float;
+  slo_first_damage_us : float option;
+      (* earliest SLO-visible damage on the simulated clock: the first
+         shed arrival, lost window, or completion past its deadline —
+         what the FMECA campaign measures detectability lead against *)
 }
 
 type plan_report = {
@@ -936,6 +946,9 @@ type summary = {
   results : (int * Tensor.t) list;
   sessions : session_report list;  (* by name; empty without sessions *)
   metrics : Metrics.snapshot option;
+  metrics_at_damage : Metrics.snapshot option;
+      (* the registry at the first observed SLO damage (with [obs]):
+         which counters had already moved before anything was hurt *)
   plans : plan_report list;  (* per (backend, size-class), autotune only *)
   plan_cache : Plan_cache.stats option;
 }
@@ -1061,7 +1074,7 @@ type attempt_outcome =
       ao_attempts : int;
       ao_compiled : Lower.compiled;  (* what actually ran (tuned or not) *)
     }
-  | Lost_window
+  | Lost_window of float  (* the sim instant the window was declared lost *)
 
 let drain t =
   let pendings =
@@ -1072,8 +1085,10 @@ let drain t =
   t.queue <- [];
   t.queued <- 0;
   let shed = t.n_shed and rejected = t.n_rejected in
+  let shed_at = t.first_shed_us in
   t.n_shed <- 0;
   t.n_rejected <- 0;
+  t.first_shed_us <- infinity;
   let depth = List.length pendings in
   (* Degrade under overload: past the watermark, halve the batch window
      and force size bucketing — smaller, shape-homogeneous windows
@@ -1146,6 +1161,21 @@ let drain t =
   in
   let transients = ref 0 and retries = ref 0 and failovers = ref 0 in
   let lost = ref 0 in
+  (* First SLO-visible damage on the simulated clock — the earliest
+     shed arrival, lost window, or missed deadline — and the metrics
+     registry as it stood when damage was first observed in processing
+     order.  These are the FMECA campaign's detectability inputs: how
+     long before anything was hurt, and which counters had already
+     moved by then. *)
+  let first_damage = ref infinity in
+  let damage_metrics = ref None in
+  let note_damage at =
+    (match !damage_metrics with
+     | None -> damage_metrics := Obs.snapshot obs
+     | Some _ -> ());
+    if at < !first_damage then first_damage := at
+  in
+  if shed > 0 then note_damage shed_at;
   let wreports = ref [] in
   let rreports = ref [] in
   let results = ref [] in
@@ -1174,7 +1204,7 @@ let drain t =
   let play ~sx ~size ~nodes ~lin_us ~price ready0 =
     let rec attempt n ready =
       mark_dead ready;
-      if Dispatch.alive disp = 0 then Lost_window
+      if Dispatch.alive disp = 0 then Lost_window ready
       else begin
         let dev =
           match sx with
@@ -1233,6 +1263,7 @@ let drain t =
               ~requests:0 ~nodes:0 ~occupancy:report.Runtime.occupancy;
             Dispatch.fail dev;
             incr failovers;
+            Obs.incr obs "faults.failovers";
             (match obs with
              | None -> ()
              | Some _ ->
@@ -1256,6 +1287,7 @@ let drain t =
                  completion: the wasted execution still occupied the
                  device. *)
               incr transients;
+              Obs.incr obs "faults.transients";
               Dispatch.commit dev ~dispatch_us:dispatch ~completion_us:completion
                 ~requests:0 ~nodes ~occupancy:report.Runtime.occupancy;
               (match obs with
@@ -1266,9 +1298,10 @@ let drain t =
                    ~args:[ ("attempt", CT.Int (n + 1)); ("size", CT.Int size);
                            ("nodes", CT.Int nodes) ]
                    ~start_us:dispatch ~end_us:completion ());
-              if n >= t.eng_retry.Fault.max_retries then Lost_window
+              if n >= t.eng_retry.Fault.max_retries then Lost_window completion
               else begin
                 incr retries;
+                Obs.incr obs "faults.retries";
                 let delay =
                   Fault.backoff_us (Option.get inj) ~retry:t.eng_retry
                     ~device:dev.Dispatch.dev_index ~attempt:n
@@ -1340,7 +1373,10 @@ let drain t =
         rr_total_us = completion -. p.p_arrival;
         rr_on_time = completion <= p.p_deadline;
       }
-      :: !rreports
+      :: !rreports;
+    (* A missed deadline hurts the SLO the instant the deadline passes
+       without a completion, not when the late answer finally lands. *)
+    if completion > p.p_deadline then note_damage p.p_deadline
   in
   List.iter
     (fun (ready, members, sname) ->
@@ -1383,7 +1419,9 @@ let drain t =
           (compiled, report)
         in
         (match play ~sx:None ~size ~nodes ~lin_us ~price ready with
-         | Lost_window -> lost := !lost + size
+         | Lost_window at ->
+           lost := !lost + size;
+           note_damage at
          | Completed { ao_dev = dev; ao_dispatch = dispatch;
                        ao_completion = completion; ao_report = report;
                        ao_attempts = attempts; ao_compiled = ran_compiled } ->
@@ -1491,7 +1529,9 @@ let drain t =
               t.eng_compiled ~backend:dev.Dispatch.dev_backend run_lin )
         in
         (match play ~sx:(Some sx) ~size ~nodes ~lin_us ~price ready with
-         | Lost_window -> lost := !lost + size
+         | Lost_window at ->
+           lost := !lost + size;
+           note_damage at
          | Completed { ao_dev = dev; ao_dispatch = dispatch;
                        ao_completion = completion; ao_report = report;
                        ao_attempts = attempts; ao_compiled = _ } ->
@@ -1609,6 +1649,8 @@ let drain t =
         (if aggregate.makespan_us > 0.0 then
            float_of_int on_time /. aggregate.makespan_us *. 1.0e6
          else 0.0);
+      slo_first_damage_us =
+        (if !first_damage < infinity then Some !first_damage else None);
     }
   in
   (* Metrics and the enclosing drain span, recorded last so the span
@@ -1621,9 +1663,6 @@ let drain t =
      Obs.incr obs ~by:!lost "requests.lost";
      Obs.incr obs ~by:shed "requests.shed";
      Obs.incr obs ~by:rejected "requests.rejected";
-     Obs.incr obs ~by:!transients "faults.transients";
-     Obs.incr obs ~by:!retries "faults.retries";
-     Obs.incr obs ~by:!failovers "faults.failovers";
      Obs.incr obs ~by:(List.length windows) "windows.formed";
      Obs.set_gauge obs "queue.depth" (float_of_int depth);
      Obs.set_gauge obs "drain.degraded" (if degraded then 1.0 else 0.0);
@@ -1643,6 +1682,13 @@ let drain t =
      List.iter
        (fun w -> Obs.observe obs "window.size" (float_of_int w.wr_size))
        windows;
+     (* Stamped before the drain span so [sim_bounds] covers it: a
+        trace scanner measuring detectability reads this instant as
+        "the SLO was first hurt here". *)
+     if !first_damage < infinity then
+       Obs.sim_instant obs ~track:"slo" ~name:"slo_damage"
+         ~args:[ ("at_us", CT.Float !first_damage) ]
+         ~ts_us:!first_damage ();
      (match Obs.sim_bounds o with
       | Some (lo, hi) ->
         Obs.sim_span obs ~track:"engine" ~name:"drain"
@@ -1682,6 +1728,7 @@ let drain t =
     results = List.sort (fun (a, _) (b, _) -> compare a b) !results;
     sessions = sessions t;
     metrics = Obs.snapshot obs;
+    metrics_at_damage = !damage_metrics;
     plans;
     plan_cache;
   }

@@ -434,6 +434,11 @@ type slo = {
   slo_goodput_rps : float;
       (** on-time completions per simulated second, against
           [aggregate.throughput_rps]'s all-completions count *)
+  slo_first_damage_us : float option;
+      (** the earliest SLO-visible damage on the simulated clock — the
+          first shed arrival, lost window, or passed deadline; [None]
+          when the drain hurt nothing.  The FMECA campaign measures
+          detectability lead against this instant. *)
 }
 
 (** Per-session counters, cumulative over the session's lifetime. *)
@@ -481,6 +486,11 @@ type summary = {
           request/fault counters, queue and utilization gauges, latency
           and window-size histograms; [None] when no handle is
           installed *)
+  metrics_at_damage : Cortex_obs.Metrics.snapshot option;
+      (** with [obs]: the registry as it stood when the first
+          SLO-visible damage was observed — which counters had already
+          moved before anything was hurt.  [None] without [obs] or when
+          [slo.slo_first_damage_us] is [None]. *)
   plans : plan_report list;
       (** with [autotune]: one line per tuned (backend, size-class),
           sorted, with default-vs-tuned simulated latency *)

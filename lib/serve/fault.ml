@@ -25,71 +25,112 @@ let to_string spec = String.concat ";" (List.map fault_to_string spec)
 
 let ( let* ) r f = Result.bind r f
 
-let parse_device s =
+(* Every parse error names the offending clause: its 1-based position
+   in the semicolon-separated spec and its text, so a user can fix a
+   long grammar string without bisecting it by hand. *)
+let clause_err ~clause str fmt =
+  Printf.ksprintf
+    (fun msg -> Error (Printf.sprintf "fault clause %d (%S): %s" clause str msg))
+    fmt
+
+let parse_device ~clause str s =
   let s = String.trim s in
   if s = "*" then Ok (-1)
   else
     match int_of_string_opt s with
     | Some d when d >= 0 -> Ok d
-    | _ -> Error (Printf.sprintf "bad device %S (an index or *)" s)
+    | _ -> clause_err ~clause str "bad device %S (expected an index or *)" s
 
-let parse_floats s =
+let parse_floats ~clause str s =
   let parts = String.split_on_char ',' s in
-  let rec go acc = function
+  let rec go acc pos = function
     | [] -> Ok (List.rev acc)
     | p :: rest -> (
       match float_of_string_opt (String.trim p) with
-      | Some f -> go (f :: acc) rest
-      | None -> Error (Printf.sprintf "bad number %S" p))
+      | Some f -> go (f :: acc) (pos + 1) rest
+      | None -> clause_err ~clause str "bad number %S at argument %d" p pos)
   in
-  go [] parts
+  go [] 1 parts
 
-let parse_one str =
+(* The arity each kind expects, spelled out so a wrong count names what
+   was missing instead of a generic complaint. *)
+let arity_of = function
+  | "failstop" -> "at_us (1 number)"
+  | "transient" -> "prob,from_us,until_us (3 numbers)"
+  | "straggler" -> "factor,from_us,until_us (3 numbers)"
+  | _ -> assert false
+
+let parse_one ~clause str =
   let* kind, rest =
     match String.index_opt str '@' with
     | Some i ->
       Ok
         ( String.trim (String.sub str 0 i),
           String.sub str (i + 1) (String.length str - i - 1) )
-    | None -> Error (Printf.sprintf "fault %S: missing @device" str)
+    | None -> clause_err ~clause str "missing @device"
   in
   let* dev, args =
     match String.index_opt rest ':' with
     | Some i ->
       Ok (String.sub rest 0 i, String.sub rest (i + 1) (String.length rest - i - 1))
-    | None -> Error (Printf.sprintf "fault %S: missing :args" str)
+    | None -> clause_err ~clause str "missing :args after the device"
   in
-  let* device = parse_device dev in
-  let* nums = parse_floats args in
+  let* device = parse_device ~clause str dev in
+  let* nums = parse_floats ~clause str args in
   match (kind, nums) with
   | "failstop", [ at_us ] ->
     if at_us >= 0.0 then Ok (Fail_stop { device; at_us })
-    else Error (Printf.sprintf "fault %S: fail time must be >= 0" str)
+    else clause_err ~clause str "fail time must be >= 0"
   | "transient", [ prob; from_us; until_us ] ->
     if not (prob > 0.0 && prob <= 1.0) then
-      Error (Printf.sprintf "fault %S: probability must be in (0, 1]" str)
-    else if from_us > until_us then Error (Printf.sprintf "fault %S: from > until" str)
+      clause_err ~clause str "probability must be in (0, 1]"
+    else if from_us > until_us then clause_err ~clause str "from > until"
     else Ok (Transient { device; prob; from_us; until_us })
   | "straggler", [ factor; from_us; until_us ] ->
-    if not (factor >= 1.0) then
-      Error (Printf.sprintf "fault %S: straggler factor must be >= 1" str)
-    else if from_us > until_us then Error (Printf.sprintf "fault %S: from > until" str)
+    if not (factor >= 1.0) then clause_err ~clause str "straggler factor must be >= 1"
+    else if from_us > until_us then clause_err ~clause str "from > until"
     else Ok (Straggler { device; factor; from_us; until_us })
-  | ("failstop" | "transient" | "straggler"), _ ->
-    Error (Printf.sprintf "fault %S: wrong number of arguments" str)
-  | _ -> Error (Printf.sprintf "fault %S: unknown kind %S" str kind)
+  | (("failstop" | "transient" | "straggler") as kind), got ->
+    clause_err ~clause str "wrong arity for %s: expected %s, got %d" kind
+      (arity_of kind) (List.length got)
+  | _ ->
+    clause_err ~clause str "unknown kind %S (failstop | transient | straggler)" kind
+
+let kind_key = function
+  | Fail_stop _ -> "failstop"
+  | Transient _ -> "transient"
+  | Straggler _ -> "straggler"
+
+let fault_device = function
+  | Fail_stop { device; _ } | Transient { device; _ } | Straggler { device; _ } ->
+    device
 
 let parse s =
   let parts =
     List.filter
-      (fun p -> String.trim p <> "")
-      (String.split_on_char ';' s)
+      (fun (_, p) -> String.trim p <> "")
+      (List.mapi (fun i p -> (i + 1, p)) (String.split_on_char ';' s))
   in
+  (* Duplicate targets are rejected: two clauses of the same kind
+     naming the same device (or both the wildcard) would silently
+     compose — a doubled transient draw, two fail times — which is
+     never what a sweep means.  The error names both clauses. *)
+  let seen = Hashtbl.create 8 in
   let rec go acc = function
     | [] -> Ok (List.rev acc)
-    | p :: rest ->
-      let* f = parse_one (String.trim p) in
-      go (f :: acc) rest
+    | (clause, p) :: rest ->
+      let str = String.trim p in
+      let* f = parse_one ~clause str in
+      let key = (kind_key f, fault_device f) in
+      (match Hashtbl.find_opt seen key with
+       | Some first ->
+         clause_err ~clause str "duplicate %s for device %s (first at clause %d)"
+           (kind_key f)
+           (device_to_string (fault_device f))
+           first
+       | None ->
+         Hashtbl.add seen key clause;
+         go (f :: acc) rest)
   in
   go [] parts
 
@@ -106,10 +147,6 @@ let default_retry = { max_retries = 4; backoff_base_us = 50.0; backoff_cap_us = 
 (* ---------- the injector ---------- *)
 
 type t = { spec : spec; inj_seed : int; streams : Rng.t array }
-
-let fault_device = function
-  | Fail_stop { device; _ } | Transient { device; _ } | Straggler { device; _ } ->
-    device
 
 let create ~seed ~devices spec =
   List.iter

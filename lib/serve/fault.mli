@@ -42,7 +42,11 @@ val parse : string -> (spec, string) result
       straggler@0:3,2000,8000       device 0 runs 3x slower in [2000,8000)
     v}
     Validates: [at >= 0], [0 < prob <= 1], [factor >= 1],
-    [from <= until]. *)
+    [from <= until].  Two clauses of the same kind naming the same
+    device (or both naming [*]) are rejected as duplicates.  Every
+    error names the offending clause: its 1-based position, its text
+    and what was wrong with it (including which argument of a
+    wrong-arity clause failed to parse). *)
 
 val to_string : spec -> string
 (** Inverse of {!parse} (up to float formatting). *)

@@ -51,6 +51,118 @@ let test_parse_rejects () =
       "failstop@1" (* missing args *);
     ]
 
+let test_parse_duplicate_targets () =
+  (* Two clauses of the same kind on the same target are a spec bug,
+     not a sweep; the error names both clause positions. *)
+  let expect_dup src =
+    match Fault.parse src with
+    | Ok _ -> Alcotest.failf "accepted duplicate spec %S" src
+    | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S error mentions the duplicate: %s" src e)
+        true
+        (let has needle =
+           let nl = String.length needle and el = String.length e in
+           let rec scan i = i + nl <= el && (String.sub e i nl = needle || scan (i + 1)) in
+           scan 0
+         in
+         has "duplicate" && has "first at clause 1")
+  in
+  expect_dup "failstop@0:5;failstop@0:10";
+  expect_dup "transient@*:0.5,0,10;transient@*:0.2,0,20";
+  expect_dup "straggler@2:2,0,10;failstop@2:5;straggler@2:4,20,30";
+  (* Same kind on different devices is a legitimate sweep... *)
+  (match Fault.parse "failstop@0:5;failstop@1:10" with
+   | Ok spec -> Alcotest.(check int) "distinct devices accepted" 2 (List.length spec)
+   | Error e -> Alcotest.failf "distinct devices rejected: %s" e);
+  (* ...and so are different kinds on the same device. *)
+  match Fault.parse "failstop@0:5;straggler@0:2,0,10" with
+  | Ok spec -> Alcotest.(check int) "distinct kinds accepted" 2 (List.length spec)
+  | Error e -> Alcotest.failf "distinct kinds rejected: %s" e
+
+let test_parse_error_positions () =
+  (* Every error must name the offending clause's 1-based position and
+     its text, so a long spec is debuggable from the message alone. *)
+  let expect src fragment =
+    match Fault.parse src with
+    | Ok _ -> Alcotest.failf "accepted %S" src
+    | Error e ->
+      let has needle =
+        let nl = String.length needle and el = String.length e in
+        let rec scan i = i + nl <= el && (String.sub e i nl = needle || scan (i + 1)) in
+        scan 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%S error %S mentions %S" src e fragment)
+        true (has fragment)
+  in
+  expect "failstop@0:5;meteor@1:2" "clause 2";
+  expect "failstop@0:5;meteor@1:2" "unknown kind";
+  expect "failstop@0:5;transient@1:0.5,0,10;straggler@x:2,0,10" "clause 3";
+  expect "transient@0:0.5,abc,10" "argument 2";
+  expect "straggler@0:2,0,1,9" "wrong arity";
+  expect "failstop" "missing @device";
+  expect "failstop@0" "missing :args";
+  expect "failstop@0:" "argument 1"
+
+(* QCheck: any well-formed spec survives [to_string] then [parse]
+   structurally intact.  Floats are generated on dyadic grids so the
+   %g rendering is exact. *)
+let fault_roundtrip_test =
+  let open QCheck in
+  let gen =
+    let open Gen in
+    let device = oneofl [ -1; 0; 1; 2; 3 ] in
+    let time = map float_of_int (int_bound 10000) in
+    let until_of from =
+      oneof [ return infinity; map (fun d -> from +. float_of_int d) (int_bound 10000) ]
+    in
+    let fault =
+      int_bound 2 >>= fun kind ->
+      device >>= fun device ->
+      match kind with
+      | 0 -> map (fun at_us -> Fault.Fail_stop { device; at_us }) time
+      | 1 ->
+        map (fun k -> float_of_int k /. 16.0) (int_range 1 16) >>= fun prob ->
+        time >>= fun from_us ->
+        map
+          (fun until_us -> Fault.Transient { device; prob; from_us; until_us })
+          (until_of from_us)
+      | _ ->
+        map (fun k -> 1.0 +. (float_of_int k /. 4.0)) (int_bound 16) >>= fun factor ->
+        time >>= fun from_us ->
+        map
+          (fun until_us -> Fault.Straggler { device; factor; from_us; until_us })
+          (until_of from_us)
+    in
+    (* Deduplicate (kind, device) targets: the parser rejects them by
+       design, and the generator must stay inside the valid grammar. *)
+    let dedup spec =
+      let seen = Hashtbl.create 8 in
+      List.filter
+        (fun f ->
+          let key =
+            match f with
+            | Fault.Fail_stop { device; _ } -> ("failstop", device)
+            | Fault.Transient { device; _ } -> ("transient", device)
+            | Fault.Straggler { device; _ } -> ("straggler", device)
+          in
+          if Hashtbl.mem seen key then false
+          else (
+            Hashtbl.add seen key ();
+            true))
+        spec
+    in
+    map dedup (list_size (int_range 1 6) fault)
+  in
+  let print spec = Fault.to_string spec in
+  QCheck.Test.make ~name:"to_string/parse round-trip" ~count:500
+    (QCheck.make ~print gen)
+    (fun spec ->
+      match Fault.parse (Fault.to_string spec) with
+      | Ok spec' -> spec' = spec
+      | Error e -> QCheck.Test.fail_reportf "rendered spec did not re-parse: %s" e)
+
 let test_create_validates_devices () =
   let spec = [ Fault.Fail_stop { device = 3; at_us = 0.0 } ] in
   (try
@@ -333,6 +445,66 @@ let test_shed_vs_reject_accounting () =
   Alcotest.(check int) "one rejected" 1 s.Engine.slo.Engine.slo_rejected;
   Alcotest.(check int) "one shed" 1 s.Engine.slo.Engine.slo_shed
 
+(* QCheck: the SLO ledger is a partition.  Under any combination of a
+   fail-stop, a transient rate and a queue cap, every submission
+   attempt lands in exactly one of completed / lost / shed / rejected —
+   no request is double-counted and none evaporates. *)
+let slo_partition_test =
+  let bad_dag () =
+    (* a DAG submitted to a tree model: rejected at the front door *)
+    let b = Node.builder () in
+    let shared = Node.make b ~payload:1 [] in
+    let l = Node.make b ~payload:2 [ shared ] in
+    let r = Node.make b ~payload:3 [ shared ] in
+    let root = Node.make b ~payload:4 [ l; r ] in
+    Structure.create ~kind:Structure.Dag ~max_children:2 [ root ]
+  in
+  QCheck.Test.make ~name:"completed+lost+shed+rejected = submissions" ~count:25
+    QCheck.(
+      quad (int_range 0 99) (int_range 1 12) (int_range 1 10) (int_range 0 5000))
+    (fun (seed, cap, prob10, fail_at) ->
+      let faults =
+        [
+          Fault.Fail_stop { device = 0; at_us = float_of_int fail_at };
+          Fault.Transient
+            {
+              device = -1;
+              prob = float_of_int prob10 /. 10.0;
+              from_us = 0.0;
+              until_us = infinity;
+            };
+        ]
+      in
+      let engine = chaos_engine ~devices:2 ~queue_cap:cap ~faults ~seed () in
+      let attempts = ref 0 in
+      let submit structure arrival_us =
+        incr attempts;
+        ignore (Engine.submit engine ~arrival_us structure)
+      in
+      List.iteri
+        (fun i s ->
+          let at = 120.0 *. float_of_int i in
+          submit s at;
+          (* an invalid request rides along every 4th slot: it must be
+             accounted (rejected below the cap, shed at it), never
+             dropped silently *)
+          if i mod 4 = 3 then submit (bad_dag ()) at)
+        (sst_trees (seed + 100) 16);
+      let s = Engine.drain engine in
+      let slo = s.Engine.slo in
+      let total =
+        slo.Engine.slo_completed + slo.Engine.slo_lost + slo.Engine.slo_shed
+        + slo.Engine.slo_rejected
+      in
+      if total <> !attempts then
+        QCheck.Test.fail_reportf
+          "partition broken: %d+%d+%d+%d = %d, but %d submissions (seed %d cap %d p %.1f fail@%d)"
+          slo.Engine.slo_completed slo.Engine.slo_lost slo.Engine.slo_shed
+          slo.Engine.slo_rejected total !attempts seed cap
+          (float_of_int prob10 /. 10.0)
+          fail_at
+      else true)
+
 (* ---------- degraded batching ---------- *)
 
 let test_degrade_watermark () =
@@ -417,6 +589,9 @@ let () =
         [
           Alcotest.test_case "parse-roundtrip" `Quick test_parse_roundtrip;
           Alcotest.test_case "parse-rejects" `Quick test_parse_rejects;
+          Alcotest.test_case "parse-duplicates" `Quick test_parse_duplicate_targets;
+          Alcotest.test_case "parse-error-positions" `Quick test_parse_error_positions;
+          QCheck_alcotest.to_alcotest fault_roundtrip_test;
           Alcotest.test_case "create-validates" `Quick test_create_validates_devices;
         ] );
       ( "determinism",
@@ -443,6 +618,7 @@ let () =
           Alcotest.test_case "cap-zero" `Quick test_queue_cap_zero;
           Alcotest.test_case "cap-one-reopens" `Quick test_queue_cap_one_drains_and_reopens;
           Alcotest.test_case "shed-vs-reject" `Quick test_shed_vs_reject_accounting;
+          QCheck_alcotest.to_alcotest slo_partition_test;
         ] );
       ( "degrade",
         [ Alcotest.test_case "watermark" `Quick test_degrade_watermark ] );
