@@ -1280,6 +1280,143 @@ let incremental () =
      extend materializations amortizing to O(1) per node); the session-less server's\n\
      per-token cost grows with the conversation.  Wrote BENCH_incremental.json.\n"
 
+(* ---------- Bounded session table: goodput vs budget ---------- *)
+
+(* Growing conversations under a shrinking session-table budget: every
+   row is one chaos-mode drain (empty fault spec installed, so device
+   times are priced and the artifact is byte-reproducible), reporting
+   goodput and per-token latency as evictions force spill/restore
+   churn.  The budget points are fractions of the unbounded run's
+   final accounted bytes, so the sweep tracks the model instead of
+   hard-coding sizes.  Writes BENCH_sessions.json — committed, and
+   re-generated/diffed by CI like the chaos and FMECA artifacts. *)
+let sessions_bench () =
+  (* A deliberately small hidden size: numeric serving runs through the
+     reference interpreter, and the sweep's subject is the session
+     table (eviction counts, priced costs), not tensor throughput. *)
+  let spec = Models.Tree_lstm.spec ~vocab:50 ~hidden:8 () in
+  let params = spec.M.init_params (Rng.create (seed + 1)) in
+  let chaos = match Fault.parse "" with Ok f -> f | Error e -> failwith e in
+  let num_sessions = 6 and tokens = 24 in
+  (* One growth trace per session, generated once and replayed under
+     every budget so the rows differ only in the table's policy.  The
+     lazy session (index 0) stops growing a quarter of the way in —
+     it is the TTL row's expiry victim. *)
+  let traces =
+    List.init num_sessions (fun i ->
+        let rng = Rng.create (seed + (31 * i)) in
+        let g = Gen.growth_start rng ~vocab:50 ~kind:Structure.Tree () in
+        let n = if i = 0 then tokens / 4 else tokens in
+        ( Printf.sprintf "chat-%d" i,
+          Gen.growth_structure g :: List.init n (fun _ -> Gen.grow_one rng g) ))
+  in
+  let run ?session_budget_bytes ?session_ttl_us () =
+    let engine =
+      Engine.of_spec
+        ~config:
+          (Engine.Config.make ~faults:chaos ~seed ~params ?session_budget_bytes
+             ?session_ttl_us ())
+        spec ~backend:Backend.gpu
+    in
+    List.iteri
+      (fun i (name, structs) ->
+        List.iteri
+          (fun j s ->
+            ignore
+              (Engine.submit_exn engine
+                 ~arrival_us:((400.0 *. float_of_int j) +. (7.0 *. float_of_int i))
+                 ~session:name s))
+          structs)
+      traces;
+    Engine.drain engine
+  in
+  (* Unbounded first: its final accounted bytes anchor the sweep. *)
+  let base = run () in
+  let full_bytes = base.Engine.session_table.Session_store.st_bytes in
+  let budgets =
+    [ None; Some (full_bytes * 3 / 4); Some (full_bytes / 2); Some (full_bytes / 4) ]
+  in
+  let ttl_us = 3000.0 in
+  let records = ref [] in
+  let header =
+    [ "budget B"; "ttl us"; "goodput req/s"; "us/token"; "evict"; "expired";
+      "spills"; "restores"; "restore us" ]
+  in
+  let row ?session_budget_bytes ?session_ttl_us (s : Engine.summary) =
+    let a = s.Engine.aggregate in
+    let st = s.Engine.session_table in
+    let slo = s.Engine.slo in
+    records :=
+      Printf.sprintf
+        "  {\"kind\": \"sweep\", \"budget_bytes\": %s, \"ttl_us\": %s, \
+         \"sessions\": %d, \"tokens\": %d, \"goodput_rps\": %.0f, \
+         \"per_token_us\": %.2f, \"p99_us\": %.1f, \"evictions\": %d, \
+         \"expired\": %d, \"spills\": %d, \"restores\": %d, \
+         \"spilled_bytes\": %d, \"spill_us\": %.1f, \"restore_us\": %.1f, \
+         \"live\": %d, \"live_bytes\": %d}"
+        (match session_budget_bytes with Some b -> string_of_int b | None -> "null")
+        (match session_ttl_us with Some t -> Printf.sprintf "%.0f" t | None -> "null")
+        num_sessions tokens slo.Engine.slo_goodput_rps a.Engine.mean_us
+        a.Engine.p99_us st.Session_store.st_evictions st.Session_store.st_expired
+        st.Session_store.st_spills st.Session_store.st_restores
+        st.Session_store.st_spilled_bytes st.Session_store.st_spill_us
+        st.Session_store.st_restore_us st.Session_store.st_live
+        st.Session_store.st_bytes
+      :: !records;
+    [
+      (match session_budget_bytes with Some b -> string_of_int b | None -> "inf");
+      (match session_ttl_us with Some t -> Printf.sprintf "%.0f" t | None -> "-");
+      Printf.sprintf "%.0f" slo.Engine.slo_goodput_rps;
+      Printf.sprintf "%.2f" a.Engine.mean_us;
+      string_of_int st.Session_store.st_evictions;
+      string_of_int st.Session_store.st_expired;
+      string_of_int st.Session_store.st_spills;
+      string_of_int st.Session_store.st_restores;
+      Printf.sprintf "%.1f" st.Session_store.st_restore_us;
+    ]
+  in
+  let rows =
+    List.map
+      (fun session_budget_bytes ->
+        let s =
+          match session_budget_bytes with
+          | None -> base
+          | Some b -> run ~session_budget_bytes:b ()
+        in
+        row ?session_budget_bytes s)
+      budgets
+    @ [ row ~session_ttl_us:ttl_us (run ~session_ttl_us:ttl_us ()) ]
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "Bounded session table — %d growing TreeLSTM conversations, budget sweep \
+          (unbounded table ends at %d bytes)"
+         num_sessions full_bytes)
+    ~header rows;
+  (* The priced spill/restore cost curve: what one eviction round-trip
+     costs at a given serialized size (fixed overhead + bytes over
+     bandwidth — the same numbers folded into the rows above). *)
+  List.iter
+    (fun bytes ->
+      records :=
+        Printf.sprintf
+          "  {\"kind\": \"cost\", \"bytes\": %d, \"spill_us\": %.2f, \"restore_us\": %.2f}"
+          bytes
+          (Session_store.spill_cost_us ~bytes)
+          (Session_store.restore_cost_us ~bytes)
+        :: !records)
+    [ 1024; 16384; 262144; 1048576 ];
+  let oc = open_out "BENCH_sessions.json" in
+  output_string oc "[\n";
+  output_string oc (String.concat ",\n" (List.rev !records));
+  output_string oc "\n]\n";
+  close_out oc;
+  print_endline
+    "Shrinking the budget trades accounted bytes for spill/restore churn: goodput\n\
+     degrades smoothly (restores are priced delta windows, not cold replays) and\n\
+     every run above is byte-reproducible under its seed.  Wrote BENCH_sessions.json.\n"
+
 (* ---------- FMECA: the reliability campaign's committed ranking ---------- *)
 
 (* One seeded chaos run per failure mode on the campaign grid, scored
@@ -1330,6 +1467,7 @@ let all =
     ("autotune", autotune);
     ("bundle", bundle);
     ("incremental", incremental);
+    ("sessions", sessions_bench);
     ("fmeca", fmeca);
     ("breakdown", debug);
   ]

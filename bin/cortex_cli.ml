@@ -491,6 +491,35 @@ let serve_cmd =
     Arg.(value & opt int 16
          & info [ "session-tokens" ] ~doc:"Tokens each session grows by over the trace (default 16)")
   in
+  let session_budget_arg =
+    Arg.(value & opt (some int) None
+         & info [ "session-budget" ]
+             ~doc:"Bound the session table at this many accounted bytes (layout plus pinned \
+                   state rows); least-recently-used sessions past it are evicted, their state \
+                   spilled for re-admission (default unbounded)")
+  in
+  let session_ttl_arg =
+    Arg.(value & opt (some float) None
+         & info [ "session-ttl-us" ]
+             ~doc:"Expire sessions idle past this many simulated microseconds (default never)")
+  in
+  let session_policy_arg =
+    let parse s =
+      match Session_store.policy_of_string s with
+      | Some p -> Ok p
+      | None -> Error (`Msg ("unknown session policy " ^ s))
+    in
+    let print fmt p = Format.pp_print_string fmt (Session_store.policy_to_string p) in
+    Arg.(value & opt (some (conv (parse, print))) None
+         & info [ "session-policy" ] ~doc:"lru | ttl victim order for the budget pass (default lru)")
+  in
+  let session_spill_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "session-spill-dir" ] ~docv:"DIR"
+             ~doc:"Write evicted session state as one .csx file per session under DIR \
+                   (created on first spill) instead of holding spills in memory — lets a \
+                   conversation survive an engine restart")
+  in
   let slo_miss_budget_arg =
     Arg.(value & opt (some float) None
          & info [ "slo-miss-budget" ]
@@ -502,7 +531,8 @@ let serve_cmd =
   let run name size seed backend options rps duration_ms max_batch max_wait_us bucketed
       num_devices device_list dispatch faults deadline_us queue_cap degrade_watermark
       profile metrics logical_clock autotune tune_budget bundle sessions session_tokens
-      config_file slo_miss_budget =
+      session_budget session_ttl_us session_policy session_spill_dir config_file
+      slo_miss_budget =
     let spec = get_spec name size in
     let bundle_loaded =
       match bundle with
@@ -584,7 +614,8 @@ let serve_cmd =
       Engine.Config.make ~base ~policy ?options ~dispatch ~devices ?queue_cap
         ?degrade_watermark ?faults ~seed ?obs
         ~autotune:(autotune || base.Engine.Config.tuning.Engine.Config.autotune)
-        ?tune_budget ()
+        ?tune_budget ?session_budget_bytes:session_budget ?session_ttl_us
+        ?session_policy ?session_spill_dir ()
     in
     let engine =
       try
@@ -707,6 +738,24 @@ let serve_cmd =
           sn.Engine.sn_cold sn.Engine.sn_extends sn.Engine.sn_delta_nodes
           sn.Engine.sn_materializations sn.Engine.sn_rebinds sn.Engine.sn_device)
       s.Engine.sessions;
+    (* Session-table line: only under a bound, so unbounded runs (and
+       the CI steps that diff their stdout) keep printing exactly what
+       they always did.  Everything here is a count or a priced cost —
+       deterministic under a seed. *)
+    (let st = s.Engine.session_table in
+     if st.Session_store.st_budget_bytes <> None || st.Session_store.st_evictions > 0
+     then
+       Printf.printf
+         "  session table: %d live (%d bytes%s), %d evictions (%d expired), %d spills \
+          (%d bytes, %.1f us), %d restores (%.1f us)\n"
+         st.Session_store.st_live st.Session_store.st_bytes
+         (match st.Session_store.st_budget_bytes with
+          | Some b -> Printf.sprintf " / budget %d" b
+          | None -> "")
+         st.Session_store.st_evictions st.Session_store.st_expired
+         st.Session_store.st_spills st.Session_store.st_spilled_bytes
+         st.Session_store.st_spill_us st.Session_store.st_restores
+         st.Session_store.st_restore_us);
     (* A few sample requests to show the per-request breakdown. *)
     let sample = List.filteri (fun i _ -> i < 5) s.Engine.requests in
     List.iter
@@ -765,8 +814,9 @@ let serve_cmd =
       $ duration_arg $ max_batch_arg $ max_wait_arg $ bucketed_arg $ devices_arg
       $ device_list_arg $ dispatch_arg $ faults_arg $ deadline_arg $ queue_cap_arg
       $ watermark_arg $ profile_arg $ metrics_arg $ logical_clock_arg $ autotune_arg
-      $ tune_budget_arg $ bundle_arg $ sessions_arg $ session_tokens_arg $ config_file_arg
-      $ slo_miss_budget_arg)
+      $ tune_budget_arg $ bundle_arg $ sessions_arg $ session_tokens_arg
+      $ session_budget_arg $ session_ttl_arg $ session_policy_arg $ session_spill_dir_arg
+      $ config_file_arg $ slo_miss_budget_arg)
 
 let validate_trace_cmd =
   let file_arg =

@@ -38,6 +38,7 @@ module Engine = Cortex_serve.Engine
 module Dispatch = Cortex_serve.Dispatch
 module Fault = Cortex_serve.Fault
 module Shape_cache = Cortex_serve.Shape_cache
+module Session_store = Cortex_serve.Session_store
 module Plan_cache = Cortex_serve.Plan_cache
 module Trace = Cortex_serve.Trace
 module Obs = Cortex_obs.Obs

@@ -729,16 +729,31 @@ let extend f (dl : delta) =
   in
   { lin = lin'; spans = spans' }
 
-let memory_bytes t =
+let layout_bytes ~num_nodes ~num_batches ~max_children =
   (* ints are 8 bytes on this platform.  The dynamic-batching executor
      resolves exactly four tables on device ([Lower.bind]): the child
      tables ([max_children] x n, via [u_child]), the fanout counts
      (n, via [u_num_children]), the payloads (n, via [u_payload]) and
      the batch table (2 ints per batch, via [u_batch_begin]/[u_batch_len]).
      [postorder] and the numbering maps are host-side inspector state and
-     are not billed — [Cost] only ever charges the resolved tables. *)
-  let ints =
-    (t.max_children * t.num_nodes) + t.num_nodes + t.num_nodes
-    + (2 * Array.length t.batches)
-  in
-  8 * ints
+     are not billed — [Cost] only ever charges the resolved tables.
+     Exposed in closed form so the session table can price a conversation
+     it has not linearized yet (a single structure of n nodes and height h
+     lays out as num_batches = h + 1). *)
+  if num_nodes <= 0 then 0
+  else
+    let ints =
+      (max_children * num_nodes) + num_nodes + num_nodes + (2 * num_batches)
+    in
+    8 * ints
+
+let state_rows_bytes ~num_nodes ~bytes_per_node =
+  (* The other half of a session's footprint: the per-node hidden-state
+     rows its device pins between tokens.  [bytes_per_node] is the sum of
+     one node's row bytes across the model's state tensors (0 when the
+     engine serves shapes only). *)
+  if num_nodes <= 0 then 0 else num_nodes * bytes_per_node
+
+let memory_bytes t =
+  layout_bytes ~num_nodes:t.num_nodes ~num_batches:(Array.length t.batches)
+    ~max_children:t.max_children

@@ -184,4 +184,20 @@ val check : t -> unit
     and cheap enough to run in examples. *)
 
 val memory_bytes : t -> int
-(** Footprint of the produced arrays (for the memory accounting). *)
+(** Footprint of the produced arrays (for the memory accounting).
+    Equal to [layout_bytes] over this linearization's node count, batch
+    count and child-table width. *)
+
+val layout_bytes : num_nodes:int -> num_batches:int -> max_children:int -> int
+(** The closed form behind {!memory_bytes}: the device bytes of the four
+    resolved tables for a layout of [num_nodes] nodes in [num_batches]
+    level batches at child-table width [max_children].  A single
+    structure of height [h] linearizes into [h + 1] batches, so the
+    session table can price a conversation without linearizing it.
+    0 when [num_nodes <= 0]. *)
+
+val state_rows_bytes : num_nodes:int -> bytes_per_node:int -> int
+(** Device bytes of the per-node hidden-state rows a pinned session
+    keeps between tokens: [num_nodes * bytes_per_node], 0 for an empty
+    conversation.  [bytes_per_node] is the sum over the model's state
+    tensors of one node's row bytes. *)

@@ -174,6 +174,80 @@ let load path =
   let ic = open_in_bin path in
   Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read ic)
 
+(* ---------- session-state sections ---------- *)
+
+(* A spilled serving session: which model and conversation prefix the
+   state rows belong to, then a plain tensor table (the per-node hidden
+   states, names encoding (state, node)).  Same byte discipline as the
+   parameter format — counts and lengths little-endian i64, payloads
+   float64 bits — so restore is bitwise exact, and the same hardened
+   [src] walk, so a truncated or bit-flipped spill file fails with
+   {!Corrupt}, never a [Marshal] or allocation failure. *)
+
+let session_magic = "CORTEXS1"
+
+type session_state = {
+  ss_model : string;
+  ss_nodes : int;
+  ss_digest : string;
+  ss_states : t;
+}
+
+let add_session_to_buffer buf ss =
+  Buffer.add_string buf session_magic;
+  buf_i64 buf (String.length ss.ss_model);
+  Buffer.add_string buf ss.ss_model;
+  buf_i64 buf ss.ss_nodes;
+  buf_i64 buf (String.length ss.ss_digest);
+  Buffer.add_string buf ss.ss_digest;
+  add_to_buffer buf ss.ss_states
+
+let session_to_string ss =
+  let buf = Buffer.create 4096 in
+  add_session_to_buffer buf ss;
+  Buffer.contents buf
+
+let write_session oc ss =
+  let buf = Buffer.create 4096 in
+  add_session_to_buffer buf ss;
+  Buffer.output_buffer oc buf
+
+let read_string_field src ~what =
+  let len = read_i64 src in
+  if len < 0 || len > 4096 then
+    raise (Corrupt (Printf.sprintf "implausible %s length" what));
+  check_remaining src ~need:len (what ^ " length");
+  Bytes.to_string (src.src_read len)
+
+let parse_session ?expect_model src =
+  let m = Bytes.to_string (src.src_read (String.length session_magic)) in
+  if m <> session_magic then raise (Corrupt ("bad session magic " ^ m));
+  let model = read_string_field src ~what:"model name" in
+  (match expect_model with
+  | Some want when want <> model ->
+    raise
+      (Corrupt
+         (Printf.sprintf "session checkpoint is for model %S, engine serves %S" model
+            want))
+  | _ -> ());
+  let nodes = read_i64 src in
+  if nodes < 0 || nodes > 1_000_000_000 then
+    raise (Corrupt "implausible session node count");
+  let digest = read_string_field src ~what:"digest" in
+  let states = table_of_parse (parse ~payload:true src) in
+  { ss_model = model; ss_nodes = nodes; ss_digest = digest; ss_states = states }
+
+let session_of_string ?expect_model s = parse_session ?expect_model (src_of_string s)
+let read_session ?expect_model ic = parse_session ?expect_model (src_of_channel ic)
+
+let save_session path ss =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_session oc ss)
+
+let load_session ?expect_model path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_session ?expect_model ic)
+
 let resolver table name =
   match List.assoc_opt name table with
   | Some t -> t

@@ -49,6 +49,42 @@ val save : string -> t -> unit
 val load : string -> t
 (** Read from a file path. *)
 
+(** {2 Session-state sections}
+
+    A spilled serving session: the model it belongs to, how many nodes
+    of conversation prefix its state rows cover, a content digest of
+    that prefix (the engine refuses to graft spilled states onto a
+    different conversation), and the per-node hidden states as a plain
+    tensor table.  Float64 payloads round-trip bitwise, so an evicted
+    conversation restores exactly.  The reader shares the hardened
+    [src] walk with the parameter format: truncation, implausible
+    lengths, overflow extents and wrong-model payloads all raise
+    {!Corrupt} — never [Marshal] failures. *)
+
+type session_state = {
+  ss_model : string;  (** [Ra] program name the states were computed under. *)
+  ss_nodes : int;  (** Conversation prefix length the states cover. *)
+  ss_digest : string;  (** Content digest of that prefix. *)
+  ss_states : t;  (** Per-node hidden-state rows. *)
+}
+
+val session_to_string : session_state -> string
+val write_session : out_channel -> session_state -> unit
+
+val session_of_string : ?expect_model:string -> string -> session_state
+(** Parse a session section from in-memory bytes.  With [expect_model],
+    a payload written for a different model raises {!Corrupt} before
+    any tensor is materialized. *)
+
+val read_session : ?expect_model:string -> in_channel -> session_state
+(** {!session_of_string} over a channel. *)
+
+val save_session : string -> session_state -> unit
+(** Write a session section to a file path. *)
+
+val load_session : ?expect_model:string -> string -> session_state
+(** Read a session section from a file path. *)
+
 val resolver : t -> string -> Cortex_tensor.Tensor.t
 (** Lookup function in the shape model specs expect; raises
     [Invalid_argument] for unknown names. *)

@@ -5,6 +5,7 @@ module Ra = Cortex_ra.Ra
 module Lower = Cortex_lower.Lower
 module Backend = Cortex_backend.Backend
 module Runtime = Cortex_runtime.Runtime
+module Checkpoint = Cortex_runtime.Checkpoint
 module Stats = Cortex_util.Stats
 module Tensor = Cortex_tensor.Tensor
 module M = Cortex_models.Models_common
@@ -87,6 +88,7 @@ module Config = struct
     reliability : reliability;
     observability : observability;
     tuning : tuning;
+    sessions : Session_store.config;  (* bounded session table *)
   }
 
   let default =
@@ -109,11 +111,13 @@ module Config = struct
         };
       observability = { obs = None };
       tuning = { autotune = false; tune_budget = None };
+      sessions = Session_store.default_config;
     }
 
   let make ?(base = default) ?policy ?options ?lock_free ?dispatch ?devices
       ?cache_capacity ?queue_cap ?degrade_watermark ?faults ?seed ?retry ?params
-      ?obs ?autotune ?tune_budget () =
+      ?obs ?autotune ?tune_budget ?session_budget_bytes ?session_ttl_us
+      ?session_policy ?session_spill_dir () =
     let keep opt prev = match opt with Some _ -> opt | None -> prev in
     {
       compile =
@@ -142,6 +146,15 @@ module Config = struct
         {
           autotune = Option.value autotune ~default:base.tuning.autotune;
           tune_budget = keep tune_budget base.tuning.tune_budget;
+        };
+      sessions =
+        {
+          Session_store.budget_bytes =
+            keep session_budget_bytes base.sessions.Session_store.budget_bytes;
+          ttl_us = keep session_ttl_us base.sessions.Session_store.ttl_us;
+          policy =
+            Option.value session_policy ~default:base.sessions.Session_store.policy;
+          spill_dir = keep session_spill_dir base.sessions.Session_store.spill_dir;
         };
     }
 
@@ -191,6 +204,19 @@ module Config = struct
     line "autotune" (string_of_bool c.tuning.autotune);
     (match c.tuning.tune_budget with
      | Some n -> line "tune_budget" (string_of_int n)
+     | None -> ());
+    (match c.sessions.Session_store.budget_bytes with
+     | Some n -> line "sessions.budget_bytes" (string_of_int n)
+     | None -> ());
+    (match c.sessions.Session_store.ttl_us with
+     | Some x -> line "sessions.ttl_us" (Printf.sprintf "%g" x)
+     | None -> ());
+    if c.sessions.Session_store.policy <> Session_store.default_config.Session_store.policy
+    then
+      line "sessions.policy"
+        (Session_store.policy_to_string c.sessions.Session_store.policy);
+    (match c.sessions.Session_store.spill_dir with
+     | Some d -> line "sessions.spill_dir" d
      | None -> ());
     Buffer.contents buf
 
@@ -325,6 +351,22 @@ module Config = struct
             bool_field (fun b -> { c with tuning = { c.tuning with autotune = b } })
           | "tune_budget" ->
             int_field (fun n -> { c with tuning = { c.tuning with tune_budget = Some n } })
+          | "sessions.budget_bytes" ->
+            int_field (fun n ->
+                { c with
+                  sessions =
+                    { c.sessions with Session_store.budget_bytes = Some n } })
+          | "sessions.ttl_us" ->
+            float_field (fun x ->
+                { c with
+                  sessions = { c.sessions with Session_store.ttl_us = Some x } })
+          | "sessions.policy" -> (
+            match Session_store.policy_of_string v with
+            | Some p ->
+              go { c with sessions = { c.sessions with Session_store.policy = p } } rest
+            | None -> err "config: unknown sessions.policy %S" v)
+          | "sessions.spill_dir" ->
+            go { c with sessions = { c.sessions with Session_store.spill_dir = Some v } } rest
           | _ -> err "config: unknown key %S" key))
     in
     go default lines
@@ -362,6 +404,15 @@ type session = {
   mutable sx_materializations : int;  (* geometric [extend] rebuilds *)
   mutable sx_rebinds : int;  (* failover re-binds through the cache *)
   mutable sx_delta_nodes : int;  (* nodes served via delta views *)
+  mutable sx_height : int;  (* max scratch level: prices the layout *)
+  mutable sx_row_bytes : int;  (* one node's state-row bytes (0 = shapes only) *)
+  mutable sx_put_keys : string list;
+      (* shape-cache keys this session's [put]s inserted, freed on
+         close/evict instead of waiting out the epoch flush *)
+  mutable sx_restored_base : int option;
+      (* Some b: the first b nodes were just restored from a spill —
+         the next token's delta view trusts the content digest instead
+         of physical prefix identity (meaningless across an eviction) *)
   sx_states : (string * int, Tensor.t) Hashtbl.t;
       (* (state name, request-local node id) -> persisted row *)
   mutable sc_used : int;  (* session ids in use *)
@@ -390,7 +441,12 @@ type t = {
   eng_obs : Obs.t option;
   eng_plans : Plan_cache.t option;  (* Some = plan cache active *)
   eng_sessions : (string, session) Hashtbl.t;
+  eng_store : Session_store.t;  (* bounded-table accounting + spills *)
   eng_config : Config.t;
+  mutable eng_clock_us : float;
+      (* monotone simulated clock across drains: the LRU/TTL "now",
+         and the timestamp eviction/restore trace instants stamp so
+         the "sessions" track stays monotone *)
   mutable next_id : int;
   mutable queue : pending list;  (* newest first *)
   mutable queued : int;
@@ -450,9 +506,13 @@ let build ~(config : Config.t) ~model ~backend ~compiled =
          Some (Plan_cache.create ?budget:config.Config.tuning.Config.tune_budget ())
        else None);
     (* The session table is part of [build], so engines stood up from a
-       bundle ([of_bundle]) serve sessions exactly like compiled ones. *)
+       bundle ([of_bundle]) serve sessions exactly like compiled ones —
+       and a file-backed store finds the spill files its predecessor
+       wrote, which is how a conversation survives a full restart. *)
     eng_sessions = Hashtbl.create 16;
+    eng_store = Session_store.create ~config:config.Config.sessions ();
     eng_config = config;
+    eng_clock_us = 0.0;
     next_id = 0;
     queue = [];
     queued = 0;
@@ -646,6 +706,10 @@ let session_of t name =
         sx_materializations = 0;
         sx_rebinds = 0;
         sx_delta_nodes = 0;
+        sx_height = 0;
+        sx_row_bytes = 0;
+        sx_put_keys = [];
+        sx_restored_base = None;
         sx_states = Hashtbl.create 64;
         sc_used = 0;
         sc_child = Array.make mc [||];
@@ -696,7 +760,8 @@ let push_node sx (node : Node.t) =
     end
     else sx.sc_child.(k).(sid) <- -1
   done;
-  sx.sc_level.(sid) <- !lv
+  sx.sc_level.(sid) <- !lv;
+  if !lv > sx.sx_height then sx.sx_height <- !lv
 
 (* A different conversation took over the name: its node identities
    mean something else, so the persisted rows and the scratch numbering
@@ -705,6 +770,8 @@ let reset_session sx =
   sx.sx_structure <- None;
   sx.sx_forest <- None;
   sx.sx_mat_nodes <- 0;
+  sx.sx_height <- 0;
+  sx.sx_restored_base <- None;
   sx.sc_used <- 0;
   Hashtbl.reset sx.sx_states
 
@@ -728,18 +795,30 @@ type session_serve =
    full.  Returns [None] when [s] is not pure growth — the caller falls
    back to a cold run. *)
 let session_delta_view sx (s : Structure.t) =
-  match sx.sx_structure with
+  let n = Structure.num_nodes s in
+  let nodes = s.Structure.nodes in
+  let base =
+    match sx.sx_structure with
+    | Some prev ->
+      let b = Structure.num_nodes prev in
+      if
+        n <= b
+        || s.Structure.kind <> prev.Structure.kind
+        || not (nodes.(0) == prev.Structure.nodes.(0))
+        || not (nodes.(b - 1) == prev.Structure.nodes.(b - 1))
+      then None
+      else Some b
+    | None -> (
+      (* A restored session: the spilled prefix was validated against
+         [s] by content digest (physical identity cannot survive an
+         eviction, let alone an engine restart) and the scratch tables
+         were rebuilt over nodes [0, b). *)
+      match sx.sx_restored_base with Some b when n > b && b > 0 -> Some b | _ -> None)
+  in
+  match base with
   | None -> None
-  | Some prev ->
-    let b = Structure.num_nodes prev and n = Structure.num_nodes s in
-    let nodes = s.Structure.nodes in
-    if
-      n <= b
-      || s.Structure.kind <> prev.Structure.kind
-      || not (nodes.(0) == prev.Structure.nodes.(0))
-      || not (nodes.(b - 1) == prev.Structure.nodes.(b - 1))
-    then None
-    else begin
+  | Some b ->
+    begin
       let mc = Array.length sx.sc_child in
       let ok = ref true in
       for i = b to n - 1 do
@@ -834,7 +913,9 @@ let session_materialize ?obs t sx (s : Structure.t) =
             }
           in
           let f' = Linearizer.extend f dl in
-          Shape_cache.put t.eng_cache ~max_children:mc [ s ] f';
+          (match Shape_cache.put t.eng_cache ~max_children:mc [ s ] f' with
+           | Some key -> sx.sx_put_keys <- key :: sx.sx_put_keys
+           | None -> ());
           f'
         with Linearizer.Rejected _ ->
           fst (Shape_cache.find_or_linearize ?obs t.eng_cache ~max_children:mc [ s ]))
@@ -845,6 +926,199 @@ let session_materialize ?obs t sx (s : Structure.t) =
     sx.sx_mat_nodes <- n;
     sx.sx_materializations <- sx.sx_materializations + 1
   end
+
+(* ---------- bounded session table ---------- *)
+
+(* What a live session costs its device, in closed form: the four
+   resolved layout tables of the current conversation (a structure of
+   height h lays out as h + 1 level batches — [sx_height] tracks the
+   max scratch level, so no re-traversal) plus the per-node state rows
+   it pins.  The QCheck accounting property holds this equal to
+   [Linearizer.memory_bytes] of the session's own forest. *)
+let session_accounted_bytes t sx =
+  let n =
+    match sx.sx_structure with Some s -> Structure.num_nodes s | None -> 0
+  in
+  if n = 0 then 0
+  else
+    Linearizer.layout_bytes ~num_nodes:n ~num_batches:(sx.sx_height + 1)
+      ~max_children:t.model.Ra.max_children
+    + Linearizer.state_rows_bytes ~num_nodes:n ~bytes_per_node:sx.sx_row_bytes
+
+(* Content digest of a conversation prefix: payloads and child ids of
+   nodes [0, n).  This is what lets spilled state survive eviction and
+   engine restarts — physical node identity (the live-session prefix
+   check) cannot.  Payloads are included deliberately: the shape key
+   excludes them, but grafting states onto a same-shaped conversation
+   with different tokens would be silent corruption. *)
+let prefix_digest (s : Structure.t) n =
+  let buf = Buffer.create (n * 12) in
+  for i = 0 to n - 1 do
+    let nd = s.Structure.nodes.(i) in
+    Buffer.add_string buf (string_of_int nd.Node.payload);
+    Buffer.add_char buf ':';
+    Array.iter
+      (fun (c : Node.t) ->
+        Buffer.add_string buf (string_of_int c.Node.id);
+        Buffer.add_char buf ',')
+      nd.Node.children;
+    Buffer.add_char buf ';'
+  done;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* Serialize a session's restorable half as a Checkpoint session
+   section: conversation size, prefix digest, and the persisted state
+   rows under "state@node" names (sorted, so the spill bytes — and
+   therefore the priced costs and CI diffs — are deterministic).
+   Float64 payloads round-trip bitwise, which is what makes
+   evict -> restore ≡ never-evicted an exact statement. *)
+let spill_payload t sx =
+  match sx.sx_structure with
+  | None -> None
+  | Some s ->
+    let n = Structure.num_nodes s in
+    if n = 0 then None
+    else
+      let states =
+        Hashtbl.fold
+          (fun (st, id) v acc ->
+            if id < n then (Printf.sprintf "%s@%d" st id, v) :: acc else acc)
+          sx.sx_states []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      Some
+        (Checkpoint.session_to_string
+           {
+             Checkpoint.ss_model = t.model.Ra.name;
+             ss_nodes = n;
+             ss_digest = prefix_digest s n;
+             ss_states = states;
+           })
+
+(* Re-admit a spilled conversation: validate the spill against the
+   incoming structure (model, prefix digest, strict growth), rebuild
+   the scratch numbering over the prefix in node-id order (children
+   link strictly smaller ids, the same invariant the cold re-seed
+   relies on) and repopulate the persisted rows.  On success the next
+   token serves as a delta with its boundary states preloaded — the
+   restored run is bitwise the never-evicted run.  Any mismatch or
+   corruption falls back to a fresh cold serve, which is always
+   correct.  Returns the priced restore cost. *)
+let try_restore t sx (s : Structure.t) =
+  match Session_store.restore t.eng_store sx.sx_name with
+  | None -> None
+  | Some (data, cost) ->
+    let ok =
+      try
+        let ss =
+          Checkpoint.session_of_string ~expect_model:t.model.Ra.name data
+        in
+        let b = ss.Checkpoint.ss_nodes in
+        let n = Structure.num_nodes s in
+        if b <= 0 || n <= b || prefix_digest s b <> ss.Checkpoint.ss_digest then
+          false
+        else begin
+          sx.sc_used <- 0;
+          sx.sx_height <- 0;
+          ensure_session_capacity sx n;
+          for i = 0 to b - 1 do
+            push_node sx s.Structure.nodes.(i)
+          done;
+          Hashtbl.reset sx.sx_states;
+          List.iter
+            (fun (name, v) ->
+              match String.rindex_opt name '@' with
+              | None -> raise Exit
+              | Some i ->
+                let st = String.sub name 0 i in
+                let id =
+                  int_of_string (String.sub name (i + 1) (String.length name - i - 1))
+                in
+                if id < 0 || id >= b then raise Exit;
+                Hashtbl.replace sx.sx_states (st, id) v)
+            ss.Checkpoint.ss_states;
+          (* Numeric serving needs every prefix row present: a partial
+             spill would fail at the delta boundary mid-execution, so
+             check up front and fall back cold instead. *)
+          (match t.eng_params with
+           | Some _ ->
+             List.iter
+               (fun (st, _) ->
+                 for i = 0 to b - 1 do
+                   if not (Hashtbl.mem sx.sx_states (st, i)) then raise Exit
+                 done)
+               t.eng_compiled.Lower.state_tensors
+           | None -> ());
+          sx.sx_restored_base <- Some b;
+          sx.sx_structure <- None;
+          sx.sx_forest <- None;
+          sx.sx_mat_nodes <- 0;
+          true
+        end
+      with
+      | Checkpoint.Corrupt _ | Exit | Failure _ | Invalid_argument _ -> false
+    in
+    if ok then Some cost
+    else begin
+      (* The spill belongs to a different conversation (or is damaged):
+         it was consumed above, so the name starts over fresh. *)
+      reset_session sx;
+      None
+    end
+
+let bump_clock t at = if at > t.eng_clock_us then t.eng_clock_us <- at
+
+(* Evict one session now: spill its restorable state, free the shape
+   cache entries it published, drop it from the live table.  The trace
+   instant stamps the monotone engine clock so the "sessions" track
+   validates. *)
+let evict_session_now ?obs t name ~reason =
+  match Hashtbl.find_opt t.eng_sessions name with
+  | None -> false
+  | Some sx ->
+    let now = t.eng_clock_us in
+    let spill_us =
+      match spill_payload t sx with
+      | Some data ->
+        Session_store.spill t.eng_store name ~data ~now_us:now
+          ~expired:(reason = `Ttl)
+      | None ->
+        Session_store.drop t.eng_store name;
+        0.0
+    in
+    List.iter (Shape_cache.remove t.eng_cache) sx.sx_put_keys;
+    Hashtbl.remove t.eng_sessions name;
+    Obs.incr obs "sessions.evictions";
+    (match obs with
+     | None -> ()
+     | Some _ ->
+       Obs.sim_instant obs ~track:"sessions" ~name:"evict"
+         ~args:
+           [ ("session", CT.Str name);
+             ("reason",
+              CT.Str
+                (match reason with
+                 | `Ttl -> "ttl"
+                 | `Budget -> "budget"
+                 | `Explicit -> "explicit"));
+             ("spill_us", CT.Float spill_us) ]
+         ~ts_us:now ());
+    true
+
+(* The eviction pass: every session idle past its TTL, then — if the
+   survivors still bust the budget — sessions in policy order until
+   the table fits.  Runs after every session window and at the end of
+   each drain, so the accounted-bytes invariant holds at both points. *)
+let enforce_sessions ?obs t =
+  match Session_store.victims t.eng_store ~now_us:t.eng_clock_us with
+  | [] -> ()
+  | victims ->
+    List.iter
+      (fun (name, reason) ->
+        ignore
+          (evict_session_now ?obs t name
+             ~reason:(match reason with `Ttl -> `Ttl | `Budget -> `Budget)))
+      victims
 
 type request_report = {
   rr_id : int;
@@ -934,6 +1208,9 @@ type session_report = {
   sn_materializations : int;  (* geometric extend rebuilds *)
   sn_rebinds : int;  (* failover re-binds through the cache *)
   sn_device : int;  (* pinned device; -1 before the first window *)
+  sn_bytes : int;  (* accounted bytes (layout + pinned state rows) *)
+  sn_evictions : int;  (* times evicted, surviving restore cycles *)
+  sn_restores : int;  (* times restored from a spill *)
 }
 
 type summary = {
@@ -945,6 +1222,7 @@ type summary = {
   slo : slo;
   results : (int * Tensor.t) list;
   sessions : session_report list;  (* by name; empty without sessions *)
+  session_table : Session_store.stats;  (* bounded-table accounting *)
   metrics : Metrics.snapshot option;
   metrics_at_damage : Metrics.snapshot option;
       (* the registry at the first observed SLO damage (with [obs]):
@@ -953,7 +1231,7 @@ type summary = {
   plan_cache : Plan_cache.stats option;
 }
 
-let session_report_of sx =
+let session_report_of t sx =
   {
     sn_name = sx.sx_name;
     sn_nodes =
@@ -965,10 +1243,13 @@ let session_report_of sx =
     sn_materializations = sx.sx_materializations;
     sn_rebinds = sx.sx_rebinds;
     sn_device = Option.value sx.sx_device ~default:(-1);
+    sn_bytes = session_accounted_bytes t sx;
+    sn_evictions = Session_store.evictions_of t.eng_store sx.sx_name;
+    sn_restores = Session_store.restores_of t.eng_store sx.sx_name;
   }
 
 let sessions t =
-  Hashtbl.fold (fun _ sx acc -> session_report_of sx :: acc) t.eng_sessions []
+  Hashtbl.fold (fun _ sx acc -> session_report_of t sx :: acc) t.eng_sessions []
   |> List.sort (fun a b -> compare a.sn_name b.sn_name)
 
 let session_state t name st (node : Node.t) =
@@ -976,7 +1257,21 @@ let session_state t name st (node : Node.t) =
   | None -> None
   | Some sx -> Hashtbl.find_opt sx.sx_states (st, node.Node.id)
 
-let close_session t name = Hashtbl.remove t.eng_sessions name
+let close_session t name =
+  (* Free the shape-cache entries the session's materializations
+     published: before this, closed conversations parked their layouts
+     in the cache until the next epoch flush. *)
+  (match Hashtbl.find_opt t.eng_sessions name with
+   | Some sx -> List.iter (Shape_cache.remove t.eng_cache) sx.sx_put_keys
+   | None -> ());
+  Session_store.forget t.eng_store name;
+  Hashtbl.remove t.eng_sessions name
+
+let session_table_stats t = Session_store.stats t.eng_store
+
+let set_session_budget t budget = Session_store.set_budget t.eng_store budget
+
+let evict_session t name = evict_session_now t name ~reason:`Explicit
 
 (* Cut an arrival-ordered run of requests into windows: a window closes
    when it reaches [max_batch] members or when the next arrival falls
@@ -1358,6 +1653,7 @@ let drain t =
       :: !wreports
   in
   let record_request ~i ~size ~lin_us ~dev ~dispatch ~completion ~device_us p =
+    bump_clock t completion;
     rreports :=
       {
         rr_id = p.p_id;
@@ -1380,6 +1676,12 @@ let drain t =
   in
   List.iter
     (fun (ready, members, sname) ->
+      (* Advance the monotone engine clock window by window (windows
+         play in ready order): sessions age against the simulated time
+         the drain has actually reached, so a conversation that went
+         quiet early shows real idle time to the TTL pass instead of
+         being backdated to the drain's newest arrival. *)
+      bump_clock t ready;
       match sname with
       | None ->
         let structures = List.map (fun p -> p.p_structure) members in
@@ -1421,7 +1723,8 @@ let drain t =
         (match play ~sx:None ~size ~nodes ~lin_us ~price ready with
          | Lost_window at ->
            lost := !lost + size;
-           note_damage at
+           note_damage at;
+           bump_clock t at
          | Completed { ao_dev = dev; ao_dispatch = dispatch;
                        ao_completion = completion; ao_report = report;
                        ao_attempts = attempts; ao_compiled = ran_compiled } ->
@@ -1462,6 +1765,33 @@ let drain t =
         let s = p.p_structure in
         let sx = session_of t name in
         let n = Structure.num_nodes s in
+        (* Re-admission: a spilled conversation coming back under its
+           name restores its scratch numbering and persisted rows
+           before the token is served; the priced restore cost is
+           charged into this token's linearization charge (it is
+           deterministic, so chaos mode stays byte-reproducible). *)
+        let restore_us =
+          if
+            sx.sx_structure = None
+            && sx.sx_restored_base = None
+            && Session_store.has_spill t.eng_store name
+          then begin
+            match try_restore t sx s with
+            | Some cost ->
+              Obs.incr obs "sessions.restores";
+              (match obs with
+               | None -> ()
+               | Some _ ->
+                 Obs.sim_instant obs ~track:"sessions" ~name:"restore"
+                   ~args:
+                     [ ("session", CT.Str name); ("nodes", CT.Int n);
+                       ("restore_us", CT.Float cost) ]
+                   ~ts_us:t.eng_clock_us ());
+              cost
+            | None -> 0.0
+          end
+          else 0.0
+        in
         (* All inspector work for the token — delta validation, scratch
            append, view construction, geometric materialization, or the
            cold fallback through the cache — under one timer: that is
@@ -1474,6 +1804,7 @@ let drain t =
               match dv with
               | Some (view, news, base) ->
                 sx.sx_structure <- Some s;
+                sx.sx_restored_base <- None;
                 sx.sx_extends <- sx.sx_extends + 1;
                 sx.sx_delta_nodes <- sx.sx_delta_nodes + Array.length news;
                 session_materialize ?obs t sx s;
@@ -1498,9 +1829,12 @@ let drain t =
                     ~max_children:t.model.Ra.max_children [ s ]
                 in
                 sx.sx_structure <- Some s;
+                sx.sx_restored_base <- None;
                 sx.sx_forest <- Some fl;
                 sx.sx_mat_nodes <- n;
                 sx.sx_cold <- sx.sx_cold + 1;
+                sx.sx_height <-
+                  Array.length fl.Linearizer.lin.Linearizer.batches - 1;
                 if Lower.delta_compatible t.eng_compiled.Lower.options then begin
                   (* Re-seed the scratch numbering so the next token can
                      be served as a delta. *)
@@ -1511,7 +1845,7 @@ let drain t =
                 S_cold (fl, hit))
         in
         sx.sx_windows <- sx.sx_windows + 1;
-        let lin_us = if chaos then 0.0 else lin_wall in
+        let lin_us = (if chaos then 0.0 else lin_wall) +. restore_us in
         let nodes, hit, run_lin =
           match serve with
           | S_delta { sd_view; sd_news; _ } ->
@@ -1531,7 +1865,8 @@ let drain t =
         (match play ~sx:(Some sx) ~size ~nodes ~lin_us ~price ready with
          | Lost_window at ->
            lost := !lost + size;
-           note_damage at
+           note_damage at;
+           bump_clock t at
          | Completed { ao_dev = dev; ao_dispatch = dispatch;
                        ao_completion = completion; ao_report = report;
                        ao_attempts = attempts; ao_compiled = _ } ->
@@ -1605,8 +1940,37 @@ let drain t =
                  | None -> ()))
             | None -> ());
            record_request ~i ~size ~lin_us ~dev ~dispatch ~completion ~device_us
-             p))
+             p);
+        (* Bounded-table bookkeeping for the token just served: learn
+           the model's per-node state-row bytes from the rows actually
+           stored (hidden sizes are not knowable at build time),
+           re-account the session at its new size, then run the
+           eviction pass — the budget invariant holds after every
+           session window, not just at drain end, which is also what
+           makes evict/restore churn observable inside a single
+           drain. *)
+        (if sx.sx_row_bytes = 0 && t.eng_params <> None then
+           match s.Structure.roots with
+           | root :: _ ->
+             sx.sx_row_bytes <-
+               List.fold_left
+                 (fun acc (st, _) ->
+                   match Hashtbl.find_opt sx.sx_states (st, root.Node.id) with
+                   | Some v -> acc + (8 * Tensor.numel v)
+                   | None -> acc)
+                 0 t.eng_compiled.Lower.state_tensors
+           | [] -> ());
+        Session_store.touch t.eng_store name
+          ~bytes:(session_accounted_bytes t sx) ~now_us:t.eng_clock_us;
+        enforce_sessions ?obs t)
     windows;
+  (* End-of-drain eviction pass at the drain's high-water simulated
+     clock: TTL expiries age out here even when their session saw no
+     traffic, and a mid-drain budget change (set_session_budget) takes
+     effect.  Runs before the trace bounds are read so the eviction
+     instants land inside the drain span. *)
+  enforce_sessions ?obs t;
+  let session_table = Session_store.stats t.eng_store in
   let requests = List.sort (fun a b -> compare a.rr_id b.rr_id) !rreports in
   let windows = List.rev !wreports in
   let aggregate = aggregate_of requests ~num_windows:(List.length windows) in
@@ -1668,6 +2032,16 @@ let drain t =
      Obs.set_gauge obs "drain.degraded" (if degraded then 1.0 else 0.0);
      Obs.set_gauge obs "cache.hit_rate"
        (Shape_cache.hit_rate (Shape_cache.stats t.eng_cache));
+     if
+       session_table.Session_store.st_live > 0
+       || session_table.Session_store.st_spilled > 0
+       || session_table.Session_store.st_evictions > 0
+     then begin
+       Obs.set_gauge obs "sessions.live"
+         (float_of_int session_table.Session_store.st_live);
+       Obs.set_gauge obs "sessions.bytes"
+         (float_of_int session_table.Session_store.st_bytes)
+     end;
      List.iter
        (fun d ->
          Obs.set_gauge obs
@@ -1727,6 +2101,7 @@ let drain t =
     slo;
     results = List.sort (fun (a, _) (b, _) -> compare a b) !results;
     sessions = sessions t;
+    session_table;
     metrics = Obs.snapshot obs;
     metrics_at_damage = !damage_metrics;
     plans;

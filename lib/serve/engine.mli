@@ -167,12 +167,17 @@ module Config : sig
     reliability : reliability;
     observability : observability;
     tuning : tuning;
+    sessions : Session_store.config;
+        (** the bounded session table: accounted-bytes budget, idle
+            TTL, eviction policy and spill directory
+            ({!Session_store.config}; the default is unbounded with
+            in-memory spills — the PR 7 behaviour) *)
   }
 
   val default : t
   (** The old all-defaults engine: FIFO windows of 8 / 200 us,
       round-robin over [[ backend ]], unbounded queue and cache, no
-      faults, no observability, no tuning. *)
+      faults, no observability, no tuning, unbounded sessions. *)
 
   val make :
     ?base:t ->
@@ -191,6 +196,10 @@ module Config : sig
     ?obs:Cortex_obs.Obs.t ->
     ?autotune:bool ->
     ?tune_budget:int ->
+    ?session_budget_bytes:int ->
+    ?session_ttl_us:float ->
+    ?session_policy:Session_store.policy ->
+    ?session_spill_dir:string ->
     unit ->
     t
   (** [base] (default {!default}) overridden by whichever of the old
@@ -199,7 +208,9 @@ module Config : sig
 
   val to_string : t -> string
   (** Deterministic [key=value] lines, unset optionals omitted; [obs]
-      and [params] are not serialized. *)
+      and [params] are not serialized.  Session-table keys serialize
+      as [sessions.budget_bytes], [sessions.ttl_us], [sessions.policy]
+      ([lru]|[ttl]) and [sessions.spill_dir]. *)
 
   val of_string : string -> (t, string) result
   (** Parse {!to_string}'s form (newline- or tab-separated lines; [#]
@@ -456,6 +467,12 @@ type session_report = {
       (** failovers that re-bound the session's layout through the
           shape cache onto a surviving device *)
   sn_device : int;  (** pinned device index; -1 before the first window *)
+  sn_bytes : int;
+      (** accounted bytes: the conversation's layout
+          ({!Cortex_linearizer.Linearizer.layout_bytes}) plus the state
+          rows it pins — what the session-table budget prices *)
+  sn_evictions : int;  (** times this name was evicted (spilled) *)
+  sn_restores : int;  (** times this name was restored from a spill *)
 }
 
 type plan_report = {
@@ -480,7 +497,12 @@ type summary = {
           request id *)
   sessions : session_report list;
       (** one per live session, by name; sessions persist across
-          drains *)
+          drains (an evicted session is not live — it reappears here
+          after a restore) *)
+  session_table : Session_store.stats;
+      (** bounded-table accounting at the end of this drain: live
+          sessions and bytes against the budget, spills/restores and
+          their cumulative priced costs *)
   metrics : Cortex_obs.Metrics.snapshot option;
       (** with [obs]: the metrics registry at the end of this drain —
           request/fault counters, queue and utilization gauges, latency
@@ -535,8 +557,42 @@ val session_state :
     state is unknown, or the engine serves without [params]. *)
 
 val close_session : t -> string -> unit
-(** Drop a session: its layout pin and persisted states are released.
-    Unknown names are ignored. *)
+(** Drop a session for good: its layout pin and persisted states are
+    released, the shape-cache entries its materializations published
+    are freed (not merely parked until the next epoch flush), and any
+    held spill — record and file — is discarded.  Unknown names are
+    ignored. *)
+
+(** {2 Bounded session table}
+
+    Sessions are priced ([Linearizer.layout_bytes] of the current
+    conversation plus the state rows it pins) and accounted against
+    [Config.sessions]: after every session window and at the end of
+    every drain, sessions idle past [ttl_us] expire and — if the
+    survivors still exceed [budget_bytes] — sessions are evicted in
+    policy order (LRU by default) until the table fits.  An evicted
+    session's restorable state is spilled through the
+    {!Cortex_runtime.Checkpoint} session-section format (in memory, or
+    one file per session under [spill_dir]); when its conversation
+    comes back — grown, under the same name — it is validated by
+    content digest, restored, and the next token serves as a delta
+    with its boundary states preloaded: bitwise identical to a
+    never-evicted run, and the deterministic priced restore cost is
+    charged to that token.  With a [spill_dir], restore also works
+    across a full engine restart from a bundle. *)
+
+val session_table_stats : t -> Session_store.stats
+(** The bounded-table accounting right now (between drains). *)
+
+val set_session_budget : t -> int option -> unit
+(** Change the accounted-bytes budget in place ([None] = unbounded).
+    Takes effect at the next eviction pass — the next session window
+    or drain end. *)
+
+val evict_session : t -> string -> bool
+(** Evict one live session immediately (spilling its restorable
+    state), regardless of budget and TTL — operational lever and test
+    hook.  [false] when the name is not live. *)
 
 val run_one : t -> Cortex_ds.Structure.t -> Runtime.report
 (** Single-request convenience: validate, linearize (timed) and price

@@ -62,11 +62,22 @@ let find_or_linearize ?obs t ~max_children structures =
 let put t ~max_children structures forest =
   if t.capacity > 0 then begin
     let key = Linearizer.shape_key ~max_children structures in
-    if not (Hashtbl.mem t.table key) then begin
+    if Hashtbl.mem t.table key then None
+    else begin
       if Hashtbl.length t.table >= t.capacity then Hashtbl.reset t.table;
-      Hashtbl.add t.table key forest
+      Hashtbl.add t.table key forest;
+      Some key
     end
   end
+  else None
+
+(* Drop one entry by key.  Sessions record the keys their [put]s
+   actually inserted so closing or evicting a conversation frees its
+   published layouts instead of leaving them parked until the next
+   epoch flush.  Missing keys (already flushed) are a no-op, and the
+   hit/miss counters never move — removal is bookkeeping, not
+   inspector work. *)
+let remove t key = Hashtbl.remove t.table key
 
 let stats t = { hits = t.hits; misses = t.misses; entries = Hashtbl.length t.table }
 

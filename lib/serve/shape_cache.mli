@@ -54,13 +54,21 @@ val put :
   max_children:int ->
   Cortex_ds.Structure.t list ->
   Linearizer.forest ->
-  unit
+  string option
 (** Insert a forest produced outside the cache — a delta extension —
     under [structures]' shape key, making it available for hits (a
     session failover re-binds its pinned conversation through the
     cache).  Moves neither counter; respects capacity and epoch
     eviction; keeps an existing entry for the same key; no-op when
-    caching is disabled. *)
+    caching is disabled.  Returns the key when this call actually
+    inserted an entry ([None] for an existing key or a disabled cache)
+    so the publisher can later {!remove} exactly what it added. *)
+
+val remove : t -> string -> unit
+(** Drop the entry under [key] if present.  Counters never move; a key
+    already gone (epoch flush) is a no-op.  Closing or evicting a
+    session frees its published layouts through here instead of
+    leaving them parked until the next flush. *)
 
 val stats : t -> stats
 (** Cumulative hit/miss counters and current entry count. *)

@@ -243,6 +243,39 @@ let prop_extend_multi_request =
       done;
       true)
 
+(* The session-table pricing primitive: [memory_bytes] is the closed
+   form [layout_bytes] over the forest's own dimensions, and growing a
+   forest never shrinks it — so the engine's accounted bytes, which
+   re-price the same formula after every grow step, are monotone over
+   a conversation's life. *)
+let prop_memory_bytes_monotone =
+  QCheck.Test.make ~name:"memory_bytes monotone under extend" ~count:60
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 501) in
+      let kind = if Rng.int rng 2 = 0 then Structure.Sequence else Structure.Tree in
+      let g = Gen.growth_start rng ~vocab:50 ~kind () in
+      let f = ref (Linearizer.run_forest [ Gen.growth_structure g ]) in
+      let steps = 2 + Rng.int rng 12 in
+      for _ = 1 to steps do
+        let lin = (!f).Linearizer.lin in
+        if
+          Linearizer.memory_bytes lin
+          <> Linearizer.layout_bytes ~num_nodes:lin.Linearizer.num_nodes
+               ~num_batches:(Array.length lin.Linearizer.batches)
+               ~max_children:lin.Linearizer.max_children
+        then QCheck.Test.fail_report "memory_bytes disagrees with layout_bytes";
+        let prev_bytes = Linearizer.memory_bytes lin in
+        let prev = Gen.growth_structure g in
+        let grown = Gen.grow_one rng g in
+        let ext = Linearizer.extend !f (delta_of ~prev ~grown) in
+        if Linearizer.memory_bytes ext.Linearizer.lin < prev_bytes then
+          QCheck.Test.fail_report "memory_bytes shrank under extend";
+        f := ext
+      done;
+      (* And the state-row half of the session price is exactly linear. *)
+      let n = (!f).Linearizer.lin.Linearizer.num_nodes in
+      Linearizer.state_rows_bytes ~num_nodes:n ~bytes_per_node:48 = 48 * n)
+
 let test_extend_rejects_bad_deltas () =
   let rng = Rng.create 77 in
   let g = Gen.growth_start rng ~vocab:50 ~kind:Structure.Tree () in
@@ -449,6 +482,7 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_extend_equals_cold;
           QCheck_alcotest.to_alcotest prop_extend_multi_request;
+          QCheck_alcotest.to_alcotest prop_memory_bytes_monotone;
           Alcotest.test_case "rejects-bad-deltas" `Quick test_extend_rejects_bad_deltas;
           Alcotest.test_case "extend-then-rebind" `Quick test_extend_then_rebind;
         ] );

@@ -198,6 +198,105 @@ let test_checkpoint_adversarial_headers () =
       Alcotest.(check int) "pristine copy loads" (List.length table)
         (List.length (Checkpoint.load path)))
 
+(* Session-state sections (the bounded session table's spill format)
+   ride the same hardened [src] walk as parameter checkpoints: every
+   truncation, bit-flipped length, overflowing extent or wrong-model
+   payload must raise the typed [Corrupt] — never a Marshal failure,
+   a huge allocation, or a silent state graft onto the wrong model. *)
+let test_session_section_adversarial () =
+  let spec = Models.Tree_gru.spec ~vocab:20 ~hidden:6 () in
+  let table = Checkpoint.of_spec spec ~seed:9 in
+  let digest = String.make 32 'a' in
+  let section model =
+    Checkpoint.session_to_string
+      { Checkpoint.ss_model = model; ss_nodes = 7; ss_digest = digest; ss_states = table }
+  in
+  let good = section "TreeGRU" in
+  (* The pristine section round-trips bitwise. *)
+  let back = Checkpoint.session_of_string ~expect_model:"TreeGRU" good in
+  Alcotest.(check string) "model round-trips" "TreeGRU" back.Checkpoint.ss_model;
+  Alcotest.(check int) "nodes round-trip" 7 back.Checkpoint.ss_nodes;
+  Alcotest.(check string) "digest round-trips" digest back.Checkpoint.ss_digest;
+  List.iter2
+    (fun (na, ta) (nb, tb) ->
+      Alcotest.(check string) "state name round-trips" na nb;
+      Alcotest.(check bool) "state rows round-trip bitwise" true
+        (Tensor.max_abs_diff ta tb = 0.0))
+    table back.Checkpoint.ss_states;
+  let reject label s =
+    try
+      ignore (Checkpoint.session_of_string ~expect_model:"TreeGRU" s);
+      Alcotest.failf "%s accepted" label
+    with Checkpoint.Corrupt _ -> ()
+  in
+  (* A spill from another model must raise the typed mismatch — grafting
+     TreeLSTM rows into a TreeGRU engine is silent corruption. *)
+  reject "wrong-model payload" (section "TreeLSTM");
+  (* Truncation at every byte of the session header and into the first
+     tensors of the embedded table, then coarser cuts through the
+     payload region. *)
+  for n = 0 to min 160 (String.length good - 1) do
+    reject (Printf.sprintf "truncated at byte %d" n) (String.sub good 0 n)
+  done;
+  let len = String.length good in
+  let rec deeper n =
+    if n < len then begin
+      reject (Printf.sprintf "truncated at byte %d" n) (String.sub good 0 n);
+      deeper (n + 997)
+    end
+  in
+  deeper 161;
+  let patch_i64 s pos v =
+    let b = Bytes.of_string s in
+    Bytes.set_int64_le b pos (Int64.of_int v);
+    Bytes.to_string b
+  in
+  (* Byte offsets: magic [0,8), model len [8,16), model [16,23)
+     ("TreeGRU"), nodes [23,31), digest len [31,39), digest [39,71),
+     embedded table magic [71,79), tensor count [79,87). *)
+  reject "model length past the cap" (patch_i64 good 8 100_000);
+  reject "model length beyond the file" (patch_i64 good 8 4096);
+  reject "negative node count" (patch_i64 good 23 (-1));
+  reject "node count past the cap" (patch_i64 good 23 2_000_000_000);
+  reject "digest length past the cap" (patch_i64 good 31 1_000_000);
+  reject "state count past the cap" (patch_i64 good 79 2_000_000);
+  reject "state count beyond the file" (patch_i64 good 79 1_000_000);
+  (* Extents that individually pass the per-extent cap but whose
+     product overflows, spliced in as the embedded table. *)
+  let overflow_table =
+    let buf = Buffer.create 128 in
+    Buffer.add_string buf (String.sub good 0 71);
+    Buffer.add_string buf "CORTEXP1";
+    let add_i64 v =
+      let b = Bytes.create 8 in
+      Bytes.set_int64_le b 0 (Int64.of_int v);
+      Buffer.add_bytes buf b
+    in
+    add_i64 1 (* count *);
+    add_i64 1 (* name_len *);
+    Buffer.add_char buf 'h';
+    add_i64 8 (* rank *);
+    for _ = 1 to 8 do
+      add_i64 100_000_000
+    done;
+    Buffer.contents buf
+  in
+  reject "overflowing state extent product" overflow_table;
+  (* And file round-trips use the same parser: save/load_session. *)
+  let path = Filename.temp_file "cortex" ".csx" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Checkpoint.save_session path
+        { Checkpoint.ss_model = "TreeGRU"; ss_nodes = 7; ss_digest = digest; ss_states = table };
+      let ss = Checkpoint.load_session ~expect_model:"TreeGRU" path in
+      Alcotest.(check int) "file round-trip states" (List.length table)
+        (List.length ss.Checkpoint.ss_states);
+      try
+        ignore (Checkpoint.load_session ~expect_model:"TreeLSTM" path);
+        Alcotest.fail "wrong expect_model accepted from file"
+      with Checkpoint.Corrupt _ -> ())
+
 let test_bounds_clean () =
   (* The §A.2 bounds checker proves every access of the compiled
      programs in bounds for the concrete inputs. *)
@@ -380,6 +479,8 @@ let () =
           Alcotest.test_case "checkpoint" `Quick test_checkpoint_roundtrip;
           Alcotest.test_case "checkpoint-adversarial" `Quick
             test_checkpoint_adversarial_headers;
+          Alcotest.test_case "session-section-adversarial" `Quick
+            test_session_section_adversarial;
           Alcotest.test_case "bounds-clean" `Quick test_bounds_clean;
           Alcotest.test_case "device-memory" `Quick test_device_memory_positive;
         ] );

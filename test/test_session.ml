@@ -306,6 +306,445 @@ let test_session_through_bundle () =
     (Checkpoint.resolver weights)
     (List.nth structs 6)
 
+(* ---------- bounded session table: evict, spill, restore ---------- *)
+
+let engine_bounded spec ?devices ?faults ?seed ?session_budget_bytes ?session_ttl_us
+    ?session_spill_dir params =
+  Engine.of_spec
+    ~config:
+      (Engine.Config.make ?devices ?faults ?seed ~dispatch:Dispatch.Least_loaded
+         ~params ?session_budget_bytes ?session_ttl_us ?session_spill_dir ())
+    spec ~backend:gpu
+
+(* Submit tokens [from, upto) of a conversation (arrival = absolute
+   token index, so later drains continue the same simulated timeline)
+   and drain. *)
+let serve_slice eng ?(session = "chat") ~from ~upto structs =
+  List.iteri
+    (fun i s ->
+      if i >= from && i < upto then
+        ignore
+          (Engine.submit_exn eng
+             ~arrival_us:(1000.0 *. float_of_int i)
+             ~session s))
+    structs;
+  Engine.drain eng
+
+(* The tentpole contract: evict mid-conversation, resume, and the
+   restored run is bitwise the never-evicted run — every node's every
+   state, via the spilled checkpoint section. *)
+let test_evict_restore_bitwise () =
+  let spec = Models.Tree_lstm.spec ~vocab:20 ~hidden:4 () in
+  let params = spec.M.init_params (Rng.create 6) in
+  let compiled =
+    Runtime.compile ~options:(Runtime.options_for spec) spec.M.program
+  in
+  let structs = conversation 61 ~vocab:20 ~kind:Structure.Tree ~tokens:10 in
+  let eng = engine_of spec params in
+  let s1 = serve_slice eng ~from:0 ~upto:6 structs in
+  Alcotest.(check int) "first half completed" 6 s1.Engine.slo.Engine.slo_completed;
+  Alcotest.(check bool) "evicted" true (Engine.evict_session eng "chat");
+  Alcotest.(check int) "no longer live" 0 (List.length (Engine.sessions eng));
+  let st = Engine.session_table_stats eng in
+  Alcotest.(check int) "spill held for re-admission" 1
+    st.Session_store.st_spilled;
+  Alcotest.(check int) "one eviction counted" 1 st.Session_store.st_evictions;
+  (* Evicting what is already gone is a no-op. *)
+  Alcotest.(check bool) "double evict refused" false
+    (Engine.evict_session eng "chat");
+  (* The conversation resumes: restore, then keep serving deltas. *)
+  let s2 = serve_slice eng ~from:6 ~upto:11 structs in
+  Alcotest.(check int) "second half completed" 5 s2.Engine.slo.Engine.slo_completed;
+  let st = Engine.session_table_stats eng in
+  Alcotest.(check int) "spill consumed" 0 st.Session_store.st_spilled;
+  Alcotest.(check int) "one restore counted" 1 st.Session_store.st_restores;
+  Alcotest.(check bool) "restore cost priced" true
+    (st.Session_store.st_restore_us > 0.0);
+  (match Engine.sessions eng with
+   | [ sn ] ->
+     (* The restored tokens all served as deltas — re-admission did not
+        fall back to a cold replay. *)
+     Alcotest.(check int) "no cold window after restore" 0 sn.Engine.sn_cold;
+     Alcotest.(check int) "every restored token a delta" 5 sn.Engine.sn_extends;
+     Alcotest.(check int) "one eviction in the report" 1 sn.Engine.sn_evictions;
+     Alcotest.(check int) "one restore in the report" 1 sn.Engine.sn_restores;
+     Alcotest.(check bool) "accounted bytes priced" true (sn.Engine.sn_bytes > 0)
+   | l -> Alcotest.failf "expected one session, got %d" (List.length l));
+  (* Bitwise: every persisted state of the final conversation equals a
+     cold full execution — evict -> restore ≡ never evicted. *)
+  check_states_bitwise spec eng ~session:"chat" compiled params
+    (List.nth structs 10)
+
+let test_ttl_expiry_and_return () =
+  let spec = Models.Tree_lstm.spec ~vocab:20 ~hidden:4 () in
+  let params = spec.M.init_params (Rng.create 8) in
+  let compiled =
+    Runtime.compile ~options:(Runtime.options_for spec) spec.M.program
+  in
+  let eng = engine_bounded spec ~session_ttl_us:2500.0 params in
+  let a = conversation 71 ~vocab:20 ~kind:Structure.Tree ~tokens:12 in
+  let b = conversation 72 ~vocab:20 ~kind:Structure.Tree ~tokens:12 in
+  (* [b] speaks twice early, then goes quiet while [a] keeps talking
+     past b's TTL horizon. *)
+  List.iteri
+    (fun i s ->
+      ignore
+        (Engine.submit_exn eng ~arrival_us:(1000.0 *. float_of_int i) ~session:"a" s))
+    a;
+  List.iteri
+    (fun i s ->
+      if i < 2 then
+        ignore
+          (Engine.submit_exn eng
+             ~arrival_us:((1000.0 *. float_of_int i) +. 50.0)
+             ~session:"b" s))
+    b;
+  ignore (Engine.drain eng);
+  let st = Engine.session_table_stats eng in
+  Alcotest.(check int) "the quiet session expired" 1 st.Session_store.st_expired;
+  Alcotest.(check int) "its spill is held" 1 st.Session_store.st_spilled;
+  Alcotest.(check (list string)) "only the talker stays live" [ "a" ]
+    (List.map (fun (x : Engine.session_report) -> x.Engine.sn_name)
+       (Engine.sessions eng));
+  (* [b] comes back much later: restored from the spill, and its final
+     states are bitwise the never-expired run.  Its own tokens arrive
+     densely, so it does not re-expire mid-drain. *)
+  List.iteri
+    (fun i s ->
+      if i >= 2 then
+        ignore
+          (Engine.submit_exn eng
+             ~arrival_us:(20000.0 +. (300.0 *. float_of_int i))
+             ~session:"b" s))
+    b;
+  ignore (Engine.drain eng);
+  let st = Engine.session_table_stats eng in
+  Alcotest.(check int) "the returner restored" 1 st.Session_store.st_restores;
+  Alcotest.(check bool) "b is live again" true
+    (List.exists (fun (x : Engine.session_report) -> x.Engine.sn_name = "b")
+       (Engine.sessions eng));
+  check_states_bitwise spec eng ~session:"b" compiled params (List.nth b 12)
+
+(* Satellite: eviction x failover.  Evict, fail-stop the device the
+   session was pinned to, resume — the restore must re-pin to the
+   survivor and still be bitwise-correct. *)
+let test_evict_failover_restore () =
+  let params = failover_spec.M.init_params (Rng.create 9) in
+  let structs = conversation 81 ~vocab:20 ~kind:Structure.Tree ~tokens:8 in
+  let compiled =
+    Runtime.compile
+      ~options:(Runtime.options_for failover_spec)
+      failover_spec.M.program
+  in
+  let run faults =
+    let eng =
+      engine_bounded failover_spec ~devices:[ gpu; gpu ] ~faults ~seed:11 params
+    in
+    ignore (serve_slice eng ~from:0 ~upto:5 structs);
+    let pinned =
+      match Engine.sessions eng with
+      | [ sn ] -> sn.Engine.sn_device
+      | _ -> Alcotest.fail "expected one session"
+    in
+    ignore (Engine.evict_session eng "chat");
+    let s2 = serve_slice eng ~from:5 ~upto:9 structs in
+    (eng, pinned, s2)
+  in
+  (* Probe the fault-free run to learn the pin, then kill exactly that
+     device while the session sits evicted. *)
+  let _, pinned, _ = run [] in
+  let eng, pinned2, s2 =
+    run [ Fault.Fail_stop { device = pinned; at_us = 6000.0 } ]
+  in
+  Alcotest.(check int) "probe and chaos run pin alike" pinned pinned2;
+  Alcotest.(check int) "every resumed token completed" 4
+    s2.Engine.slo.Engine.slo_completed;
+  let st = Engine.session_table_stats eng in
+  Alcotest.(check int) "restored despite the dead pin" 1
+    st.Session_store.st_restores;
+  (match Engine.sessions eng with
+   | [ sn ] ->
+     Alcotest.(check bool) "re-pinned to the survivor" true
+       (sn.Engine.sn_device >= 0 && sn.Engine.sn_device <> pinned)
+   | _ -> Alcotest.fail "expected one session");
+  check_states_bitwise failover_spec eng ~session:"chat" compiled params
+    (List.nth structs 8)
+
+(* File-backed spills survive a full engine restart: a fresh engine
+   (here: serving the same AOT bundle) finds its predecessor's .csx
+   and resumes the conversation bitwise. *)
+let test_restart_restore_from_disk () =
+  let spec = Models.Tree_fc.spec ~vocab:12 ~hidden:4 () in
+  let compiled =
+    Runtime.compile ~options:(Runtime.options_for spec) spec.M.program
+  in
+  let weights = Checkpoint.of_spec spec ~seed:5 in
+  let b =
+    Bundle.create ~weights ~model:"TreeFC" ~size:"small"
+      ~backend:gpu.Backend.short compiled
+  in
+  let dir = Filename.temp_file "cortex-spill" "" in
+  Sys.remove dir;
+  let mk () =
+    Engine.of_bundle
+      ~config:
+        (Engine.Config.make ~params:(Bundle.resolver b) ~session_spill_dir:dir ())
+      b ~backend:gpu
+  in
+  let structs = conversation 91 ~vocab:12 ~kind:Structure.Tree ~tokens:9 in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () ->
+      let eng1 = mk () in
+      ignore (serve_slice eng1 ~from:0 ~upto:6 structs);
+      ignore (Engine.evict_session eng1 "chat");
+      Alcotest.(check bool) "spill file written" true
+        (Array.exists
+           (fun f -> Filename.check_suffix f ".csx")
+           (Sys.readdir dir));
+      (* The first engine is gone; a restarted one picks the file up. *)
+      let eng2 = mk () in
+      let s2 = serve_slice eng2 ~from:6 ~upto:10 structs in
+      Alcotest.(check int) "resumed tokens completed" 4
+        s2.Engine.slo.Engine.slo_completed;
+      let st = Engine.session_table_stats eng2 in
+      Alcotest.(check int) "restored across the restart" 1
+        st.Session_store.st_restores;
+      (match Engine.sessions eng2 with
+       | [ sn ] ->
+         Alcotest.(check int) "no cold replay after the restart" 0
+           sn.Engine.sn_cold
+       | _ -> Alcotest.fail "expected one session");
+      Alcotest.(check bool) "spill file consumed" false
+        (Array.exists
+           (fun f -> Filename.check_suffix f ".csx")
+           (Sys.readdir dir));
+      check_states_bitwise spec eng2 ~session:"chat" compiled
+        (Checkpoint.resolver weights)
+        (List.nth structs 9))
+
+(* Satellite: [close_session] frees the shape-cache entries the session
+   published via [put] — they used to leak until the next epoch flush.
+   Freeing is not an eviction epoch: hit/miss history is untouched. *)
+let test_close_session_frees_cache_entries () =
+  let spec = Models.Tree_lstm.spec ~vocab:20 ~hidden:4 () in
+  let params = spec.M.init_params (Rng.create 3) in
+  let eng = engine_of spec params in
+  let structs = conversation 95 ~vocab:20 ~kind:Structure.Tree ~tokens:8 in
+  ignore (serve_session eng structs);
+  let mats =
+    match Engine.sessions eng with
+    | [ sn ] -> sn.Engine.sn_materializations
+    | _ -> Alcotest.fail "expected one session"
+  in
+  Alcotest.(check bool) "session published layouts" true (mats >= 1);
+  let before = Engine.cache_stats eng in
+  Engine.close_session eng "chat";
+  let after = Engine.cache_stats eng in
+  Alcotest.(check int) "published entries freed on close"
+    (before.Shape_cache.entries - mats)
+    after.Shape_cache.entries;
+  Alcotest.(check int) "hits untouched" before.Shape_cache.hits
+    after.Shape_cache.hits;
+  Alcotest.(check int) "misses untouched" before.Shape_cache.misses
+    after.Shape_cache.misses
+
+(* Satellite: the table's accounted bytes are exactly the linearizer's
+   price of the session's own forest — layout plus state rows — after
+   every grow step. *)
+let prop_accounting_matches_linearizer =
+  Q.Test.make ~count:15 ~name:"session accounting == linearizer pricing"
+    Q.(pair (1 -- 8) small_int)
+    (fun (tokens, seed) ->
+      let spec = Models.Tree_lstm.spec ~vocab:15 ~hidden:3 () in
+      let params = spec.M.init_params (Rng.create (seed + 1)) in
+      let eng = engine_of spec params in
+      let structs =
+        conversation (200 + seed) ~vocab:15 ~kind:Structure.Tree ~tokens
+      in
+      let mc = spec.M.program.Ra.max_children in
+      List.iteri
+        (fun i s ->
+          ignore
+            (Engine.submit_exn eng
+               ~arrival_us:(1000.0 *. float_of_int i)
+               ~session:"chat" s);
+          ignore (Engine.drain eng);
+          let sn =
+            match Engine.sessions eng with
+            | [ sn ] -> sn
+            | _ -> Alcotest.fail "expected one session"
+          in
+          (* Price the same structure cold: the scratch numbering the
+             engine accounts with must agree batch-for-batch. *)
+          let cold = (Linearizer.run_forest ~max_children:mc [ s ]).Linearizer.lin in
+          let row_bytes =
+            List.fold_left
+              (fun acc (st : Ra.state) ->
+                match
+                  Engine.session_state eng "chat" st.Ra.st_name
+                    (List.hd s.Structure.roots)
+                with
+                | Some v -> acc + (8 * Tensor.numel v)
+                | None -> Alcotest.failf "missing root state %s" st.Ra.st_name)
+              0 spec.M.program.Ra.states
+          in
+          let expected =
+            Linearizer.layout_bytes ~num_nodes:cold.Linearizer.num_nodes
+              ~num_batches:(Array.length cold.Linearizer.batches)
+              ~max_children:mc
+            + Linearizer.state_rows_bytes ~num_nodes:cold.Linearizer.num_nodes
+                ~bytes_per_node:row_bytes
+          in
+          if sn.Engine.sn_bytes <> expected then
+            Q.Test.fail_reportf
+              "token %d: accounted %d bytes, linearizer prices %d" i
+              sn.Engine.sn_bytes expected;
+          let st = Engine.session_table_stats eng in
+          if st.Session_store.st_bytes <> expected then
+            Q.Test.fail_reportf "table total %d <> session %d"
+              st.Session_store.st_bytes expected)
+        structs;
+      true)
+
+(* ---------- the session-lifecycle property harness ---------- *)
+
+(* Random interleavings of grow / explicit-evict / budget-shrink /
+   budget-unbind over three conversations, one drain per op, asserting
+   after every drain:
+     (b) accounted bytes never exceed the budget in force;
+     (c) live + spilled exactly partition the sessions that started;
+   and at the end of the trace:
+     (a) every conversation, grown to its full length through whatever
+         evictions the trace forced, is bitwise a never-evicted cold
+         execution;
+     (d) the whole lifecycle (chaos mode, eviction enabled) replays
+         byte-identically under the same seed. *)
+type life_op = Grow of int | Evict_now of int | Budget of int option
+
+let lifecycle_ops_arb =
+  let open Q.Gen in
+  let op =
+    frequency
+      [
+        (6, map (fun i -> Grow i) (int_bound 2));
+        (2, map (fun i -> Evict_now i) (int_bound 2));
+        (1, map (fun k -> Budget (Some (1200 + (500 * k)))) (int_bound 4));
+        (1, return (Budget None));
+      ]
+  in
+  let print_op = function
+    | Grow i -> Printf.sprintf "grow %d" i
+    | Evict_now i -> Printf.sprintf "evict %d" i
+    | Budget (Some b) -> Printf.sprintf "budget %d" b
+    | Budget None -> "budget none"
+  in
+  Q.make
+    ~print:(fun ops -> String.concat "; " (List.map print_op ops))
+    (list_size (5 -- 25) op)
+
+let prop_session_lifecycle =
+  Q.Test.make ~count:12 ~name:"session lifecycle invariants" lifecycle_ops_arb
+    (fun ops ->
+      let spec = Models.Tree_lstm.spec ~vocab:15 ~hidden:3 () in
+      let params = spec.M.init_params (Rng.create 1) in
+      let tokens = 10 in
+      let names = [| "s0"; "s1"; "s2" |] in
+      let convs =
+        Array.init 3 (fun i ->
+            conversation (300 + i) ~vocab:15 ~kind:Structure.Tree ~tokens)
+      in
+      let run () =
+        (* Chaos mode (empty fault spec): every drain below is a pure
+           function of the trace, which is what makes (d) a byte
+           equality. The TTL adds background expiry churn on top of
+           the explicit ops. *)
+        let eng =
+          engine_bounded spec ~faults:[] ~seed:5 ~session_ttl_us:12000.0 params
+        in
+        let next = Array.make 3 0 in
+        let step = ref 0 in
+        let log = Buffer.create 256 in
+        let observe () =
+          let st = Engine.session_table_stats eng in
+          (* (b): the budget invariant holds after every drain. *)
+          (match st.Session_store.st_budget_bytes with
+           | Some budget ->
+             if st.Session_store.st_bytes > budget then
+               Q.Test.fail_reportf "accounted %d bytes over budget %d"
+                 st.Session_store.st_bytes budget
+           | None -> ());
+          (* (c): live + spilled is exactly the set that ever grew. *)
+          let started =
+            Array.fold_left (fun acc n -> if n > 0 then acc + 1 else acc) 0 next
+          in
+          if st.Session_store.st_live + st.Session_store.st_spilled <> started
+          then
+            Q.Test.fail_reportf "%d live + %d spilled <> %d started"
+              st.Session_store.st_live st.Session_store.st_spilled started;
+          if List.length (Engine.sessions eng) <> st.Session_store.st_live then
+            Q.Test.fail_report "live reports disagree with the table";
+          Buffer.add_string log
+            (Printf.sprintf "%d:%d:%d:%d:%d;" st.Session_store.st_live
+               st.Session_store.st_spilled st.Session_store.st_bytes
+               st.Session_store.st_evictions st.Session_store.st_restores)
+        in
+        let grow i =
+          if next.(i) <= tokens then begin
+            incr step;
+            let s = List.nth convs.(i) next.(i) in
+            next.(i) <- next.(i) + 1;
+            ignore
+              (Engine.submit_exn eng
+                 ~arrival_us:(900.0 *. float_of_int !step)
+                 ~session:names.(i) s);
+            ignore (Engine.drain eng)
+          end
+        in
+        List.iter
+          (fun op ->
+            (match op with
+             | Grow i -> grow i
+             | Evict_now i -> ignore (Engine.evict_session eng names.(i))
+             | Budget b ->
+               Engine.set_session_budget eng b;
+               (* An empty drain runs the eviction pass, so a shrink
+                  takes effect immediately. *)
+               ignore (Engine.drain eng));
+            observe ())
+          ops;
+        (* Unbind the budget and finish every conversation, round-robin
+           so no session idles past the TTL while the others fill. *)
+        Engine.set_session_budget eng None;
+        let remaining () = Array.exists (fun n -> n <= tokens) next in
+        while remaining () do
+          Array.iteri (fun i _ -> grow i) names
+        done;
+        (eng, Buffer.contents log)
+      in
+      let eng, log1 = run () in
+      (* (a): evict/restore churn included, the end state is bitwise a
+         never-evicted cold execution of each full conversation. *)
+      let compiled =
+        Runtime.compile ~options:(Runtime.options_for spec) spec.M.program
+      in
+      Array.iteri
+        (fun i name ->
+          check_states_bitwise spec eng ~session:name compiled params
+            (List.nth convs.(i) tokens))
+        names;
+      (* (d): the whole lifecycle replays byte-identically. *)
+      let _, log2 = run () in
+      if log1 <> log2 then
+        Q.Test.fail_report "lifecycle trace not reproducible under its seed";
+      true)
+
 (* ---------- shape-cache accounting ---------- *)
 
 let test_cache_rejection_moves_no_counter () =
@@ -334,7 +773,7 @@ let test_cache_raising_rebind_is_not_a_hit () =
   let s1 = Gen.sst_tree rng ~vocab:10 () in
   let s2 = Gen.sst_tree rng ~vocab:10 () in
   let lone = Linearizer.run_forest ~max_children:2 [ s1 ] in
-  Shape_cache.put c ~max_children:2 [ s1; s2 ] lone;
+  ignore (Shape_cache.put c ~max_children:2 [ s1; s2 ] lone);
   Alcotest.(check int) "put counts nothing"
     0
     (Shape_cache.stats c).Shape_cache.hits;
@@ -351,7 +790,7 @@ let test_cache_put_enables_hits () =
   let rng = Rng.create 8 in
   let s1 = Gen.sst_tree rng ~vocab:10 () in
   let f = Linearizer.run_forest ~max_children:2 [ s1 ] in
-  Shape_cache.put c ~max_children:2 [ s1 ] f;
+  ignore (Shape_cache.put c ~max_children:2 [ s1 ] f);
   let _, hit = Shape_cache.find_or_linearize c ~max_children:2 [ s1 ] in
   Alcotest.(check bool) "outside forest serves hits" true hit;
   let s = Shape_cache.stats c in
@@ -359,7 +798,7 @@ let test_cache_put_enables_hits () =
   Alcotest.(check int) "no miss" 0 s.Shape_cache.misses;
   (* put at capacity 0 is a no-op. *)
   let c0 = Shape_cache.create ~capacity:0 () in
-  Shape_cache.put c0 ~max_children:2 [ s1 ] f;
+  ignore (Shape_cache.put c0 ~max_children:2 [ s1 ] f);
   Alcotest.(check int) "disabled cache stores nothing" 0
     (Shape_cache.stats c0).Shape_cache.entries
 
@@ -403,6 +842,19 @@ let () =
         [
           Alcotest.test_case "failstop" `Quick test_session_failover;
           Alcotest.test_case "determinism" `Quick test_session_chaos_determinism;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "evict-restore-bitwise" `Quick
+            test_evict_restore_bitwise;
+          Alcotest.test_case "ttl-expiry" `Quick test_ttl_expiry_and_return;
+          Alcotest.test_case "evict-failover" `Quick test_evict_failover_restore;
+          Alcotest.test_case "restart-restore" `Quick
+            test_restart_restore_from_disk;
+          Alcotest.test_case "close-frees-cache" `Quick
+            test_close_session_frees_cache_entries;
+          QCheck_alcotest.to_alcotest prop_accounting_matches_linearizer;
+          QCheck_alcotest.to_alcotest prop_session_lifecycle;
         ] );
       ( "shape-cache",
         [
