@@ -520,6 +520,20 @@ let serve_cmd =
                    (created on first spill) instead of holding spills in memory — lets a \
                    conversation survive an engine restart")
   in
+  let session_pack_arg =
+    Arg.(value & opt (some int) None
+         & info [ "session-pack" ] ~docv:"N"
+             ~doc:"Merge up to N concurrent sessions' delta tokens into one packed forest \
+                   window per drain tick (same pinned device, level batches unioned, one \
+                   kernel-launch sequence for the whole pack); results stay bitwise \
+                   identical to unpacked serving (default 1 = off)")
+  in
+  let session_pack_wait_arg =
+    Arg.(value & opt (some float) None
+         & info [ "session-pack-wait-us" ]
+             ~doc:"How far past a pack's first token arrival a later session token may land \
+                   and still join the pack (default 0 = same-instant tokens only)")
+  in
   let slo_miss_budget_arg =
     Arg.(value & opt (some float) None
          & info [ "slo-miss-budget" ]
@@ -531,8 +545,8 @@ let serve_cmd =
   let run name size seed backend options rps duration_ms max_batch max_wait_us bucketed
       num_devices device_list dispatch faults deadline_us queue_cap degrade_watermark
       profile metrics logical_clock autotune tune_budget bundle sessions session_tokens
-      session_budget session_ttl_us session_policy session_spill_dir config_file
-      slo_miss_budget =
+      session_budget session_ttl_us session_policy session_spill_dir session_pack
+      session_pack_wait config_file slo_miss_budget =
     let spec = get_spec name size in
     let bundle_loaded =
       match bundle with
@@ -615,7 +629,8 @@ let serve_cmd =
         ?degrade_watermark ?faults ~seed ?obs
         ~autotune:(autotune || base.Engine.Config.tuning.Engine.Config.autotune)
         ?tune_budget ?session_budget_bytes:session_budget ?session_ttl_us
-        ?session_policy ?session_spill_dir ()
+        ?session_policy ?session_spill_dir ?session_pack_window:session_pack
+        ?session_pack_wait_us:session_pack_wait ()
     in
     let engine =
       try
@@ -733,11 +748,19 @@ let serve_cmd =
       (fun (sn : Engine.session_report) ->
         Printf.printf
           "  session %s: %d nodes, %d windows (%d cold, %d delta), %d delta nodes, \
-           %d materializations, %d rebinds, device %d\n"
+           %d materializations, %d rebinds, device %d, %d packed, %d deadline misses\n"
           sn.Engine.sn_name sn.Engine.sn_nodes sn.Engine.sn_windows
           sn.Engine.sn_cold sn.Engine.sn_extends sn.Engine.sn_delta_nodes
-          sn.Engine.sn_materializations sn.Engine.sn_rebinds sn.Engine.sn_device)
+          sn.Engine.sn_materializations sn.Engine.sn_rebinds sn.Engine.sn_device
+          sn.Engine.sn_packed sn.Engine.sn_deadline_misses)
       s.Engine.sessions;
+    (* Packed-window counters: only under a pack window, so runs that
+       never enabled packing (and the CI steps diffing their stdout)
+       print exactly what they always did. *)
+    (let cfg = Engine.config engine in
+     if cfg.Engine.Config.sessions.Session_store.pack_window > 1 then
+       Printf.printf "  packing: %d packed windows, %d session tokens packed\n"
+         s.Engine.packed_windows s.Engine.packed_tokens);
     (* Session-table line: only under a bound, so unbounded runs (and
        the CI steps that diff their stdout) keep printing exactly what
        they always did.  Everything here is a count or a priced cost —
@@ -816,7 +839,7 @@ let serve_cmd =
       $ watermark_arg $ profile_arg $ metrics_arg $ logical_clock_arg $ autotune_arg
       $ tune_budget_arg $ bundle_arg $ sessions_arg $ session_tokens_arg
       $ session_budget_arg $ session_ttl_arg $ session_policy_arg $ session_spill_dir_arg
-      $ config_file_arg $ slo_miss_budget_arg)
+      $ session_pack_arg $ session_pack_wait_arg $ config_file_arg $ slo_miss_budget_arg)
 
 let validate_trace_cmd =
   let file_arg =

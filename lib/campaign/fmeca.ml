@@ -229,10 +229,13 @@ let scale10 x = 1 + int_of_float (Float.round (9.0 *. clamp01 x))
 
 (* The trace signals that count as early warning: the fault spans the
    engine records when a device aborts in flight or a kernel draws a
-   transient.  Configuration-pressure damage (shedding, degraded
-   batching) has no span today — those modes scoring Undetected is the
+   transient, plus the [queue_pressure] instant the engine stamps when
+   the admission queue crosses 80% of its cap — the leading indicator
+   for the configuration-pressure modes (shedding fires only after the
+   queue is already full, so pressure leads damage).  Degraded-batching
+   damage still has no signal — that mode scoring Undetected is the
    campaign's finding, not a scanner gap. *)
-let warning_signals = [ "abort"; "transient" ]
+let warning_signals = [ "abort"; "transient"; "queue_pressure" ]
 
 let severity ~(baseline : Engine.summary) (s : Engine.summary) =
   let subs (m : Engine.summary) =

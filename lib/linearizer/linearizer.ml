@@ -24,6 +24,7 @@ type rejection =
   | Empty_structure
   | Empty_delta
   | Bad_delta of string
+  | Pack_incompatible of { member : int; reason : string }
 
 exception Rejected of rejection
 
@@ -42,6 +43,8 @@ let rejection_to_string = function
   | Empty_structure -> "empty structure"
   | Empty_delta -> "empty delta"
   | Bad_delta msg -> "bad delta: " ^ msg
+  | Pack_incompatible { member; reason } ->
+    Printf.sprintf "pack member %d incompatible: %s" member reason
 
 let run ?max_children structure =
   let n = Structure.num_nodes structure in
@@ -757,3 +760,167 @@ let state_rows_bytes ~num_nodes ~bytes_per_node =
 let memory_bytes t =
   layout_bytes ~num_nodes:t.num_nodes ~num_batches:(Array.length t.batches)
     ~max_children:t.max_children
+
+(* ---------- packed delta merge (multi-session batching) ---------- *)
+
+type packed = {
+  pk_view : t;
+  pk_members : int;
+  pk_base : int;
+  pk_old_off : int array;
+  pk_delta_base : int array;
+  pk_delta_of : int array array;
+}
+
+let pack_id p ~member sid =
+  if sid < p.pk_delta_base.(member) then p.pk_old_off.(member) + sid
+  else p.pk_delta_of.(member).(sid - p.pk_delta_base.(member))
+
+let pack_views views =
+  let reject member reason =
+    raise (Rejected (Pack_incompatible { member; reason }))
+  in
+  if views = [] then reject 0 "empty member list";
+  let views = Array.of_list views in
+  let m = Array.length views in
+  let first = views.(0) in
+  let mc = first.max_children in
+  (* Per member: validate the delta-view shape (a leaf batch at the
+     delta base, then contiguous strictly-ascending level runs covering
+     the whole tail) and collect its batch levels. *)
+  let delta_base = Array.make m 0 in
+  let member_batches = Array.make m [||] in
+  let max_level = ref 0 in
+  Array.iteri
+    (fun i v ->
+      if v.max_children <> mc then
+        reject i
+          (Printf.sprintf "child-table width %d, pack is %d" v.max_children mc);
+      if v.structure.Structure.kind <> first.structure.Structure.kind then
+        reject i "structure kind differs from the pack's";
+      let nb = Array.length v.batches in
+      if nb = 0 then reject i "no batches";
+      let db = fst v.batches.(0) in
+      if v.leaf_begin <> db then reject i "leaf batch not at the delta base";
+      if v.num_nodes <= db then reject i "no delta nodes";
+      (* The runs must tile [db, num_nodes) in order: that is what lets
+         member blocks concatenate into contiguous packed batches. *)
+      let cursor = ref db in
+      let levels =
+        Array.mapi
+          (fun k (b, len) ->
+            if b <> !cursor || len < 0 then reject i "non-contiguous delta batches";
+            cursor := b + len;
+            let l = if k = 0 then 0 else v.level_of.(b) in
+            if k = 1 && l < 1 then reject i "internal batch at leaf level";
+            if k > 1 && l <= v.level_of.(fst v.batches.(k - 1)) then
+              reject i "batch levels not ascending";
+            if l > !max_level then max_level := l;
+            (l, b, len))
+          v.batches
+      in
+      if !cursor <> v.num_nodes then reject i "batches do not cover the delta";
+      delta_base.(i) <- db;
+      member_batches.(i) <- levels)
+    views;
+  (* Region A: each member's old prefix, concatenated.  No batch covers
+     these rows, but they are not inert: boundary state rows are
+     pre-seeded here, and the setup kernels' precompute loops run over
+     the whole id space [0, num_nodes), so the rows must carry the
+     member's real payload/child data (like a single-session delta view,
+     whose arrays cover the whole conversation). *)
+  let old_off = Array.make m 0 in
+  let base = ref 0 in
+  Array.iteri
+    (fun i db ->
+      old_off.(i) <- !base;
+      base := !base + db)
+    delta_base;
+  let base = !base in
+  (* Region B: delta nodes grouped by level, members in pack order
+     within each level, so every packed batch is one contiguous run. *)
+  let delta_of =
+    Array.init m (fun i -> Array.make (views.(i).num_nodes - delta_base.(i)) (-1))
+  in
+  let cursor = ref base in
+  let batches = ref [] in
+  for l = 0 to !max_level do
+    let level_begin = !cursor in
+    for i = 0 to m - 1 do
+      Array.iter
+        (fun (lv, b, len) ->
+          if lv = l && len > 0 then begin
+            for k = 0 to len - 1 do
+              delta_of.(i).(b + k - delta_base.(i)) <- !cursor + k
+            done;
+            cursor := !cursor + len
+          end)
+        member_batches.(i)
+    done;
+    let width = !cursor - level_begin in
+    (* The leaf batch is always present (possibly empty, like the member
+       views'); higher levels only when some member reaches them. *)
+    if l = 0 || width > 0 then batches := (level_begin, width) :: !batches
+  done;
+  let num_nodes = !cursor in
+  let num_leaves =
+    match List.rev !batches with (_, w) :: _ -> w | [] -> 0
+  in
+  let child = Array.init mc (fun _ -> Array.make num_nodes (-1)) in
+  let num_children = Array.make num_nodes 0 in
+  let payload = Array.make num_nodes (-1) in
+  let level_of = Array.make num_nodes 0 in
+  for i = 0 to m - 1 do
+    let v = views.(i) in
+    let db = delta_base.(i) in
+    let remap c =
+      if c < 0 then -1
+      else if c < db then old_off.(i) + c
+      else delta_of.(i).(c - db)
+    in
+    for s = 0 to db - 1 do
+      let y = old_off.(i) + s in
+      num_children.(y) <- v.num_children.(s);
+      payload.(y) <- v.payload.(s);
+      level_of.(y) <- v.level_of.(s);
+      for k = 0 to mc - 1 do
+        child.(k).(y) <- remap v.child.(k).(s)
+      done
+    done;
+    for s = db to v.num_nodes - 1 do
+      let y = delta_of.(i).(s - db) in
+      num_children.(y) <- v.num_children.(s);
+      payload.(y) <- v.payload.(s);
+      level_of.(y) <- v.level_of.(s);
+      for k = 0 to mc - 1 do
+        child.(k).(y) <- remap v.child.(k).(s)
+      done
+    done
+  done;
+  let view =
+    {
+      structure = first.structure;
+      num_nodes;
+      num_leaves;
+      max_children = mc;
+      (* Host-side inspector state the executor never resolves — left
+         empty like the member delta views, so packing stays O(delta). *)
+      new_of_old = [||];
+      old_of_new = [||];
+      leaf_begin = base;
+      child;
+      num_children;
+      payload;
+      level_of;
+      batches = Array.of_list (List.rev !batches);
+      postorder = [||];
+    }
+  in
+  {
+    pk_view = view;
+    pk_members = m;
+    pk_base = base;
+    pk_old_off = old_off;
+    pk_delta_base = delta_base;
+    pk_delta_of = delta_of;
+  }

@@ -57,6 +57,12 @@ type rejection =
           forest — bad ids, foreign nodes, unreachable nodes, or a
           reordering of existing nodes.  The caller should fall back to
           a cold {!run_forest}. *)
+  | Pack_incompatible of { member : int; reason : string }
+      (** A member delta view cannot join a {!pack_views} merge — wrong
+          child-table width, mixed structure kinds, no delta nodes, or a
+          batch table that is not the contiguous ascending level tiling
+          delta views guarantee.  The caller serves that member as its
+          own size-1 window. *)
 
 exception Rejected of rejection
 (** Typed input-validation failure, raised by {!run} and {!run_forest}
@@ -201,3 +207,44 @@ val state_rows_bytes : num_nodes:int -> bytes_per_node:int -> int
     keeps between tokens: [num_nodes * bytes_per_node], 0 for an empty
     conversation.  [bytes_per_node] is the sum over the model's state
     tensors of one node's row bytes. *)
+
+(** {2 Packed delta merge (multi-session batching)}
+
+    When several pinned conversations grow during the same drain tick,
+    their per-token delta views (see [Engine]) can merge into one packed
+    window: per level, the members' batch runs concatenate into a single
+    contiguous packed batch, so the level launches once for the whole
+    pack instead of once per session.  Ids below [pk_base] are the
+    members' old prefixes laid end to end — never iterated by any batch,
+    present only so each member's boundary state rows have a row to be
+    pre-seeded into; ids at and above [pk_base] are the delta nodes
+    grouped by level.  {!pack_id} translates a member's session id into
+    the packed numbering on both sides of that boundary. *)
+
+type packed = {
+  pk_view : t;
+      (** the merged window: batch table over the packed delta nodes,
+          node-id space covering every member's whole conversation *)
+  pk_members : int;  (** how many delta views were merged *)
+  pk_base : int;  (** packed ids below this are old-prefix rows *)
+  pk_old_off : int array;
+      (** member -> offset of its old prefix in the packed numbering *)
+  pk_delta_base : int array;
+      (** member -> its first delta session id (= its old prefix size) *)
+  pk_delta_of : int array array;
+      (** member -> (session id - delta base) -> packed id *)
+}
+
+val pack_views : t list -> packed
+(** Merge member delta views into one packed window.  Members keep
+    their pack-order position within every level batch, so the merge —
+    and everything priced or executed from it — is deterministic in the
+    member order.  O(sum of member delta sizes + pack width * levels).
+    Raises {!Rejected} ([Pack_incompatible]) when a member's view is
+    not a delta-view-shaped tiling, names the member so the caller can
+    serve it solo. *)
+
+val pack_id : packed -> member:int -> int -> int
+(** [pack_id p ~member sid] is the packed id of [member]'s session id
+    [sid] — an old-prefix row below the member's delta base, a delta
+    node at or above it. *)

@@ -44,7 +44,12 @@ val execute_lin :
     after parameter binding and before the kernels — the serving
     engine's sessions use it ({!Cortex_lower.Lower.set_state_lin}) to
     seed a conversation's persistent hidden states into the context so
-    a delta run over the grown tail continues from them. *)
+    a delta run over the grown tail continues from them.  One call may
+    seed boundary rows for {e several} sessions at once: a packed
+    multi-session window ({!Cortex_linearizer.Linearizer.pack_views})
+    lays every member's old prefix out in its id space, and the engine
+    preloads each member's rows at their packed ids before the single
+    launch sequence. *)
 
 val execute :
   compiled ->

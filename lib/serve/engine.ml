@@ -117,7 +117,8 @@ module Config = struct
   let make ?(base = default) ?policy ?options ?lock_free ?dispatch ?devices
       ?cache_capacity ?queue_cap ?degrade_watermark ?faults ?seed ?retry ?params
       ?obs ?autotune ?tune_budget ?session_budget_bytes ?session_ttl_us
-      ?session_policy ?session_spill_dir () =
+      ?session_policy ?session_spill_dir ?session_pack_window
+      ?session_pack_wait_us () =
     let keep opt prev = match opt with Some _ -> opt | None -> prev in
     {
       compile =
@@ -155,6 +156,12 @@ module Config = struct
           policy =
             Option.value session_policy ~default:base.sessions.Session_store.policy;
           spill_dir = keep session_spill_dir base.sessions.Session_store.spill_dir;
+          pack_window =
+            Option.value session_pack_window
+              ~default:base.sessions.Session_store.pack_window;
+          pack_wait_us =
+            Option.value session_pack_wait_us
+              ~default:base.sessions.Session_store.pack_wait_us;
         };
     }
 
@@ -218,6 +225,13 @@ module Config = struct
     (match c.sessions.Session_store.spill_dir with
      | Some d -> line "sessions.spill_dir" d
      | None -> ());
+    (* Printed only when set, so pre-packing bundles stay byte-identical. *)
+    if c.sessions.Session_store.pack_window <> 1 then
+      line "sessions.pack_window"
+        (string_of_int c.sessions.Session_store.pack_window);
+    if c.sessions.Session_store.pack_wait_us <> 0.0 then
+      line "sessions.pack_wait_us"
+        (Printf.sprintf "%g" c.sessions.Session_store.pack_wait_us);
     Buffer.contents buf
 
   let backend_of_short s =
@@ -367,6 +381,14 @@ module Config = struct
             | None -> err "config: unknown sessions.policy %S" v)
           | "sessions.spill_dir" ->
             go { c with sessions = { c.sessions with Session_store.spill_dir = Some v } } rest
+          | "sessions.pack_window" ->
+            int_field (fun n ->
+                { c with
+                  sessions = { c.sessions with Session_store.pack_window = n } })
+          | "sessions.pack_wait_us" ->
+            float_field (fun x ->
+                { c with
+                  sessions = { c.sessions with Session_store.pack_wait_us = x } })
           | _ -> err "config: unknown key %S" key))
     in
     go default lines
@@ -404,6 +426,8 @@ type session = {
   mutable sx_materializations : int;  (* geometric [extend] rebuilds *)
   mutable sx_rebinds : int;  (* failover re-binds through the cache *)
   mutable sx_delta_nodes : int;  (* nodes served via delta views *)
+  mutable sx_packed : int;  (* windows served inside a packed window *)
+  mutable sx_deadline_misses : int;  (* tokens completed past deadline *)
   mutable sx_height : int;  (* max scratch level: prices the layout *)
   mutable sx_row_bytes : int;  (* one node's state-row bytes (0 = shapes only) *)
   mutable sx_put_keys : string list;
@@ -474,6 +498,10 @@ let build ~(config : Config.t) ~model ~backend ~compiled =
    | _ -> ());
   if config.Config.reliability.Config.retry.Fault.max_retries < 0 then
     invalid_arg "Engine.create: max_retries must be >= 0";
+  if config.Config.sessions.Session_store.pack_window < 1 then
+    invalid_arg "Engine.create: sessions.pack_window must be >= 1";
+  if config.Config.sessions.Session_store.pack_wait_us < 0.0 then
+    invalid_arg "Engine.create: sessions.pack_wait_us must be >= 0";
   let devices =
     Option.value config.Config.dispatch.Config.devices ~default:[ backend ]
   in
@@ -666,6 +694,21 @@ let submit t ?(arrival_us = 0.0) ?deadline_us ?session structure =
       t.n_rejected <- t.n_rejected + 1;
       Stdlib.Error e
     | None ->
+      (* Early warning ahead of the cap: the instant the queue crosses
+         80% of [queue_cap], stamp a [queue_pressure] instant on the slo
+         track.  Sheds damage the SLO at submit time, before the drain
+         can see anything, so this is the only signal that can lead them
+         — the FMECA campaign counts it as a warning signal.  Fires once
+         per fill (depth resets at drain). *)
+      (match t.eng_queue_cap with
+       | Some cap when t.queued + 1 = max 1 (((4 * cap) + 4) / 5) ->
+         (match t.eng_obs with
+          | None -> ()
+          | Some _ ->
+            Obs.sim_instant t.eng_obs ~track:"slo" ~name:"queue_pressure"
+              ~args:[ ("depth", CT.Int (t.queued + 1)); ("cap", CT.Int cap) ]
+              ~ts_us:arrival_us ())
+       | _ -> ());
       let id = t.next_id in
       t.next_id <- id + 1;
       t.queue <-
@@ -706,6 +749,8 @@ let session_of t name =
         sx_materializations = 0;
         sx_rebinds = 0;
         sx_delta_nodes = 0;
+        sx_packed = 0;
+        sx_deadline_misses = 0;
         sx_height = 0;
         sx_row_bytes = 0;
         sx_put_keys = [];
@@ -1145,6 +1190,9 @@ type window_report = {
   wr_dispatch_us : float;
   wr_report : Runtime.report;
   wr_session : string option;  (* Some = a session's per-token window *)
+  wr_packed : string list;
+      (* member session names of a packed multi-session window, in pack
+         order; [] for regular and size-1 session windows *)
 }
 
 type device_report = {
@@ -1207,6 +1255,8 @@ type session_report = {
   sn_cold : int;  (* full (re)linearizations *)
   sn_materializations : int;  (* geometric extend rebuilds *)
   sn_rebinds : int;  (* failover re-binds through the cache *)
+  sn_packed : int;  (* tokens served inside packed multi-session windows *)
+  sn_deadline_misses : int;  (* tokens completed past their deadline *)
   sn_device : int;  (* pinned device; -1 before the first window *)
   sn_bytes : int;  (* accounted bytes (layout + pinned state rows) *)
   sn_evictions : int;  (* times evicted, surviving restore cycles *)
@@ -1223,6 +1273,8 @@ type summary = {
   results : (int * Tensor.t) list;
   sessions : session_report list;  (* by name; empty without sessions *)
   session_table : Session_store.stats;  (* bounded-table accounting *)
+  packed_windows : int;  (* multi-session packed windows this drain *)
+  packed_tokens : int;  (* session tokens those windows carried *)
   metrics : Metrics.snapshot option;
   metrics_at_damage : Metrics.snapshot option;
       (* the registry at the first observed SLO damage (with [obs]):
@@ -1242,6 +1294,8 @@ let session_report_of t sx =
     sn_cold = sx.sx_cold;
     sn_materializations = sx.sx_materializations;
     sn_rebinds = sx.sx_rebinds;
+    sn_packed = sx.sx_packed;
+    sn_deadline_misses = sx.sx_deadline_misses;
     sn_device = Option.value sx.sx_device ~default:(-1);
     sn_bytes = session_accounted_bytes t sx;
     sn_evictions = Session_store.evictions_of t.eng_store sx.sx_name;
@@ -1371,6 +1425,14 @@ type attempt_outcome =
     }
   | Lost_window of float  (* the sim instant the window was declared lost *)
 
+(* One playable drain item: a batched window of stranger requests, a
+   single session token, or a packed window merging several sessions'
+   ready tokens into one forest launch. *)
+type drain_item =
+  | I_regular of pending list
+  | I_session of pending
+  | I_pack of pending list
+
 let drain t =
   let pendings =
     List.stable_sort
@@ -1410,9 +1472,146 @@ let drain t =
     | Fifo -> form_windows policy regular
     | By_size -> form_windows_bucketed policy regular
   in
+  let pack_w = t.eng_config.Config.sessions.Session_store.pack_window in
+  let pack_wait = t.eng_config.Config.sessions.Session_store.pack_wait_us in
+  let session_items =
+    if pack_w <= 1 then List.map (fun p -> (p.p_arrival, I_session p)) sessionp
+    else begin
+      (* Multi-session packing: group ready session tokens by pinned
+         device into packed windows of up to [pack_window] members,
+         admitting a token only within [pack_wait_us] of the pack's
+         first arrival.  Only tokens predicted to serve as deltas pack
+         (the authoritative delta check at play time falls any
+         mispredicted member back to its own size-1 window); the
+         prediction replays each session's structure evolution across
+         the drain, so a conversation's second token can pack even when
+         its first token of the same drain is what pins the session.
+         Sessions not yet pinned group under a sentinel device (-1):
+         playing their pack selects one device and pins every member to
+         it, exactly as a size-1 window would pin its one session.  Two
+         rules keep a session's own tokens in submission order: a token
+         may only join a pack opened after the session's previous item,
+         and an item's ready time is bumped to at least the ready time
+         of every member session's previous item below. *)
+      let last_item = Hashtbl.create 16 in
+      let seq = ref 0 in
+      let items = ref [] in  (* newest first *)
+      let open_packs = ref [] in  (* oldest first *)
+      (* name -> (pinned device, structure as of the session's last
+         token below) — the grouping-time mirror of what
+         [session_delta_view] will see when the token plays. *)
+      let pred = Hashtbl.create 16 in
+      let pred_of name =
+        match Hashtbl.find_opt pred name with
+        | Some st -> st
+        | None ->
+          let st =
+            match Hashtbl.find_opt t.eng_sessions name with
+            | None -> (None, `Fresh)
+            | Some sx ->
+              ( sx.sx_device,
+                (match sx.sx_structure with
+                 | Some s -> `Struct s
+                 | None -> (
+                   match sx.sx_restored_base with
+                   | Some b -> `Restored b
+                   | None -> `Fresh)) )
+          in
+          Hashtbl.replace pred name st;
+          st
+      in
+      let predicted p =
+        let name = Option.get p.p_session in
+        let dev, base = pred_of name in
+        let s = p.p_structure in
+        let n = Structure.num_nodes s in
+        let nodes = s.Structure.nodes in
+        let ok =
+          Lower.delta_compatible t.eng_compiled.Lower.options
+          && (match base with
+              | `Struct prev ->
+                let b = Structure.num_nodes prev in
+                n > b && b > 0
+                && s.Structure.kind = prev.Structure.kind
+                && nodes.(0) == prev.Structure.nodes.(0)
+                && nodes.(b - 1) == prev.Structure.nodes.(b - 1)
+              | `Restored b -> n > b && b > 0
+              | `Fresh -> false)
+        in
+        Hashtbl.replace pred name (dev, `Struct s);
+        if ok then Some (match dev with Some d -> d | None -> -1) else None
+      in
+      List.iter
+        (fun p ->
+          let name = Option.get p.p_session in
+          let after_last oseq =
+            match Hashtbl.find_opt last_item name with
+            | Some ls -> oseq > ls
+            | None -> true
+          in
+          match predicted p with
+          | None ->
+            incr seq;
+            Hashtbl.replace last_item name !seq;
+            items := (!seq, `Single p) :: !items
+          | Some d -> (
+            let joinable (oseq, odev, ofirst, _, ocount) =
+              odev = d && !ocount < pack_w
+              && p.p_arrival <= ofirst +. pack_wait
+              && after_last oseq
+            in
+            match List.find_opt joinable !open_packs with
+            | Some (oseq, _, _, oms, ocount) ->
+              oms := p :: !oms;
+              incr ocount;
+              Hashtbl.replace last_item name oseq
+            | None ->
+              incr seq;
+              let op = (!seq, d, p.p_arrival, ref [ p ], ref 1) in
+              open_packs := !open_packs @ [ op ];
+              Hashtbl.replace last_item name !seq;
+              items := (!seq, `Pack op) :: !items))
+        sessionp;
+      (* Materialize in creation order; a pack is ready when its last
+         member arrives, and every item waits for its member sessions'
+         previous items so no session's tokens can reorder. *)
+      let prev_ready = Hashtbl.create 16 in
+      let ready_of base names =
+        let r =
+          List.fold_left
+            (fun r nm ->
+              match Hashtbl.find_opt prev_ready nm with
+              | Some pr -> Float.max r pr
+              | None -> r)
+            base names
+        in
+        List.iter (fun nm -> Hashtbl.replace prev_ready nm r) names;
+        r
+      in
+      List.rev_map
+        (fun (_, item) ->
+          match item with
+          | `Single p ->
+            (ready_of p.p_arrival [ Option.get p.p_session ], I_session p)
+          | `Pack (_, _, _, oms, ocount) ->
+            let members = List.rev !oms in
+            if !ocount = 1 then
+              let p = List.hd members in
+              (ready_of p.p_arrival [ Option.get p.p_session ], I_session p)
+            else
+              let base =
+                List.fold_left
+                  (fun m p -> Float.max m p.p_arrival)
+                  Float.neg_infinity members
+              in
+              let names = List.map (fun p -> Option.get p.p_session) members in
+              (ready_of base names, I_pack members))
+        (List.rev !items)
+      |> List.rev
+    end
+  in
   let windows =
-    List.map (fun (r, ms) -> (r, ms, None)) windows
-    @ List.map (fun p -> (p.p_arrival, [ p ], p.p_session)) sessionp
+    List.map (fun (r, ms) -> (r, I_regular ms)) windows @ session_items
   in
   (* Play the windows through the simulated devices in ready order: the
      dispatch policy picks a device per window, the window occupies it
@@ -1421,7 +1620,7 @@ let drain t =
      drain (the simulation's origin is the trace's arrival clock); the
      shape cache persists across drains. *)
   let windows =
-    List.stable_sort (fun (ra, _, _) (rb, _, _) -> compare ra rb) windows
+    List.stable_sort (fun (ra, _) (rb, _) -> compare ra rb) windows
   in
   (* Observability is read-only: every span and metric below copies a
      value the simulation already computed.  The [None] path allocates
@@ -1492,39 +1691,59 @@ let drain t =
      built, and a failover on a cached shape re-uses the same numbering
      (that is the shape cache's contract).  [price dev] returns what
      actually runs on [dev] (the plan-tuned artifact for regular
-     windows) and its backend report.  [sx] pins a session window to
-     its device; when the pinned device died, the session re-pins and
-     re-binds its materialized layout through the shape cache onto the
-     survivor — a payload re-bind, never a fresh linearization. *)
-  let play ~sx ~size ~nodes ~lin_us ~price ready0 =
+     windows) and its backend report.  [sxs] pins a session window (or
+     a packed window's members) to its device; when the pinned device
+     died, every member session re-pins and re-binds its materialized
+     layout through the shape cache onto the survivor — a payload
+     re-bind, never a fresh linearization. *)
+  let play ~sxs ~size ~nodes ~lin_us ~price ready0 =
     let rec attempt n ready =
       mark_dead ready;
       if Dispatch.alive disp = 0 then Lost_window ready
       else begin
         let dev =
-          match sx with
-          | None -> Dispatch.select disp ~nodes
-          | Some sx -> (
+          match sxs with
+          | [] -> Dispatch.select disp ~nodes
+          | _ ->
             let devs = Dispatch.devices disp in
-            match sx.sx_device with
-            | Some di when not devs.(di).Dispatch.dev_failed -> devs.(di)
-            | prev ->
-              let dev = Dispatch.select disp ~nodes in
-              (match (prev, sx.sx_forest) with
-               | Some _, Some f ->
-                 sx.sx_rebinds <- sx.sx_rebinds + 1;
-                 let ss =
-                   Array.to_list
-                     (Array.map
-                        (fun sp -> sp.Linearizer.span_structure)
-                        f.Linearizer.spans)
-                 in
-                 ignore
-                   (Shape_cache.find_or_linearize ?obs t.eng_cache
-                      ~max_children:t.model.Ra.max_children ss)
-               | _ -> ());
-              sx.sx_device <- Some dev.Dispatch.dev_index;
-              dev)
+            (* The window's pinned device: the first member's, if it
+               survives (a packed window's members share a pin by
+               construction; they can only diverge when an earlier
+               failover this drain re-pinned some of them). *)
+            let dev =
+              match
+                List.find_map
+                  (fun sx ->
+                    match sx.sx_device with
+                    | Some di when not devs.(di).Dispatch.dev_failed ->
+                      Some devs.(di)
+                    | _ -> None)
+                  sxs
+              with
+              | Some d -> d
+              | None -> Dispatch.select disp ~nodes
+            in
+            List.iter
+              (fun sx ->
+                match sx.sx_device with
+                | Some di when di = dev.Dispatch.dev_index -> ()
+                | prev ->
+                  (match (prev, sx.sx_forest) with
+                   | Some _, Some f ->
+                     sx.sx_rebinds <- sx.sx_rebinds + 1;
+                     let ss =
+                       Array.to_list
+                         (Array.map
+                            (fun sp -> sp.Linearizer.span_structure)
+                            f.Linearizer.spans)
+                     in
+                     ignore
+                       (Shape_cache.find_or_linearize ?obs t.eng_cache
+                          ~max_children:t.model.Ra.max_children ss)
+                   | _ -> ());
+                  sx.sx_device <- Some dev.Dispatch.dev_index)
+              sxs;
+            dev
         in
         let dispatch = Float.max dev.Dispatch.dev_free_us ready in
         let ft = fail_at dev.Dispatch.dev_index in
@@ -1623,8 +1842,8 @@ let drain t =
     in
     attempt 0 ready0
   in
-  let record_window ~i ~size ~nodes ~hit ~session ~dev ~dispatch ~completion
-      ~report ~attempts =
+  let record_window ~i ~size ~nodes ~hit ~session ?(packed = []) ~dev ~dispatch
+      ~completion ~report ~attempts () =
     (match obs with
      | None -> ()
      | Some _ ->
@@ -1634,9 +1853,13 @@ let drain t =
            ([ ("index", CT.Int i); ("size", CT.Int size);
               ("nodes", CT.Int nodes); ("hit", CT.Bool hit);
               ("attempts", CT.Int attempts) ]
-           @ match session with
-             | Some s -> [ ("session", CT.Str s) ]
-             | None -> [])
+           @ (match session with
+              | Some s -> [ ("session", CT.Str s) ]
+              | None -> [])
+           @
+           match packed with
+           | [] -> []
+           | names -> [ ("packed", CT.Str (String.concat "," names)) ])
          ~start_us:dispatch ~end_us:completion ());
     wreports :=
       {
@@ -1649,6 +1872,7 @@ let drain t =
         wr_dispatch_us = dispatch;
         wr_report = report;
         wr_session = session;
+        wr_packed = packed;
       }
       :: !wreports
   in
@@ -1674,16 +1898,365 @@ let drain t =
        without a completion, not when the late answer finally lands. *)
     if completion > p.p_deadline then note_damage p.p_deadline
   in
+  let packed_windows = ref 0 and packed_tokens = ref 0 in
+  (* ---- session serving helpers (shared by size-1 and packed windows) ----
+     [serve_token] does one token's inspector work (restore if spilled,
+     then the delta/cold decision), mutating the session's scratch
+     tables — a packed window's members are all served, in pack order,
+     before any of them plays.  [play_session_single] is the PR 7
+     size-1 path; [play_session_packed] merges the members' delta views
+     into one packed forest window and splits the results back out. *)
+  let serve_token p =
+    let name = Option.get p.p_session in
+    let s = p.p_structure in
+    let sx = session_of t name in
+    let n = Structure.num_nodes s in
+    (* Re-admission: a spilled conversation coming back under its name
+       restores its scratch numbering and persisted rows before the
+       token is served; the priced restore cost is charged into this
+       token's linearization charge (it is deterministic, so chaos mode
+       stays byte-reproducible). *)
+    let restore_us =
+      if
+        sx.sx_structure = None
+        && sx.sx_restored_base = None
+        && Session_store.has_spill t.eng_store name
+      then begin
+        match try_restore t sx s with
+        | Some cost ->
+          Obs.incr obs "sessions.restores";
+          (match obs with
+           | None -> ()
+           | Some _ ->
+             Obs.sim_instant obs ~track:"sessions" ~name:"restore"
+               ~args:
+                 [ ("session", CT.Str name); ("nodes", CT.Int n);
+                   ("restore_us", CT.Float cost) ]
+               ~ts_us:t.eng_clock_us ());
+          cost
+        | None -> 0.0
+      end
+      else 0.0
+    in
+    (* All inspector work for the token — delta validation, scratch
+       append, view construction, geometric materialization, or the
+       cold fallback through the cache — under one timer: that is the
+       per-token cost BENCH_incremental compares against a cold
+       re-linearization. *)
+    let serve, lin_wall =
+      Stats.time_us (fun () ->
+          let compat = Lower.delta_compatible t.eng_compiled.Lower.options in
+          let dv = if compat then session_delta_view sx s else None in
+          match dv with
+          | Some (view, news, base) ->
+            sx.sx_structure <- Some s;
+            sx.sx_restored_base <- None;
+            sx.sx_extends <- sx.sx_extends + 1;
+            sx.sx_delta_nodes <- sx.sx_delta_nodes + Array.length news;
+            session_materialize ?obs t sx s;
+            S_delta { sd_view = view; sd_news = news; sd_base = base }
+          | None ->
+            (* Not pure growth of the pinned conversation (or the
+               compiled options cannot serve deltas): full
+               (re)linearization through the shape cache.  A different
+               conversation under the same name drops the persisted
+               state — its node identities no longer mean the same
+               thing. *)
+            let fresh =
+              match sx.sx_structure with
+              | Some prev ->
+                Structure.num_nodes prev = 0 || n = 0
+                || not (s.Structure.nodes.(0) == prev.Structure.nodes.(0))
+              | None -> false
+            in
+            if fresh then reset_session sx;
+            let fl, hit =
+              Shape_cache.find_or_linearize ?obs t.eng_cache
+                ~max_children:t.model.Ra.max_children [ s ]
+            in
+            sx.sx_structure <- Some s;
+            sx.sx_restored_base <- None;
+            sx.sx_forest <- Some fl;
+            sx.sx_mat_nodes <- n;
+            sx.sx_cold <- sx.sx_cold + 1;
+            sx.sx_height <-
+              Array.length fl.Linearizer.lin.Linearizer.batches - 1;
+            if Lower.delta_compatible t.eng_compiled.Lower.options then begin
+              (* Re-seed the scratch numbering so the next token can be
+                 served as a delta. *)
+              sx.sc_used <- 0;
+              ensure_session_capacity sx n;
+              Array.iter (fun nd -> push_node sx nd) s.Structure.nodes
+            end;
+            S_cold (fl, hit))
+    in
+    sx.sx_windows <- sx.sx_windows + 1;
+    (p, name, sx, serve, lin_wall, restore_us)
+  in
+  (* Bounded-table bookkeeping for a token just served: learn the
+     model's per-node state-row bytes from the rows actually stored
+     (hidden sizes are not knowable at build time), re-account the
+     session at its new size, then run the eviction pass — the budget
+     invariant holds after every session window, not just at drain end,
+     which is also what makes evict/restore churn observable inside a
+     single drain. *)
+  let account_session p sx =
+    let s = p.p_structure in
+    (if sx.sx_row_bytes = 0 && t.eng_params <> None then
+       match s.Structure.roots with
+       | root :: _ ->
+         sx.sx_row_bytes <-
+           List.fold_left
+             (fun acc (st, _) ->
+               match Hashtbl.find_opt sx.sx_states (st, root.Node.id) with
+               | Some v -> acc + (8 * Tensor.numel v)
+               | None -> acc)
+             0 t.eng_compiled.Lower.state_tensors
+       | [] -> ());
+    Session_store.touch t.eng_store sx.sx_name
+      ~bytes:(session_accounted_bytes t sx) ~now_us:t.eng_clock_us;
+    enforce_sessions ?obs t
+  in
+  let play_session_single ~ready (p, name, sx, serve, lin_wall, restore_us) =
+    let s = p.p_structure in
+    let n = Structure.num_nodes s in
+    let lin_us = (if chaos then 0.0 else lin_wall) +. restore_us in
+    let nodes, hit, run_lin =
+      match serve with
+      | S_delta { sd_view; sd_news; _ } ->
+        (Array.length sd_news, false, sd_view)
+      | S_cold (fl, hit) -> (n, hit, fl.Linearizer.lin)
+    in
+    let size = 1 in
+    (* Size-1 session windows skip plan tuning: they are deliberately
+       tiny (a token's delta), not the size-classes the tuner buckets,
+       and the pinned device would make the tuned artifact churn on
+       every failover. *)
+    let price dev =
+      ( t.eng_compiled,
+        Runtime.simulate_lin ~lock_free:t.lock_free ~linearize_us:lin_us
+          t.eng_compiled ~backend:dev.Dispatch.dev_backend run_lin )
+    in
+    (match play ~sxs:[ sx ] ~size ~nodes ~lin_us ~price ready with
+     | Lost_window at ->
+       lost := !lost + size;
+       note_damage at;
+       bump_clock t at
+     | Completed { ao_dev = dev; ao_dispatch = dispatch;
+                   ao_completion = completion; ao_report = report;
+                   ao_attempts = attempts; ao_compiled = _ } ->
+       let i = !windex in
+       incr windex;
+       let device_us = report.Runtime.latency.Backend.total_us in
+       record_window ~i ~size ~nodes ~hit ~session:(Some name) ~dev
+         ~dispatch ~completion ~report ~attempts ();
+       (* Numeric serving: a delta run pre-seeds the boundary rows (the
+          old children of appended nodes) from the session's persisted
+          states, executes only the delta batches, and persists the
+          appended nodes' states — bitwise identical to re-running the
+          whole conversation, which is what the cold path does. *)
+       (match t.eng_params with
+        | Some params ->
+          let st_names = List.map fst t.eng_compiled.Lower.state_tensors in
+          let store_states ex (nd : Node.t) sid =
+            List.iter
+              (fun st ->
+                Hashtbl.replace sx.sx_states (st, nd.Node.id)
+                  (Lower.state_value_lin ex.Runtime.exec_bound
+                     ex.Runtime.exec_compiled st sid))
+              st_names
+          in
+          (match serve with
+           | S_delta { sd_view; sd_news; sd_base } ->
+             let preload bound =
+               Array.iter
+                 (fun (nd : Node.t) ->
+                   Array.iter
+                     (fun (c : Node.t) ->
+                       if c.Node.id < sd_base then
+                         List.iter
+                           (fun st ->
+                             match
+                               Hashtbl.find_opt sx.sx_states (st, c.Node.id)
+                             with
+                             | Some v ->
+                               Lower.set_state_lin bound t.eng_compiled st
+                                 sx.sc_sid.(c.Node.id) v
+                             | None ->
+                               failwith
+                                 "Engine: missing persisted state at the \
+                                  session's delta boundary")
+                           st_names)
+                     nd.Node.children)
+                 sd_news
+             in
+             let ex =
+               Runtime.execute_lin ~preload t.eng_compiled ~params sd_view
+             in
+             Array.iter
+               (fun nd -> store_states ex nd sx.sc_sid.(nd.Node.id))
+               sd_news
+           | S_cold (fl, _) ->
+             let ex =
+               Runtime.execute_lin t.eng_compiled ~params fl.Linearizer.lin
+             in
+             let span = fl.Linearizer.spans.(0) in
+             Array.iter
+               (fun (nd : Node.t) ->
+                 store_states ex nd span.Linearizer.span_ids.(nd.Node.id))
+               s.Structure.nodes);
+          let out = List.hd t.model.Ra.outputs in
+          (match s.Structure.roots with
+           | [] -> ()
+           | root :: _ -> (
+             match Hashtbl.find_opt sx.sx_states (out, root.Node.id) with
+             | Some v -> results := (p.p_id, v) :: !results
+             | None -> ()))
+        | None -> ());
+       record_request ~i ~size ~lin_us ~dev ~dispatch ~completion ~device_us
+         p;
+       if completion > p.p_deadline then
+         sx.sx_deadline_misses <- sx.sx_deadline_misses + 1);
+    account_session p sx
+  in
+  let play_session_packed ~ready toks pk =
+    let size = List.length toks in
+    let names = List.map (fun (_, name, _, _, _, _) -> name) toks in
+    let sxs = List.map (fun (_, _, sx, _, _, _) -> sx) toks in
+    let view = pk.Linearizer.pk_view in
+    (* The window's work is its delta nodes; the old-prefix rows below
+       [pk_base] exist only to receive pre-seeded boundary states and
+       are never iterated by a batch. *)
+    let nodes = view.Linearizer.num_nodes - pk.Linearizer.pk_base in
+    let lin_us =
+      List.fold_left
+        (fun acc (_, _, _, _, lw, ru) ->
+          acc +. (if chaos then 0.0 else lw) +. ru)
+        0.0 toks
+    in
+    let price dev =
+      (* Packed windows are real batch work, so under autotune they do
+         consult the plan cache — in the packed key space, so a plan
+         tuned for regular windows of the same size class is never
+         silently reused for level-merged session batches. *)
+      let compiled =
+        match t.eng_plans with
+        | None -> t.eng_compiled
+        | Some pc ->
+          let entry, _hit =
+            Plan_cache.find_or_tune ?obs:t.eng_obs pc ~packed:true
+              ~compiled:t.eng_compiled ~backend:dev.Dispatch.dev_backend
+              ~lin:view ~nodes
+          in
+          entry.Plan_cache.pe_compiled
+      in
+      ( compiled,
+        Runtime.simulate_lin ~lock_free:t.lock_free ~linearize_us:lin_us
+          compiled ~backend:dev.Dispatch.dev_backend view )
+    in
+    (match play ~sxs ~size ~nodes ~lin_us ~price ready with
+     | Lost_window at ->
+       lost := !lost + size;
+       note_damage at;
+       bump_clock t at
+     | Completed { ao_dev = dev; ao_dispatch = dispatch;
+                   ao_completion = completion; ao_report = report;
+                   ao_attempts = attempts; ao_compiled = ran_compiled } ->
+       let i = !windex in
+       incr windex;
+       incr packed_windows;
+       packed_tokens := !packed_tokens + size;
+       Obs.incr obs "sessions.packed_windows";
+       Obs.incr obs ~by:size "sessions.packed_tokens";
+       let device_us = report.Runtime.latency.Backend.total_us in
+       record_window ~i ~size ~nodes ~hit:false ~session:None ~packed:names
+         ~dev ~dispatch ~completion ~report ~attempts ();
+       (* Numeric serving, one launch for every member: pre-seed each
+          member's boundary rows at their packed ids, execute the merged
+          batches once, then split the appended nodes' states and the
+          per-request results back out per member — bitwise identical
+          to serving the members as size-1 windows. *)
+       (match t.eng_params with
+        | Some params ->
+          let st_names = List.map fst t.eng_compiled.Lower.state_tensors in
+          let preload bound =
+            List.iteri
+              (fun mi (_, _, sx, serve, _, _) ->
+                match serve with
+                | S_cold _ -> assert false
+                | S_delta { sd_news; sd_base; _ } ->
+                  Array.iter
+                    (fun (nd : Node.t) ->
+                      Array.iter
+                        (fun (c : Node.t) ->
+                          if c.Node.id < sd_base then
+                            List.iter
+                              (fun st ->
+                                match
+                                  Hashtbl.find_opt sx.sx_states (st, c.Node.id)
+                                with
+                                | Some v ->
+                                  Lower.set_state_lin bound ran_compiled st
+                                    (Linearizer.pack_id pk ~member:mi
+                                       sx.sc_sid.(c.Node.id))
+                                    v
+                                | None ->
+                                  failwith
+                                    "Engine: missing persisted state at a \
+                                     packed window's delta boundary")
+                              st_names)
+                        nd.Node.children)
+                    sd_news)
+              toks
+          in
+          let ex = Runtime.execute_lin ~preload ran_compiled ~params view in
+          let out = List.hd t.model.Ra.outputs in
+          List.iteri
+            (fun mi (p, _, sx, serve, _, _) ->
+              match serve with
+              | S_cold _ -> assert false
+              | S_delta { sd_news; _ } ->
+                Array.iter
+                  (fun (nd : Node.t) ->
+                    let pid =
+                      Linearizer.pack_id pk ~member:mi sx.sc_sid.(nd.Node.id)
+                    in
+                    List.iter
+                      (fun st ->
+                        Hashtbl.replace sx.sx_states (st, nd.Node.id)
+                          (Lower.state_value_lin ex.Runtime.exec_bound
+                             ex.Runtime.exec_compiled st pid))
+                      st_names)
+                  sd_news;
+                (match p.p_structure.Structure.roots with
+                 | [] -> ()
+                 | root :: _ -> (
+                   match Hashtbl.find_opt sx.sx_states (out, root.Node.id) with
+                   | Some v -> results := (p.p_id, v) :: !results
+                   | None -> ())))
+            toks
+        | None -> ());
+       List.iter
+         (fun (p, _, sx, _, lw, ru) ->
+           let tok_lin = (if chaos then 0.0 else lw) +. ru in
+           record_request ~i ~size ~lin_us:tok_lin ~dev ~dispatch ~completion
+             ~device_us p;
+           sx.sx_packed <- sx.sx_packed + 1;
+           if completion > p.p_deadline then
+             sx.sx_deadline_misses <- sx.sx_deadline_misses + 1)
+         toks);
+    List.iter (fun (p, _, sx, _, _, _) -> account_session p sx) toks
+  in
   List.iter
-    (fun (ready, members, sname) ->
+    (fun (ready, item) ->
       (* Advance the monotone engine clock window by window (windows
          play in ready order): sessions age against the simulated time
          the drain has actually reached, so a conversation that went
          quiet early shows real idle time to the TTL pass instead of
          being backdated to the drain's newest arrival. *)
       bump_clock t ready;
-      match sname with
-      | None ->
+      match item with
+      | I_regular members ->
         let structures = List.map (fun p -> p.p_structure) members in
         (* Linearize exactly once and reuse the result, timing that one
            run: a cache hit is a payload re-bind, a miss the full
@@ -1720,7 +2293,7 @@ let drain t =
           in
           (compiled, report)
         in
-        (match play ~sx:None ~size ~nodes ~lin_us ~price ready with
+        (match play ~sxs:[] ~size ~nodes ~lin_us ~price ready with
          | Lost_window at ->
            lost := !lost + size;
            note_damage at;
@@ -1732,7 +2305,7 @@ let drain t =
            incr windex;
            let device_us = report.Runtime.latency.Backend.total_us in
            record_window ~i ~size ~nodes ~hit ~session:None ~dev ~dispatch
-             ~completion ~report ~attempts;
+             ~completion ~report ~attempts ();
            (* Numeric serving: with a parameter resolver installed, run
               the window's forest through the compiled kernels once
               (retries and failovers re-dispatch the same
@@ -1760,209 +2333,38 @@ let drain t =
              (record_request ~i ~size ~lin_us ~dev ~dispatch ~completion
                 ~device_us)
              members)
-      | Some name ->
-        let p = match members with [ p ] -> p | _ -> assert false in
-        let s = p.p_structure in
-        let sx = session_of t name in
-        let n = Structure.num_nodes s in
-        (* Re-admission: a spilled conversation coming back under its
-           name restores its scratch numbering and persisted rows
-           before the token is served; the priced restore cost is
-           charged into this token's linearization charge (it is
-           deterministic, so chaos mode stays byte-reproducible). *)
-        let restore_us =
-          if
-            sx.sx_structure = None
-            && sx.sx_restored_base = None
-            && Session_store.has_spill t.eng_store name
-          then begin
-            match try_restore t sx s with
-            | Some cost ->
-              Obs.incr obs "sessions.restores";
-              (match obs with
-               | None -> ()
-               | Some _ ->
-                 Obs.sim_instant obs ~track:"sessions" ~name:"restore"
-                   ~args:
-                     [ ("session", CT.Str name); ("nodes", CT.Int n);
-                       ("restore_us", CT.Float cost) ]
-                   ~ts_us:t.eng_clock_us ());
-              cost
-            | None -> 0.0
-          end
-          else 0.0
+      | I_session p -> play_session_single ~ready (serve_token p)
+      | I_pack members ->
+        (* Serve every member's inspector work first, in pack order
+           (scratch appends are per-session, so order across sessions
+           only matters for determinism, which pack order provides);
+           members that came out cold — or whose delta views refuse to
+           merge — fall back to the size-1 path, still at this pack's
+           ready time. *)
+        let served = List.map serve_token members in
+        let deltas, colds =
+          List.partition
+            (fun (_, _, _, serve, _, _) ->
+              match serve with S_delta _ -> true | S_cold _ -> false)
+            served
         in
-        (* All inspector work for the token — delta validation, scratch
-           append, view construction, geometric materialization, or the
-           cold fallback through the cache — under one timer: that is
-           the per-token cost BENCH_incremental compares against a cold
-           re-linearization. *)
-        let serve, lin_wall =
-          Stats.time_us (fun () ->
-              let compat = Lower.delta_compatible t.eng_compiled.Lower.options in
-              let dv = if compat then session_delta_view sx s else None in
-              match dv with
-              | Some (view, news, base) ->
-                sx.sx_structure <- Some s;
-                sx.sx_restored_base <- None;
-                sx.sx_extends <- sx.sx_extends + 1;
-                sx.sx_delta_nodes <- sx.sx_delta_nodes + Array.length news;
-                session_materialize ?obs t sx s;
-                S_delta { sd_view = view; sd_news = news; sd_base = base }
-              | None ->
-                (* Not pure growth of the pinned conversation (or the
-                   compiled options cannot serve deltas): full
-                   (re)linearization through the shape cache.  A
-                   different conversation under the same name drops the
-                   persisted state — its node identities no longer mean
-                   the same thing. *)
-                let fresh =
-                  match sx.sx_structure with
-                  | Some prev ->
-                    Structure.num_nodes prev = 0 || n = 0
-                    || not (s.Structure.nodes.(0) == prev.Structure.nodes.(0))
-                  | None -> false
-                in
-                if fresh then reset_session sx;
-                let fl, hit =
-                  Shape_cache.find_or_linearize ?obs t.eng_cache
-                    ~max_children:t.model.Ra.max_children [ s ]
-                in
-                sx.sx_structure <- Some s;
-                sx.sx_restored_base <- None;
-                sx.sx_forest <- Some fl;
-                sx.sx_mat_nodes <- n;
-                sx.sx_cold <- sx.sx_cold + 1;
-                sx.sx_height <-
-                  Array.length fl.Linearizer.lin.Linearizer.batches - 1;
-                if Lower.delta_compatible t.eng_compiled.Lower.options then begin
-                  (* Re-seed the scratch numbering so the next token can
-                     be served as a delta. *)
-                  sx.sc_used <- 0;
-                  ensure_session_capacity sx n;
-                  Array.iter (fun nd -> push_node sx nd) s.Structure.nodes
-                end;
-                S_cold (fl, hit))
-        in
-        sx.sx_windows <- sx.sx_windows + 1;
-        let lin_us = (if chaos then 0.0 else lin_wall) +. restore_us in
-        let nodes, hit, run_lin =
-          match serve with
-          | S_delta { sd_view; sd_news; _ } ->
-            (Array.length sd_news, false, sd_view)
-          | S_cold (fl, hit) -> (n, hit, fl.Linearizer.lin)
-        in
-        let size = 1 in
-        (* Sessions skip plan tuning: their windows are deliberately
-           tiny (a token's delta), not the size-classes the tuner
-           buckets, and the pinned device would make the tuned artifact
-           churn on every failover. *)
-        let price dev =
-          ( t.eng_compiled,
-            Runtime.simulate_lin ~lock_free:t.lock_free ~linearize_us:lin_us
-              t.eng_compiled ~backend:dev.Dispatch.dev_backend run_lin )
-        in
-        (match play ~sx:(Some sx) ~size ~nodes ~lin_us ~price ready with
-         | Lost_window at ->
-           lost := !lost + size;
-           note_damage at;
-           bump_clock t at
-         | Completed { ao_dev = dev; ao_dispatch = dispatch;
-                       ao_completion = completion; ao_report = report;
-                       ao_attempts = attempts; ao_compiled = _ } ->
-           let i = !windex in
-           incr windex;
-           let device_us = report.Runtime.latency.Backend.total_us in
-           record_window ~i ~size ~nodes ~hit ~session:(Some name) ~dev
-             ~dispatch ~completion ~report ~attempts;
-           (* Numeric serving: a delta run pre-seeds the boundary rows
-              (the old children of appended nodes) from the session's
-              persisted states, executes only the delta batches, and
-              persists the appended nodes' states — bitwise identical
-              to re-running the whole conversation, which is what the
-              cold path does. *)
-           (match t.eng_params with
-            | Some params ->
-              let st_names = List.map fst t.eng_compiled.Lower.state_tensors in
-              let store_states ex (nd : Node.t) sid =
-                List.iter
-                  (fun st ->
-                    Hashtbl.replace sx.sx_states (st, nd.Node.id)
-                      (Lower.state_value_lin ex.Runtime.exec_bound
-                         ex.Runtime.exec_compiled st sid))
-                  st_names
-              in
-              (match serve with
-               | S_delta { sd_view; sd_news; sd_base } ->
-                 let preload bound =
-                   Array.iter
-                     (fun (nd : Node.t) ->
-                       Array.iter
-                         (fun (c : Node.t) ->
-                           if c.Node.id < sd_base then
-                             List.iter
-                               (fun st ->
-                                 match
-                                   Hashtbl.find_opt sx.sx_states (st, c.Node.id)
-                                 with
-                                 | Some v ->
-                                   Lower.set_state_lin bound t.eng_compiled st
-                                     sx.sc_sid.(c.Node.id) v
-                                 | None ->
-                                   failwith
-                                     "Engine: missing persisted state at the \
-                                      session's delta boundary")
-                               st_names)
-                         nd.Node.children)
-                     sd_news
-                 in
-                 let ex =
-                   Runtime.execute_lin ~preload t.eng_compiled ~params sd_view
-                 in
-                 Array.iter
-                   (fun nd -> store_states ex nd sx.sc_sid.(nd.Node.id))
-                   sd_news
-               | S_cold (fl, _) ->
-                 let ex =
-                   Runtime.execute_lin t.eng_compiled ~params fl.Linearizer.lin
-                 in
-                 let span = fl.Linearizer.spans.(0) in
-                 Array.iter
-                   (fun (nd : Node.t) ->
-                     store_states ex nd span.Linearizer.span_ids.(nd.Node.id))
-                   s.Structure.nodes);
-              let out = List.hd t.model.Ra.outputs in
-              (match s.Structure.roots with
-               | [] -> ()
-               | root :: _ -> (
-                 match Hashtbl.find_opt sx.sx_states (out, root.Node.id) with
-                 | Some v -> results := (p.p_id, v) :: !results
-                 | None -> ()))
-            | None -> ());
-           record_request ~i ~size ~lin_us ~dev ~dispatch ~completion ~device_us
-             p);
-        (* Bounded-table bookkeeping for the token just served: learn
-           the model's per-node state-row bytes from the rows actually
-           stored (hidden sizes are not knowable at build time),
-           re-account the session at its new size, then run the
-           eviction pass — the budget invariant holds after every
-           session window, not just at drain end, which is also what
-           makes evict/restore churn observable inside a single
-           drain. *)
-        (if sx.sx_row_bytes = 0 && t.eng_params <> None then
-           match s.Structure.roots with
-           | root :: _ ->
-             sx.sx_row_bytes <-
-               List.fold_left
-                 (fun acc (st, _) ->
-                   match Hashtbl.find_opt sx.sx_states (st, root.Node.id) with
-                   | Some v -> acc + (8 * Tensor.numel v)
-                   | None -> acc)
-                 0 t.eng_compiled.Lower.state_tensors
-           | [] -> ());
-        Session_store.touch t.eng_store name
-          ~bytes:(session_accounted_bytes t sx) ~now_us:t.eng_clock_us;
-        enforce_sessions ?obs t)
+        List.iter (play_session_single ~ready) colds;
+        (match deltas with
+         | [] -> ()
+         | [ one ] -> play_session_single ~ready one
+         | toks -> (
+           let views =
+             List.map
+               (fun (_, _, _, serve, _, _) ->
+                 match serve with
+                 | S_delta d -> d.sd_view
+                 | S_cold _ -> assert false)
+               toks
+           in
+           match Linearizer.pack_views views with
+           | pk -> play_session_packed ~ready toks pk
+           | exception Linearizer.Rejected _ ->
+             List.iter (play_session_single ~ready) toks)))
     windows;
   (* End-of-drain eviction pass at the drain's high-water simulated
      clock: TTL expiries age out here even when their session saw no
@@ -2102,6 +2504,8 @@ let drain t =
     results = List.sort (fun (a, _) (b, _) -> compare a b) !results;
     sessions = sessions t;
     session_table;
+    packed_windows = !packed_windows;
+    packed_tokens = !packed_tokens;
     metrics = Obs.snapshot obs;
     metrics_at_damage = !damage_metrics;
     plans;

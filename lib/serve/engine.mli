@@ -200,17 +200,24 @@ module Config : sig
     ?session_ttl_us:float ->
     ?session_policy:Session_store.policy ->
     ?session_spill_dir:string ->
+    ?session_pack_window:int ->
+    ?session_pack_wait_us:float ->
     unit ->
     t
   (** [base] (default {!default}) overridden by whichever of the old
       labelled arguments are passed — the migration bridge from the
-      15-argument [create]. *)
+      15-argument [create].  [session_pack_window] > 1 turns on
+      multi-session delta packing (see {!summary}); the default of 1
+      keeps every session token its own size-1 window. *)
 
   val to_string : t -> string
   (** Deterministic [key=value] lines, unset optionals omitted; [obs]
       and [params] are not serialized.  Session-table keys serialize
       as [sessions.budget_bytes], [sessions.ttl_us], [sessions.policy]
-      ([lru]|[ttl]) and [sessions.spill_dir]. *)
+      ([lru]|[ttl]) and [sessions.spill_dir];
+      [sessions.pack_window] / [sessions.pack_wait_us] print only when
+      set away from their defaults, so bundles built before packing
+      existed stay byte-identical. *)
 
   val of_string : string -> (t, string) result
   (** Parse {!to_string}'s form (newline- or tab-separated lines; [#]
@@ -394,7 +401,10 @@ type window_report = {
   wr_report : Runtime.report;  (** full backend report for the forest *)
   wr_session : string option;
       (** the session this (size-1, device-pinned) window belongs to;
-          [None] for regular batched windows *)
+          [None] for regular batched windows and for packed windows *)
+  wr_packed : string list;
+      (** member session names of a packed multi-session window, in
+          pack order; [[]] for regular and size-1 session windows *)
 }
 
 type device_report = {
@@ -466,6 +476,11 @@ type session_report = {
   sn_rebinds : int;
       (** failovers that re-bound the session's layout through the
           shape cache onto a surviving device *)
+  sn_packed : int;
+      (** tokens of this session served inside packed multi-session
+          windows (a subset of [sn_extends]) *)
+  sn_deadline_misses : int;
+      (** tokens that completed after their deadline *)
   sn_device : int;  (** pinned device index; -1 before the first window *)
   sn_bytes : int;
       (** accounted bytes: the conversation's layout
@@ -503,6 +518,13 @@ type summary = {
       (** bounded-table accounting at the end of this drain: live
           sessions and bytes against the budget, spills/restores and
           their cumulative priced costs *)
+  packed_windows : int;
+      (** packed multi-session windows this drain played — windows
+          whose level batches merged several sessions' delta views
+          ([sessions.pack_window] > 1); each saved its members' worth
+          of per-level kernel launches minus one *)
+  packed_tokens : int;
+      (** session tokens served inside those packed windows *)
   metrics : Cortex_obs.Metrics.snapshot option;
       (** with [obs]: the metrics registry at the end of this drain —
           request/fault counters, queue and utilization gauges, latency

@@ -25,6 +25,7 @@ module Obs = Cortex_obs.Obs
 type entry = {
   pe_backend : string;  (* Backend.short *)
   pe_bucket : int;  (* Dispatch.size_bucket of the window's node count *)
+  pe_packed : bool;  (* tuned on a packed multi-session window *)
   pe_plan : Schedule.plan;
   pe_compiled : Lower.compiled;  (* the plan applied to the engine's artifact *)
   pe_default_us : float;
@@ -41,7 +42,7 @@ type stats = {
 
 type t = {
   budget : int;
-  table : (string * int, entry) Hashtbl.t;
+  table : (string * int * bool, entry) Hashtbl.t;
   mutable hits : int;
   mutable misses : int;
   mutable tune_ms : float;
@@ -53,10 +54,15 @@ let create ?(budget = 16) () =
 
 let budget t = t.budget
 
-let find_or_tune ?obs t ~(compiled : Lower.compiled) ~(backend : Backend.t)
-    ~(lin : Linearizer.t) ~nodes =
+let find_or_tune ?obs ?(packed = false) t ~(compiled : Lower.compiled)
+    ~(backend : Backend.t) ~(lin : Linearizer.t) ~nodes =
+  (* Packed multi-session windows tune in their own key space: their
+     batch tables are level-merged session deltas, shaped nothing like
+     a regular forest window of the same node count, so sharing a plan
+     across the two would let whichever shape tuned first dictate the
+     other's schedule. *)
   let bucket = Dispatch.size_bucket nodes in
-  let key = (backend.Backend.short, bucket) in
+  let key = (backend.Backend.short, bucket, packed) in
   match Hashtbl.find_opt t.table key with
   | Some e ->
     t.hits <- t.hits + 1;
@@ -79,6 +85,7 @@ let find_or_tune ?obs t ~(compiled : Lower.compiled) ~(backend : Backend.t)
       {
         pe_backend = backend.Backend.short;
         pe_bucket = bucket;
+        pe_packed = packed;
         pe_plan = best_plan;
         pe_compiled = applied;
         pe_default_us =
@@ -100,10 +107,13 @@ let find_or_tune ?obs t ~(compiled : Lower.compiled) ~(backend : Backend.t)
 let preload t ~(backend_short : string) ~bucket ~plan ~(compiled : Lower.compiled)
     ~default_us ~tuned_us =
   let applied = if plan = [] then compiled else Lower.apply_plan plan compiled in
-  Hashtbl.replace t.table (backend_short, bucket)
+  (* Bundles only carry regular-window plans; packed classes re-tune at
+     first contact. *)
+  Hashtbl.replace t.table (backend_short, bucket, false)
     {
       pe_backend = backend_short;
       pe_bucket = bucket;
+      pe_packed = false;
       pe_plan = plan;
       pe_compiled = applied;
       pe_default_us = default_us;
@@ -125,7 +135,10 @@ let hit_rate s =
 
 let entries t =
   List.sort
-    (fun a b -> compare (a.pe_backend, a.pe_bucket) (b.pe_backend, b.pe_bucket))
+    (fun a b ->
+      compare
+        (a.pe_backend, a.pe_bucket, a.pe_packed)
+        (b.pe_backend, b.pe_bucket, b.pe_packed))
     (Hashtbl.fold (fun _ e acc -> e :: acc) t.table [])
 
 let clear t =

@@ -20,6 +20,10 @@
 type entry = {
   pe_backend : string;  (** [Backend.short] of the tuned-for device *)
   pe_bucket : int;  (** {!Dispatch.size_bucket} of the window's nodes *)
+  pe_packed : bool;
+      (** tuned on a packed multi-session window — packed windows key
+          separately from regular forest windows of the same size class
+          (their level-merged batch tables are shaped differently) *)
   pe_plan : Cortex_ilir.Schedule.plan;  (** winning plan; [[]] = default *)
   pe_compiled : Cortex_lower.Lower.compiled;  (** plan applied *)
   pe_default_us : float;  (** simulated latency of the default schedule *)
@@ -45,14 +49,16 @@ val budget : t -> int
 
 val find_or_tune :
   ?obs:Cortex_obs.Obs.t ->
+  ?packed:bool ->
   t ->
   compiled:Cortex_lower.Lower.compiled ->
   backend:Cortex_backend.Backend.t ->
   lin:Cortex_linearizer.Linearizer.t ->
   nodes:int ->
   entry * bool
-(** The entry for the window's (backend, size-class), tuning on first
-    contact.  The boolean is [true] on a cache hit. *)
+(** The entry for the window's (backend, size-class, packed), tuning on
+    first contact.  [packed] (default [false]) selects the packed
+    multi-session key space.  The boolean is [true] on a cache hit. *)
 
 val preload :
   t ->
@@ -65,12 +71,14 @@ val preload :
   unit
 (** Seed the cache with a plan tuned ahead of time (a bundle's tuned
     plans): the plan is applied to [compiled] now, so the first window
-    of the class is a hit and no search runs ([pe_tune_ms = 0]). *)
+    of the class is a hit and no search runs ([pe_tune_ms = 0]).
+    Bundles only carry regular-window plans, so preloads always land in
+    the unpacked key space. *)
 
 val stats : t -> stats
 val hit_rate : stats -> float
 val entries : t -> entry list
-(** All entries, sorted by (backend, bucket) for deterministic
+(** All entries, sorted by (backend, bucket, packed) for deterministic
     reporting. *)
 
 val clear : t -> unit

@@ -12,9 +12,19 @@ type config = {
   ttl_us : float option;
   policy : policy;
   spill_dir : string option;
+  pack_window : int;
+  pack_wait_us : float;
 }
 
-let default_config = { budget_bytes = None; ttl_us = None; policy = Lru; spill_dir = None }
+let default_config =
+  {
+    budget_bytes = None;
+    ttl_us = None;
+    policy = Lru;
+    spill_dir = None;
+    pack_window = 1;
+    pack_wait_us = 0.0;
+  }
 
 type stats = {
   st_live : int;

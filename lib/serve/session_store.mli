@@ -41,10 +41,18 @@ type config = {
   policy : policy;  (** Victim order for the budget pass. *)
   spill_dir : string option;
       (** Directory for spill files; [None] keeps spills in memory. *)
+  pack_window : int;
+      (** Most session tokens one packed forest window may merge;
+          1 disables packing (every token is its own size-1 window,
+          the PR 7 behaviour). *)
+  pack_wait_us : float;
+      (** How far past a pack's first member arrival a later token may
+          land and still join it; 0 packs only same-instant tokens. *)
 }
 
 val default_config : config
-(** Unbounded, no TTL, [Lru], in-memory spills — the PR 7 behaviour. *)
+(** Unbounded, no TTL, [Lru], in-memory spills, packing off — the PR 7
+    behaviour. *)
 
 type stats = {
   st_live : int;  (** Sessions currently accounted (live in the engine). *)

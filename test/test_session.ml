@@ -261,10 +261,11 @@ let render_sessions (s : Engine.summary) =
   String.concat ";"
     (List.map
        (fun (x : Engine.session_report) ->
-         Printf.sprintf "%s:%d:%d:%d:%d:%d:%d:%d:%d" x.Engine.sn_name
+         Printf.sprintf "%s:%d:%d:%d:%d:%d:%d:%d:%d:%d:%d" x.Engine.sn_name
            x.Engine.sn_nodes x.Engine.sn_windows x.Engine.sn_delta_nodes
            x.Engine.sn_extends x.Engine.sn_cold x.Engine.sn_materializations
-           x.Engine.sn_rebinds x.Engine.sn_device)
+           x.Engine.sn_rebinds x.Engine.sn_device x.Engine.sn_packed
+           x.Engine.sn_deadline_misses)
        s.Engine.sessions)
 
 let test_session_chaos_determinism () =
@@ -745,6 +746,273 @@ let prop_session_lifecycle =
         Q.Test.fail_report "lifecycle trace not reproducible under its seed";
       true)
 
+(* ---------- multi-session packing ---------- *)
+
+(* Packed windows merge several sessions' delta tokens into one forest
+   launch.  The contract: enabling packing changes kernel-launch counts
+   and nothing else — every token's results and every persisted state
+   stay bitwise the unpacked (and therefore the cold) run. *)
+
+let engine_packed spec ?devices ?faults ?seed ?(autotune = false)
+    ?(pack = 8) ?(wait = 100.0) params =
+  Engine.of_spec
+    ~config:
+      (Engine.Config.make ?devices ?faults ?seed ~autotune
+         ~dispatch:Dispatch.Least_loaded ~params ~session_pack_window:pack
+         ~session_pack_wait_us:wait ())
+    spec ~backend:gpu
+
+(* Token [j] of every conversation lands in the same tick (1000 us
+   apart), staggered by a few us within the tick so packs have a
+   deterministic member order; one drain serves the lot. *)
+let submit_interleaved eng convs =
+  List.iteri
+    (fun i (name, structs) ->
+      List.iteri
+        (fun j s ->
+          ignore
+            (Engine.submit_exn eng
+               ~arrival_us:
+                 ((1000.0 *. float_of_int j) +. (3.0 *. float_of_int i))
+               ~session:name s))
+        structs)
+    convs;
+  Engine.drain eng
+
+let check_pack_bitwise ?(autotune = false) spec ~vocab ~kind ~tokens ~members
+    seed =
+  let params = spec.M.init_params (Rng.create (seed + 1)) in
+  let compiled =
+    Runtime.compile ~options:(Runtime.options_for spec) spec.M.program
+  in
+  let convs =
+    List.init members (fun i ->
+        ( Printf.sprintf "chat-%d" i,
+          conversation (seed + (17 * i)) ~vocab ~kind ~tokens ))
+  in
+  let packed = engine_packed ~autotune spec params in
+  let sp = submit_interleaved packed convs in
+  let unpacked = engine_of spec params in
+  let su = submit_interleaved unpacked convs in
+  Alcotest.(check int) "packed run completed everything"
+    (members * (tokens + 1))
+    sp.Engine.slo.Engine.slo_completed;
+  Alcotest.(check int) "unpacked run completed everything"
+    sp.Engine.slo.Engine.slo_completed su.Engine.slo.Engine.slo_completed;
+  (* The packing actually happened: every delta token of every tick
+     rode a packed window (tick 0 is the members' cold windows). *)
+  Alcotest.(check int) "every delta token packed" (members * tokens)
+    sp.Engine.packed_tokens;
+  Alcotest.(check int) "one packed window per tick" tokens
+    sp.Engine.packed_windows;
+  Alcotest.(check bool) "packed windows name their members in order" true
+    (List.exists
+       (fun w -> w.Engine.wr_packed = List.map fst convs)
+       sp.Engine.windows);
+  (* Fewer launches: each packed window launches its merged levels
+     once, not once per member. *)
+  let launches (s : Engine.summary) =
+    List.fold_left
+      (fun acc w ->
+        acc + w.Engine.wr_report.Runtime.latency.Backend.kernel_launches)
+      0 s.Engine.windows
+  in
+  Alcotest.(check bool) "packing launched fewer kernels" true
+    (launches sp < launches su);
+  (* Bitwise: token for token against the unpacked run... *)
+  List.iter2
+    (fun (ida, va) (idb, vb) ->
+      Alcotest.(check int) "same request served" ida idb;
+      Alcotest.(check bool)
+        (Printf.sprintf "request %d result bitwise" ida)
+        true
+        (Tensor.max_abs_diff va vb = 0.0))
+    sp.Engine.results su.Engine.results;
+  (* ...and every persisted state against a cold solo execution. *)
+  List.iter
+    (fun (name, structs) ->
+      check_states_bitwise spec packed ~session:name compiled params
+        (List.nth structs tokens))
+    convs;
+  (* The per-session packed counters agree with the summary's. *)
+  Alcotest.(check int) "sn_packed sums to packed_tokens"
+    sp.Engine.packed_tokens
+    (List.fold_left
+       (fun acc (x : Engine.session_report) -> acc + x.Engine.sn_packed)
+       0 (Engine.sessions packed))
+
+let test_pack_tree_bitwise () =
+  check_pack_bitwise
+    (Models.Tree_lstm.spec ~vocab:20 ~hidden:5 ())
+    ~vocab:20 ~kind:Structure.Tree ~tokens:6 ~members:4 103
+
+let test_pack_sequence_bitwise () =
+  check_pack_bitwise
+    (Models.Tree_lstm.spec ~vocab:20 ~hidden:4 ~sequence:true ())
+    ~vocab:20 ~kind:Structure.Sequence ~tokens:5 ~members:3 105
+
+let test_pack_dag_bitwise () =
+  check_pack_bitwise
+    (Models.Dag_rnn.spec ~rows:5 ~cols:5 ~hidden:4 ())
+    ~vocab:24 ~kind:Structure.Dag ~tokens:5 ~members:3 107
+
+let test_pack_autotuned_bitwise () =
+  (* With autotune on, packed windows consult the plan cache in the
+     packed key space; plans preserve semantics, so the contract is
+     unchanged. *)
+  check_pack_bitwise ~autotune:true
+    (Models.Tree_lstm.spec ~vocab:20 ~hidden:4 ())
+    ~vocab:20 ~kind:Structure.Tree ~tokens:5 ~members:4 109
+
+(* Property form: random member counts, lengths and kinds — packed and
+   unpacked runs serve identical results under arbitrary interleaved
+   grow sequences (members' conversations differ in length, so late
+   ticks thin out and packs shrink or demote to singles). *)
+let prop_pack_bitwise =
+  Q.Test.make ~count:8 ~name:"packed serving == unpacked (random interleavings)"
+    Q.(pair (int_bound 2) (pair (2 -- 4) small_int))
+    (fun (k, (members, seed)) ->
+      let kind, spec, vocab =
+        match k with
+        | 0 ->
+          (Structure.Tree, Models.Tree_lstm.spec ~vocab:15 ~hidden:3 (), 15)
+        | 1 ->
+          ( Structure.Sequence,
+            Models.Tree_gru.spec ~vocab:15 ~hidden:3 ~sequence:true (),
+            15 )
+        | _ -> (Structure.Dag, Models.Dag_rnn.spec ~rows:4 ~cols:4 ~hidden:3 (), 15)
+      in
+      let params = spec.M.init_params (Rng.create (seed + 1)) in
+      let compiled =
+        Runtime.compile ~options:(Runtime.options_for spec) spec.M.program
+      in
+      let rng = Rng.create (400 + seed) in
+      let convs =
+        List.init members (fun i ->
+            let tokens = 1 + Rng.int rng 6 in
+            ( Printf.sprintf "chat-%d" i,
+              conversation (500 + seed + (17 * i)) ~vocab ~kind ~tokens ))
+      in
+      let packed = engine_packed spec params in
+      let sp = submit_interleaved packed convs in
+      let unpacked = engine_of spec params in
+      let su = submit_interleaved unpacked convs in
+      if sp.Engine.slo.Engine.slo_completed <> su.Engine.slo.Engine.slo_completed
+      then
+        Q.Test.fail_reportf "completions differ: %d packed, %d unpacked"
+          sp.Engine.slo.Engine.slo_completed su.Engine.slo.Engine.slo_completed;
+      List.iter2
+        (fun (ida, va) (idb, vb) ->
+          if ida <> idb then Q.Test.fail_reportf "ids differ: %d %d" ida idb;
+          if Tensor.max_abs_diff va vb <> 0.0 then
+            Q.Test.fail_reportf "request %d differs packed vs unpacked" ida)
+        sp.Engine.results su.Engine.results;
+      List.iter
+        (fun (name, structs) ->
+          check_states_bitwise spec packed ~session:name compiled params
+            (List.nth structs (List.length structs - 1)))
+        convs;
+      true)
+
+(* Fail-stop mid-drain on the device a pack is pinned to: every member
+   re-pins to the survivor together, and the numbers cannot tell. *)
+let test_pack_failover () =
+  let spec = failover_spec in
+  let params = spec.M.init_params (Rng.create 9) in
+  let convs =
+    List.init 3 (fun i ->
+        ( Printf.sprintf "chat-%d" i,
+          conversation (600 + (17 * i)) ~vocab:20 ~kind:Structure.Tree
+            ~tokens:6 ))
+  in
+  let run faults =
+    let eng = engine_packed spec ~devices:[ gpu; gpu ] ~faults ~seed:13 params in
+    let s = submit_interleaved eng convs in
+    (eng, s)
+  in
+  (* Probe the fault-free run for the device the packs landed on. *)
+  let probe, sprobe = run [] in
+  Alcotest.(check bool) "probe run packed" true (sprobe.Engine.packed_windows > 0);
+  let pinned =
+    match Engine.sessions probe with
+    | sn :: _ -> sn.Engine.sn_device
+    | [] -> Alcotest.fail "expected sessions"
+  in
+  let eng, s = run [ Fault.Fail_stop { device = pinned; at_us = 3500.0 } ] in
+  Alcotest.(check int) "every token completed despite the fail-stop" 21
+    s.Engine.slo.Engine.slo_completed;
+  List.iter
+    (fun (sn : Engine.session_report) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s re-pinned off the dead device" sn.Engine.sn_name)
+        true
+        (sn.Engine.sn_device >= 0 && sn.Engine.sn_device <> pinned))
+    (Engine.sessions eng);
+  let compiled =
+    Runtime.compile ~options:(Runtime.options_for spec) spec.M.program
+  in
+  List.iter
+    (fun (name, structs) ->
+      check_states_bitwise spec eng ~session:name compiled params
+        (List.nth structs 6))
+    convs
+
+(* Chaos mode with packing on stays byte-reproducible. *)
+let test_pack_chaos_determinism () =
+  let faults = [ Fault.Fail_stop { device = 0; at_us = 2500.0 } ] in
+  let convs =
+    List.init 3 (fun i ->
+        ( Printf.sprintf "chat-%d" i,
+          conversation (700 + (17 * i)) ~vocab:20 ~kind:Structure.Tree
+            ~tokens:5 ))
+  in
+  let run () =
+    let params = failover_spec.M.init_params (Rng.create 9) in
+    let eng =
+      engine_packed failover_spec ~devices:[ gpu; gpu ] ~faults ~seed:7 params
+    in
+    let s = submit_interleaved eng convs in
+    Printf.sprintf "%d/%d/%d/%d/%.6f|%s" s.Engine.slo.Engine.slo_completed
+      s.Engine.slo.Engine.slo_failovers s.Engine.packed_windows
+      s.Engine.packed_tokens s.Engine.aggregate.Engine.makespan_us
+      (render_sessions s)
+  in
+  Alcotest.(check string) "same seed, same packed history" (run ()) (run ())
+
+(* Deadline misses are counted per session, packed or not. *)
+let test_pack_deadline_misses () =
+  let spec = Models.Tree_lstm.spec ~vocab:20 ~hidden:4 () in
+  let params = spec.M.init_params (Rng.create 2) in
+  let convs =
+    List.init 2 (fun i ->
+        ( Printf.sprintf "chat-%d" i,
+          conversation (800 + (17 * i)) ~vocab:20 ~kind:Structure.Tree
+            ~tokens:4 ))
+  in
+  let eng = engine_packed spec params in
+  (* Deadlines a hair after arrival: every window's device time blows
+     them, so every token misses. *)
+  List.iteri
+    (fun i (name, structs) ->
+      List.iteri
+        (fun j s ->
+          let at = (1000.0 *. float_of_int j) +. (3.0 *. float_of_int i) in
+          ignore
+            (Engine.submit_exn eng ~arrival_us:at ~deadline_us:(at +. 0.01)
+               ~session:name s))
+        structs)
+    convs;
+  let s = Engine.drain eng in
+  Alcotest.(check int) "all completed (late)" 10
+    s.Engine.slo.Engine.slo_completed;
+  Alcotest.(check int) "slo counted every miss" 10
+    s.Engine.slo.Engine.slo_deadline_misses;
+  Alcotest.(check int) "per-session misses sum to the slo count" 10
+    (List.fold_left
+       (fun acc (x : Engine.session_report) ->
+         acc + x.Engine.sn_deadline_misses)
+       0 (Engine.sessions eng))
+
 (* ---------- shape-cache accounting ---------- *)
 
 let test_cache_rejection_moves_no_counter () =
@@ -855,6 +1123,18 @@ let () =
             test_close_session_frees_cache_entries;
           QCheck_alcotest.to_alcotest prop_accounting_matches_linearizer;
           QCheck_alcotest.to_alcotest prop_session_lifecycle;
+        ] );
+      ( "packing",
+        [
+          Alcotest.test_case "tree" `Quick test_pack_tree_bitwise;
+          Alcotest.test_case "sequence" `Quick test_pack_sequence_bitwise;
+          Alcotest.test_case "dag" `Quick test_pack_dag_bitwise;
+          Alcotest.test_case "autotuned" `Quick test_pack_autotuned_bitwise;
+          Alcotest.test_case "failover" `Quick test_pack_failover;
+          Alcotest.test_case "chaos-determinism" `Quick
+            test_pack_chaos_determinism;
+          Alcotest.test_case "deadline-misses" `Quick test_pack_deadline_misses;
+          QCheck_alcotest.to_alcotest prop_pack_bitwise;
         ] );
       ( "shape-cache",
         [
